@@ -1,0 +1,111 @@
+// Command detourctl plans and executes one upload: direct, via a named
+// DTN, or via the automatic probe-based selector — the workflow a user
+// of the paper's system would run.
+//
+// Usage:
+//
+//	detourctl [-from ubc-pl] [-provider GoogleDrive|Dropbox|OneDrive]
+//	          [-size 100] [-via auto|direct|ualberta|umich-pl]
+//	          [-pipelined] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"detournet/internal/core"
+	"detournet/internal/detourselect"
+	"detournet/internal/fileutil"
+	"detournet/internal/scenario"
+	"detournet/internal/simproc"
+)
+
+func main() {
+	var (
+		from      = flag.String("from", scenario.UBC, "client host")
+		provider  = flag.String("provider", scenario.GoogleDrive, "cloud-storage provider")
+		sizeMB    = flag.Int("size", 100, "file size in MB")
+		via       = flag.String("via", "auto", "route: auto, direct, or a DTN host")
+		pipelined = flag.Bool("pipelined", false, "use the pipelined relay (detours only)")
+		seed      = flag.Int64("seed", 2015, "world seed")
+		traceOut  = flag.String("trace", "", "write the transfer trace as JSON lines to this file")
+	)
+	flag.Parse()
+
+	if _, ok := scenario.Providers[*provider]; !ok {
+		fmt.Fprintf(os.Stderr, "detourctl: unknown provider %q\n", *provider)
+		os.Exit(2)
+	}
+	w := scenario.Build(*seed)
+	file := fileutil.New("detourctl.bin", float64(*sizeMB)*fileutil.MB, *seed)
+
+	exit := 0
+	w.RunWorkload("detourctl", func(p *simproc.Proc) {
+		direct := w.NewSDKClient(*from, *provider)
+		defer direct.Close()
+		detours := map[string]*core.DetourClient{}
+		for _, dtn := range scenario.DTNs {
+			detours[dtn] = w.NewDetourClient(*from, dtn)
+		}
+
+		route := core.DirectRoute
+		switch *via {
+		case "auto":
+			sel := detourselect.NewSelector()
+			chosen, preds, err := sel.Choose(p, direct, detours, *provider, file.Size)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "detourctl: selection: %v\n", err)
+				exit = 1
+				return
+			}
+			fmt.Println("probe-based predictions:")
+			for _, pr := range preds {
+				fmt.Printf("  %-16s %8.2f s\n", pr.Route, pr.Seconds)
+			}
+			route = chosen
+		case "direct":
+		default:
+			if _, ok := detours[*via]; !ok {
+				fmt.Fprintf(os.Stderr, "detourctl: unknown DTN %q (have %v)\n", *via, scenario.DTNs)
+				exit = 2
+				return
+			}
+			route = core.ViaRoute(*via)
+		}
+
+		var rep core.Report
+		var err error
+		if *pipelined && route.Kind == core.Detour {
+			rep, err = detours[route.Via].UploadPipelined(p, *provider, file.Name, file.Size, file.MD5, 0)
+		} else {
+			rep, err = core.Upload(p, route, direct, detours, *provider, file.Name, file.Size, file.MD5)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detourctl: upload: %v\n", err)
+			exit = 1
+			return
+		}
+		fmt.Printf("\nuploaded %d MB from %s to %s %s\n", *sizeMB, *from, *provider, rep.Route)
+		if rep.Route.Kind == core.Detour && !*pipelined {
+			fmt.Printf("  hop1 (rsync to DTN): %8.2f s\n", rep.Hop1)
+			fmt.Printf("  hop2 (DTN upload):   %8.2f s\n", rep.Hop2)
+		}
+		fmt.Printf("  total:               %8.2f s  (%.2f MB/s)\n",
+			rep.Total, file.Size/rep.Total/1e6)
+	})
+	if *traceOut != "" && exit == 0 {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detourctl: trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := w.Trace.WriteJSONL(f); err != nil {
+			fmt.Fprintf(os.Stderr, "detourctl: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d events)\n", *traceOut, w.Trace.Len())
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,143 @@
+// Command tracestat analyzes a JSONL trace produced by the tracelog
+// layer (e.g. `detourctl -trace trace.jsonl`): per-event-kind counts,
+// and per-route transfer statistics (count, bytes, mean throughput).
+//
+// Usage:
+//
+//	tracestat [-f trace.jsonl]     # default: stdin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"detournet/internal/tracelog"
+)
+
+func main() {
+	var path = flag.String("f", "-", "trace file (JSON lines), - for stdin")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *path != "-" {
+		f, err := os.Open(*path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := readEvents(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+	if len(events) == 0 {
+		fmt.Println("no events")
+		return
+	}
+	printKindCounts(os.Stdout, events)
+	printTransferStats(os.Stdout, events)
+}
+
+func readEvents(in io.Reader) ([]tracelog.Event, error) {
+	var out []tracelog.Event
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e tracelog.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+func printKindCounts(w io.Writer, events []tracelog.Event) {
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "%-28s %8s\n", "EVENT", "COUNT")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%-28s %8d\n", k, counts[k])
+	}
+}
+
+// transferKey groups transfer events by (via, provider).
+type transferKey struct{ via, provider string }
+
+type transferAgg struct {
+	n       int
+	bytes   float64
+	seconds float64
+}
+
+func printTransferStats(w io.Writer, events []tracelog.Event) {
+	aggs := map[transferKey]*transferAgg{}
+	for _, e := range events {
+		if e.Kind != "detour.upload.done" && e.Kind != "detour.download.done" &&
+			e.Kind != "detour.pipeline.done" {
+			continue
+		}
+		k := transferKey{via: str(e.Attrs["via"]), provider: str(e.Attrs["provider"])}
+		a := aggs[k]
+		if a == nil {
+			a = &transferAgg{}
+			aggs[k] = a
+		}
+		a.n++
+		a.bytes += num(e.Attrs["bytes"])
+		a.seconds += num(e.Attrs["total"])
+	}
+	if len(aggs) == 0 {
+		return
+	}
+	keys := make([]transferKey, 0, len(aggs))
+	for k := range aggs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].via != keys[j].via {
+			return keys[i].via < keys[j].via
+		}
+		return keys[i].provider < keys[j].provider
+	})
+	fmt.Fprintf(w, "\n%-14s %-14s %8s %12s %14s\n", "VIA", "PROVIDER", "COUNT", "TOTAL MB", "MEAN MB/s")
+	for _, k := range keys {
+		a := aggs[k]
+		mbps := 0.0
+		if a.seconds > 0 {
+			mbps = a.bytes / a.seconds / 1e6
+		}
+		fmt.Fprintf(w, "%-14s %-14s %8d %12.1f %14.2f\n",
+			k.via, k.provider, a.n, a.bytes/1e6, mbps)
+	}
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}

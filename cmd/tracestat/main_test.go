@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"detournet/internal/tracelog"
+)
+
+const sampleTrace = `{"t":1.5,"kind":"detour.upload.done","attrs":{"via":"ualberta","provider":"GoogleDrive","bytes":6e7,"total":23.3}}
+{"t":2.0,"kind":"agent.relay.upload","attrs":{"name":"f","provider":"GoogleDrive"}}
+{"t":9.1,"kind":"detour.upload.done","attrs":{"via":"ualberta","provider":"GoogleDrive","bytes":6e7,"total":24.7}}
+{"t":12.0,"kind":"detour.download.done","attrs":{"via":"umich-pl","provider":"Dropbox","bytes":1e7,"total":5.0}}
+`
+
+func TestReadEvents(t *testing.T) {
+	events, err := readEvents(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Kind != "detour.upload.done" || events[0].At != 1.5 {
+		t.Fatalf("event0 = %+v", events[0])
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := readEvents(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	events, err := readEvents(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("blank lines: %v %v", events, err)
+	}
+}
+
+func TestPrintKindCounts(t *testing.T) {
+	events, _ := readEvents(strings.NewReader(sampleTrace))
+	var buf bytes.Buffer
+	printKindCounts(&buf, events)
+	out := buf.String()
+	if !strings.Contains(out, "detour.upload.done") || !strings.Contains(out, "2") {
+		t.Fatalf("counts:\n%s", out)
+	}
+}
+
+func TestPrintTransferStats(t *testing.T) {
+	events, _ := readEvents(strings.NewReader(sampleTrace))
+	var buf bytes.Buffer
+	printTransferStats(&buf, events)
+	out := buf.String()
+	// Two uploads via ualberta: 120 MB over 48s = 2.50 MB/s.
+	if !strings.Contains(out, "ualberta") || !strings.Contains(out, "120.0") || !strings.Contains(out, "2.50") {
+		t.Fatalf("stats:\n%s", out)
+	}
+	if !strings.Contains(out, "umich-pl") || !strings.Contains(out, "Dropbox") {
+		t.Fatalf("download row missing:\n%s", out)
+	}
+}
+
+func TestPrintTransferStatsNoTransfers(t *testing.T) {
+	var buf bytes.Buffer
+	printTransferStats(&buf, []tracelog.Event{{Kind: "other", At: 1}})
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}

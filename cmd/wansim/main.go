@@ -1,0 +1,71 @@
+// Command wansim inspects the simulated WAN: nodes, links with their
+// capacities and delays, and the routed path (with effective bottleneck
+// bandwidth) between any two hosts.
+//
+// Usage:
+//
+//	wansim -nodes
+//	wansim -links
+//	wansim -route -from purdue-pl -to gdrive-dc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"detournet/internal/fluid"
+	"detournet/internal/scenario"
+	"detournet/internal/topology"
+)
+
+func main() {
+	var (
+		nodes = flag.Bool("nodes", false, "list nodes")
+		links = flag.Bool("links", false, "list links")
+		route = flag.Bool("route", false, "show the routed path from -from to -to")
+		from  = flag.String("from", scenario.UBC, "route source")
+		to    = flag.String("to", scenario.GDriveDC, "route destination")
+		seed  = flag.Int64("seed", 2015, "world seed")
+	)
+	flag.Parse()
+	w := scenario.Build(*seed)
+
+	switch {
+	case *nodes:
+		fmt.Printf("%-16s %-6s %-12s %-44s %s\n", "NAME", "KIND", "DOMAIN", "HOSTNAME", "IP")
+		for _, n := range w.Graph.Nodes() {
+			fmt.Printf("%-16s %-6s %-12s %-44s %s\n", n.Name, n.Kind, n.Domain, n.Hostname, n.IP)
+		}
+	case *links:
+		fmt.Printf("%-36s %12s %10s\n", "LINK", "CAP (MB/s)", "DELAY (ms)")
+		for _, n := range w.Graph.Nodes() {
+			for _, e := range w.Graph.Edges(n.Name) {
+				fmt.Printf("%-36s %12.2f %10.2f\n",
+					e.From.Name+" -> "+e.To.Name, e.Link.Capacity/1e6, e.Link.PropDelay*1000)
+			}
+		}
+	case *route:
+		path, err := w.Graph.Path(*from, *to)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wansim: %v\n", err)
+			os.Exit(1)
+		}
+		lp, err := w.Graph.LinkPath(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wansim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("route %s -> %s:\n  %s\n", *from, *to,
+			strings.Join(topology.PathNames(path), " -> "))
+		fmt.Printf("  hops: %d\n", len(lp))
+		fmt.Printf("  one-way delay: %.1f ms\n", fluid.PathDelay(lp)*1000)
+		fmt.Printf("  bottleneck capacity: %.2f MB/s\n", fluid.BottleneckCapacity(lp)/1e6)
+		rtt, _ := w.Graph.RTT(*from, *to)
+		fmt.Printf("  rtt: %.1f ms\n", rtt*1000)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

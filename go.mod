@@ -1,0 +1,3 @@
+module detournet
+
+go 1.22

@@ -1,0 +1,445 @@
+// Package bgppol implements inter-domain policy routing in the
+// Gao–Rexford model: domains (autonomous systems) are related as
+// customer/provider or peer, routes must be valley-free, and route
+// preference is customer > peer > provider, then shortest AS path, then
+// a deterministic lexicographic tie-break.
+//
+// The paper's routing inefficiencies are artifacts of exactly this layer
+// — traffic between two nearby hosts crossing a distant or rate-limited
+// exchange because of peering relationships — so experiments route over
+// a Policy installed as the topology's PathFinder, plus the handful of
+// explicit per-pair overrides observed in the paper's traceroutes.
+package bgppol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"detournet/internal/topology"
+)
+
+// RouteType classifies how a domain reaches a destination, in increasing
+// preference order.
+type RouteType int
+
+const (
+	// NoRoute means the destination is unreachable under policy.
+	NoRoute RouteType = iota
+	// ProviderRoute is learned from a provider (least preferred).
+	ProviderRoute
+	// PeerRoute is learned from a settlement-free peer.
+	PeerRoute
+	// CustomerRoute is learned from a customer (most preferred).
+	CustomerRoute
+	// SelfRoute is the destination's own domain.
+	SelfRoute
+)
+
+func (t RouteType) String() string {
+	switch t {
+	case ProviderRoute:
+		return "provider"
+	case PeerRoute:
+		return "peer"
+	case CustomerRoute:
+		return "customer"
+	case SelfRoute:
+		return "self"
+	default:
+		return "none"
+	}
+}
+
+// Policy holds the domain relationship graph.
+type Policy struct {
+	domains   map[string]bool
+	order     []string
+	providers map[string][]string // domain -> its providers (sorted)
+	customers map[string][]string // domain -> its customers (sorted)
+	peers     map[string][]string // domain -> its peers (sorted)
+}
+
+// NewPolicy returns an empty relationship graph.
+func NewPolicy() *Policy {
+	return &Policy{
+		domains:   make(map[string]bool),
+		providers: make(map[string][]string),
+		customers: make(map[string][]string),
+		peers:     make(map[string][]string),
+	}
+}
+
+// AddDomain registers a domain name. Adding twice is a no-op.
+func (p *Policy) AddDomain(name string) {
+	if name == "" {
+		panic("bgppol: empty domain name")
+	}
+	if !p.domains[name] {
+		p.domains[name] = true
+		p.order = append(p.order, name)
+	}
+}
+
+// Domains returns all registered domains in insertion order.
+func (p *Policy) Domains() []string { return append([]string(nil), p.order...) }
+
+func insertSorted(xs []string, s string) []string {
+	i := sort.SearchStrings(xs, s)
+	if i < len(xs) && xs[i] == s {
+		return xs
+	}
+	xs = append(xs, "")
+	copy(xs[i+1:], xs[i:])
+	xs[i] = s
+	return xs
+}
+
+func contains(xs []string, s string) bool {
+	i := sort.SearchStrings(xs, s)
+	return i < len(xs) && xs[i] == s
+}
+
+// AddCustomerProvider records that customer buys transit from provider.
+// Both domains are registered implicitly.
+func (p *Policy) AddCustomerProvider(customer, provider string) error {
+	if customer == provider {
+		return fmt.Errorf("bgppol: %q cannot be its own provider", customer)
+	}
+	if contains(p.peers[customer], provider) {
+		return fmt.Errorf("bgppol: %s and %s are already peers", customer, provider)
+	}
+	if contains(p.providers[provider], customer) {
+		return fmt.Errorf("bgppol: relationship cycle between %s and %s", customer, provider)
+	}
+	p.AddDomain(customer)
+	p.AddDomain(provider)
+	p.providers[customer] = insertSorted(p.providers[customer], provider)
+	p.customers[provider] = insertSorted(p.customers[provider], customer)
+	return nil
+}
+
+// AddPeer records a settlement-free peering between a and b.
+func (p *Policy) AddPeer(a, b string) error {
+	if a == b {
+		return fmt.Errorf("bgppol: %q cannot peer with itself", a)
+	}
+	if contains(p.providers[a], b) || contains(p.providers[b], a) {
+		return fmt.Errorf("bgppol: %s and %s already have a transit relationship", a, b)
+	}
+	p.AddDomain(a)
+	p.AddDomain(b)
+	p.peers[a] = insertSorted(p.peers[a], b)
+	p.peers[b] = insertSorted(p.peers[b], a)
+	return nil
+}
+
+// MustAddCustomerProvider panics on error; for static policy tables.
+func (p *Policy) MustAddCustomerProvider(customer, provider string) {
+	if err := p.AddCustomerProvider(customer, provider); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddPeer panics on error; for static policy tables.
+func (p *Policy) MustAddPeer(a, b string) {
+	if err := p.AddPeer(a, b); err != nil {
+		panic(err)
+	}
+}
+
+// Route is one domain's best route towards a destination domain.
+type Route struct {
+	Type    RouteType
+	NextHop string // next domain; empty for SelfRoute/NoRoute
+	Len     int    // AS-path length (0 for self)
+}
+
+// RoutesTo computes every domain's best route to dst under Gao–Rexford
+// export and preference rules, with deterministic tie-breaking.
+func (p *Policy) RoutesTo(dst string) (map[string]Route, error) {
+	if !p.domains[dst] {
+		return nil, fmt.Errorf("bgppol: unknown destination domain %q", dst)
+	}
+	best := make(map[string]Route, len(p.domains))
+	best[dst] = Route{Type: SelfRoute}
+
+	// Phase 1 — customer routes: BFS from dst up provider edges. A domain
+	// x has a customer route iff there is an all-customer chain from x
+	// down to dst; x learns it from the chain's first hop.
+	type qitem struct {
+		dom string
+		len int
+	}
+	queue := []qitem{{dst, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, prov := range p.providers[cur.dom] {
+			if r, ok := best[prov]; ok {
+				// Already has a customer (or self) route; keep shorter /
+				// lexicographically smaller.
+				if r.Type == SelfRoute || r.Len < cur.len+1 ||
+					(r.Len == cur.len+1 && r.NextHop <= cur.dom) {
+					continue
+				}
+			}
+			best[prov] = Route{Type: CustomerRoute, NextHop: cur.dom, Len: cur.len + 1}
+			queue = append(queue, qitem{prov, cur.len + 1})
+		}
+	}
+
+	// Phase 2 — peer routes: a domain exports only customer/self routes
+	// to peers.
+	peerRoutes := make(map[string]Route)
+	for _, dom := range p.order {
+		if _, ok := best[dom]; ok {
+			continue
+		}
+		bestPeer := Route{Type: NoRoute, Len: math.MaxInt32}
+		for _, pe := range p.peers[dom] {
+			r, ok := best[pe]
+			if !ok || (r.Type != CustomerRoute && r.Type != SelfRoute) {
+				continue
+			}
+			cand := Route{Type: PeerRoute, NextHop: pe, Len: r.Len + 1}
+			if cand.Len < bestPeer.Len || (cand.Len == bestPeer.Len && cand.NextHop < bestPeer.NextHop) {
+				bestPeer = cand
+			}
+		}
+		if bestPeer.Type == PeerRoute {
+			peerRoutes[dom] = bestPeer
+		}
+	}
+	for dom, r := range peerRoutes {
+		best[dom] = r
+	}
+
+	// Phase 3 — provider routes: providers export their best route to
+	// customers; uphill chains may be arbitrarily long, so run a
+	// Dijkstra-style relaxation over customer->provider edges.
+	for {
+		changed := false
+		// Deterministic sweep order.
+		for _, dom := range p.order {
+			if r, ok := best[dom]; ok && r.Type != ProviderRoute {
+				continue // customer/peer/self routes always win
+			}
+			cand := Route{Type: NoRoute, Len: math.MaxInt32}
+			for _, prov := range p.providers[dom] {
+				r, ok := best[prov]
+				if !ok {
+					continue
+				}
+				c := Route{Type: ProviderRoute, NextHop: prov, Len: r.Len + 1}
+				if c.Len < cand.Len || (c.Len == cand.Len && c.NextHop < cand.NextHop) {
+					cand = c
+				}
+			}
+			if cand.Type == ProviderRoute {
+				if cur, ok := best[dom]; !ok || cand.Len < cur.Len ||
+					(cand.Len == cur.Len && cand.NextHop < cur.NextHop) {
+					best[dom] = cand
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return best, nil
+}
+
+// DomainPath returns the domain-level AS path from src to dst, inclusive.
+func (p *Policy) DomainPath(src, dst string) ([]string, error) {
+	if !p.domains[src] {
+		return nil, fmt.Errorf("bgppol: unknown source domain %q", src)
+	}
+	routes, err := p.RoutesTo(dst)
+	if err != nil {
+		return nil, err
+	}
+	var path []string
+	at := src
+	for {
+		path = append(path, at)
+		r, ok := routes[at]
+		if !ok {
+			return nil, fmt.Errorf("bgppol: no policy-compliant route %s -> %s", src, dst)
+		}
+		if r.Type == SelfRoute {
+			return path, nil
+		}
+		at = r.NextHop
+		if len(path) > len(p.order)+1 {
+			return nil, fmt.Errorf("bgppol: routing loop computing %s -> %s", src, dst)
+		}
+	}
+}
+
+// ValleyFree reports whether a domain path obeys Gao–Rexford: zero or
+// more uphill (customer->provider) edges, at most one peer edge, then
+// zero or more downhill (provider->customer) edges.
+func (p *Policy) ValleyFree(path []string) bool {
+	const (
+		up = iota
+		peered
+		down
+	)
+	state := up
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		switch {
+		case contains(p.providers[a], b): // uphill
+			if state != up {
+				return false
+			}
+		case contains(p.peers[a], b): // the single peer edge
+			if state != up {
+				return false
+			}
+			state = peered
+		case contains(p.customers[a], b): // downhill
+			state = down
+		default:
+			return false // no relationship at all
+		}
+	}
+	return true
+}
+
+// Finder routes across a topology.Graph using this policy at the domain
+// level and hot-potato routing inside each domain: from the current
+// ingress the packet exits at the nearest (by intra-domain delay) border
+// router that connects to the next domain.
+type Finder struct {
+	Policy *Policy
+}
+
+// Path implements topology.PathFinder.
+func (f Finder) Path(g *topology.Graph, src, dst *topology.Node) ([]*topology.Node, error) {
+	if f.Policy == nil {
+		return nil, fmt.Errorf("bgppol: Finder with nil policy")
+	}
+	if src.Domain == "" || dst.Domain == "" {
+		return nil, fmt.Errorf("bgppol: node without a domain (%s, %s)", src.Name, dst.Name)
+	}
+	doms, err := f.Policy.DomainPath(src.Domain, dst.Domain)
+	if err != nil {
+		return nil, err
+	}
+	full := []*topology.Node{src}
+	cur := src
+	for i := 0; i+1 < len(doms); i++ {
+		nextDom := doms[i+1]
+		seg, exit, err := nearestBorder(g, cur, doms[i], nextDom)
+		if err != nil {
+			return nil, fmt.Errorf("bgppol: %s->%s: %w", doms[i], nextDom, err)
+		}
+		full = append(full, seg[1:]...) // intra-domain hops to the border
+		full = append(full, exit)       // cross into the next domain
+		cur = exit
+	}
+	if cur != dst {
+		seg, err := intraPath(g, cur, dst, dst.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("bgppol: within %s: %w", dst.Domain, err)
+		}
+		full = append(full, seg[1:]...)
+	}
+	return full, nil
+}
+
+// nearestBorder finds the shortest intra-domain path from start to a
+// router in domain dom that has an edge into domain next, returning the
+// path and the first node on the far side.
+func nearestBorder(g *topology.Graph, start *topology.Node, dom, next string) ([]*topology.Node, *topology.Node, error) {
+	type cand struct {
+		path []*topology.Node
+		exit *topology.Node
+		cost float64
+	}
+	bestC := cand{cost: math.Inf(1)}
+	for _, n := range g.Nodes() {
+		if n.Domain != dom {
+			continue
+		}
+		var far *topology.Node
+		for _, e := range g.Edges(n.Name) {
+			if e.To.Domain == next {
+				far = e.To
+				break // edges are sorted; first is the deterministic pick
+			}
+		}
+		if far == nil {
+			continue
+		}
+		seg, err := intraPath(g, start, n, dom)
+		if err != nil {
+			continue
+		}
+		cost := 0.0
+		for i := 0; i+1 < len(seg); i++ {
+			e, _ := g.Edge(seg[i].Name, seg[i+1].Name)
+			cost += e.Link.PropDelay
+		}
+		if cost < bestC.cost || (cost == bestC.cost && far.Name < bestC.exit.Name) {
+			bestC = cand{path: seg, exit: far, cost: cost}
+		}
+	}
+	if bestC.exit == nil {
+		return nil, nil, fmt.Errorf("no border router towards %s", next)
+	}
+	return bestC.path, bestC.exit, nil
+}
+
+// intraPath is delay-weighted Dijkstra restricted to one domain's nodes.
+func intraPath(g *topology.Graph, src, dst *topology.Node, dom string) ([]*topology.Node, error) {
+	if src == dst {
+		return []*topology.Node{src}, nil
+	}
+	dist := map[string]float64{src.Name: 0}
+	prev := map[string]string{}
+	visited := map[string]bool{}
+	for {
+		cur := ""
+		best := math.Inf(1)
+		for _, n := range g.Nodes() {
+			if n.Domain != dom || visited[n.Name] {
+				continue
+			}
+			if d, ok := dist[n.Name]; ok && d < best {
+				best = d
+				cur = n.Name
+			}
+		}
+		if cur == "" {
+			return nil, fmt.Errorf("no intra-domain route %s -> %s in %s", src.Name, dst.Name, dom)
+		}
+		if cur == dst.Name {
+			break
+		}
+		visited[cur] = true
+		for _, e := range g.Edges(cur) {
+			if e.To.Domain != dom {
+				continue
+			}
+			nd := dist[cur] + e.Link.PropDelay
+			if d, ok := dist[e.To.Name]; !ok || nd < d {
+				dist[e.To.Name] = nd
+				prev[e.To.Name] = cur
+			}
+		}
+	}
+	var rev []string
+	for at := dst.Name; at != src.Name; at = prev[at] {
+		rev = append(rev, at)
+	}
+	out := []*topology.Node{src}
+	for i := len(rev) - 1; i >= 0; i-- {
+		n, _ := g.Node(rev[i])
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,460 @@
+package bgppol
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"detournet/internal/fluid"
+	"detournet/internal/simclock"
+	"detournet/internal/topology"
+)
+
+// Diamond: stub1 and stub2 are customers of t1 and t2; t1 peers t2.
+func diamond() *Policy {
+	p := NewPolicy()
+	p.MustAddCustomerProvider("stub1", "t1")
+	p.MustAddCustomerProvider("stub2", "t2")
+	p.MustAddPeer("t1", "t2")
+	return p
+}
+
+func TestRelationshipValidation(t *testing.T) {
+	p := NewPolicy()
+	if err := p.AddCustomerProvider("a", "a"); err == nil {
+		t.Fatal("self-provider accepted")
+	}
+	if err := p.AddPeer("a", "a"); err == nil {
+		t.Fatal("self-peer accepted")
+	}
+	p.MustAddCustomerProvider("a", "b")
+	if err := p.AddPeer("a", "b"); err == nil {
+		t.Fatal("peer over existing transit accepted")
+	}
+	if err := p.AddCustomerProvider("b", "a"); err == nil {
+		t.Fatal("mutual transit accepted")
+	}
+	q := NewPolicy()
+	q.MustAddPeer("x", "y")
+	if err := q.AddCustomerProvider("x", "y"); err == nil {
+		t.Fatal("transit over existing peering accepted")
+	}
+}
+
+func TestCustomerRoutePreferredOverPeer(t *testing.T) {
+	// dest is customer of t1. src is customer of both t1 (via mid) and
+	// has a peer path. Build: src -> mid -> t1 -> dest (provider chain),
+	// and src peers with t1.
+	p := NewPolicy()
+	p.MustAddCustomerProvider("dest", "src") // dest is src's customer
+	p.MustAddCustomerProvider("src", "t1")   // src also buys from t1
+	p.MustAddCustomerProvider("dest", "t1")
+	routes, err := p.RoutesTo("dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes["src"]
+	if r.Type != CustomerRoute || r.NextHop != "dest" {
+		t.Fatalf("src route = %+v, want customer via dest", r)
+	}
+	// t1 also has dest as a customer.
+	if routes["t1"].Type != CustomerRoute {
+		t.Fatalf("t1 route = %+v", routes["t1"])
+	}
+}
+
+func TestPeerRouteUsedWhenNoCustomerRoute(t *testing.T) {
+	p := diamond()
+	routes, err := p.RoutesTo("stub2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t1 reaches stub2 via its peer t2 (t2 has a customer route).
+	if r := routes["t1"]; r.Type != PeerRoute || r.NextHop != "t2" {
+		t.Fatalf("t1 route = %+v, want peer via t2", r)
+	}
+	// stub1 must go up to its provider t1 first.
+	if r := routes["stub1"]; r.Type != ProviderRoute || r.NextHop != "t1" {
+		t.Fatalf("stub1 route = %+v, want provider via t1", r)
+	}
+}
+
+func TestDomainPathValleyFree(t *testing.T) {
+	p := diamond()
+	path, err := p.DomainPath("stub1", "stub2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "stub1,t1,t2,stub2"
+	if got := strings.Join(path, ","); got != want {
+		t.Fatalf("path = %s, want %s", got, want)
+	}
+	if !p.ValleyFree(path) {
+		t.Fatal("computed path not valley-free")
+	}
+}
+
+func TestNoValleyTransit(t *testing.T) {
+	// Classic violation: stub domain must not transit between two
+	// providers. p1 and p2 are both providers of stub, nothing else
+	// connects them. p1 must NOT reach p2 via stub.
+	p := NewPolicy()
+	p.MustAddCustomerProvider("stub", "p1")
+	p.MustAddCustomerProvider("stub", "p2")
+	if _, err := p.DomainPath("p1", "p2"); err == nil {
+		t.Fatal("valley path through stub customer was allowed")
+	}
+	// And the valley path is recognized as such.
+	if p.ValleyFree([]string{"p1", "stub", "p2"}) {
+		t.Fatal("ValleyFree accepted a valley")
+	}
+}
+
+func TestPeerOnlyOnce(t *testing.T) {
+	// Two peer edges in a row are not valley-free.
+	p := NewPolicy()
+	p.MustAddPeer("a", "b")
+	p.MustAddPeer("b", "c")
+	if p.ValleyFree([]string{"a", "b", "c"}) {
+		t.Fatal("double-peer path accepted")
+	}
+	if _, err := p.DomainPath("a", "c"); err == nil {
+		t.Fatal("route requiring two peer hops was computed")
+	}
+}
+
+func TestProviderChainUphill(t *testing.T) {
+	// a -> p -> pp (grandparent provider), dest is customer of pp.
+	p := NewPolicy()
+	p.MustAddCustomerProvider("a", "p")
+	p.MustAddCustomerProvider("p", "pp")
+	p.MustAddCustomerProvider("dest", "pp")
+	path, err := p.DomainPath("a", "dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(path, ","); got != "a,p,pp,dest" {
+		t.Fatalf("path = %s", got)
+	}
+	if !p.ValleyFree(path) {
+		t.Fatal("uphill chain path should be valley-free")
+	}
+}
+
+func TestShorterCustomerRouteWins(t *testing.T) {
+	p := NewPolicy()
+	// dest customer of m, m customer of top; dest also customer of top.
+	p.MustAddCustomerProvider("dest", "m")
+	p.MustAddCustomerProvider("m", "top")
+	p.MustAddCustomerProvider("dest", "top")
+	routes, _ := p.RoutesTo("dest")
+	if r := routes["top"]; r.Len != 1 || r.NextHop != "dest" {
+		t.Fatalf("top should take 1-hop customer route, got %+v", r)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		p := NewPolicy()
+		p.MustAddCustomerProvider("dest", "x")
+		p.MustAddCustomerProvider("dest", "y")
+		p.MustAddCustomerProvider("src", "x")
+		p.MustAddCustomerProvider("src", "y")
+		path, err := p.DomainPath("src", "dest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Join(path, ","); got != "src,x,dest" {
+			t.Fatalf("tie-break chose %s, want src,x,dest", got)
+		}
+	}
+}
+
+func TestUnknownDomains(t *testing.T) {
+	p := diamond()
+	if _, err := p.RoutesTo("nope"); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if _, err := p.DomainPath("nope", "stub1"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}
+
+// Property: every path DomainPath produces is valley-free, for random
+// relationship graphs.
+func TestPropertyAllComputedPathsValleyFree(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPolicy()
+		n := 8
+		doms := make([]string, n)
+		for i := range doms {
+			doms[i] = string(rune('a' + i))
+			p.AddDomain(doms[i])
+		}
+		// Random DAG-ish transit edges (low index buys from high index)
+		// plus random peerings.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				switch rng.Intn(4) {
+				case 0:
+					p.MustAddCustomerProvider(doms[i], doms[j])
+				case 1:
+					_ = p.AddPeer(doms[i], doms[j])
+				}
+			}
+		}
+		for _, s := range doms {
+			for _, d := range doms {
+				if s == d {
+					continue
+				}
+				path, err := p.DomainPath(s, d)
+				if err != nil {
+					continue // unreachable under policy is fine
+				}
+				if !p.ValleyFree(path) {
+					t.Fatalf("seed %d: path %v not valley-free", seed, path)
+				}
+				if path[0] != s || path[len(path)-1] != d {
+					t.Fatalf("seed %d: endpoints wrong: %v", seed, path)
+				}
+			}
+		}
+	}
+}
+
+// --- Finder integration over a topology ---
+
+func buildTwoDomainGraph(t *testing.T) (*topology.Graph, *Policy) {
+	t.Helper()
+	g := topology.New(fluid.New(simclock.NewEngine()))
+	add := func(name, dom string) {
+		g.MustAddNode(&topology.Node{Name: name, Domain: dom, Kind: topology.Router, RespondsICMP: true})
+	}
+	// Domain A: hostA - coreA - borderA ; Domain B: borderB - coreB - hostB
+	add("hostA", "A")
+	add("coreA", "A")
+	add("borderA", "A")
+	add("borderB", "B")
+	add("coreB", "B")
+	add("hostB", "B")
+	spec := topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.001}
+	g.MustConnect("hostA", "coreA", spec)
+	g.MustConnect("coreA", "borderA", spec)
+	g.MustConnect("borderA", "borderB", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.010})
+	g.MustConnect("borderB", "coreB", spec)
+	g.MustConnect("coreB", "hostB", spec)
+	p := NewPolicy()
+	p.MustAddCustomerProvider("A", "B")
+	return g, p
+}
+
+func TestFinderStitchesDomains(t *testing.T) {
+	g, p := buildTwoDomainGraph(t)
+	g.SetRouter(Finder{Policy: p})
+	path, err := g.Path("hostA", "hostB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "hostA,coreA,borderA,borderB,coreB,hostB"
+	if got := strings.Join(topology.PathNames(path), ","); got != want {
+		t.Fatalf("path = %s, want %s", got, want)
+	}
+}
+
+func TestFinderRejectsPolicyViolations(t *testing.T) {
+	g, _ := buildTwoDomainGraph(t)
+	// Policy with no relationship between A and B at all.
+	p := NewPolicy()
+	p.AddDomain("A")
+	p.AddDomain("B")
+	g.SetRouter(Finder{Policy: p})
+	if _, err := g.Path("hostA", "hostB"); err == nil {
+		t.Fatal("route computed despite missing relationship")
+	}
+}
+
+func TestFinderNodeWithoutDomain(t *testing.T) {
+	g, p := buildTwoDomainGraph(t)
+	g.MustAddNode(&topology.Node{Name: "lone"})
+	g.SetRouter(Finder{Policy: p})
+	if _, err := g.Path("lone", "hostB"); err == nil {
+		t.Fatal("domainless node routed")
+	}
+}
+
+func TestFinderSameDomainUsesIntraPath(t *testing.T) {
+	g, p := buildTwoDomainGraph(t)
+	g.SetRouter(Finder{Policy: p})
+	path, err := g.Path("hostA", "borderA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(topology.PathNames(path), ","); got != "hostA,coreA,borderA" {
+		t.Fatalf("intra-domain path = %s", got)
+	}
+}
+
+func TestFinderHotPotatoPicksNearestBorder(t *testing.T) {
+	// Domain A has two borders; the nearer one (by delay) must be used.
+	g := topology.New(fluid.New(simclock.NewEngine()))
+	add := func(name, dom string) {
+		g.MustAddNode(&topology.Node{Name: name, Domain: dom, Kind: topology.Router, RespondsICMP: true})
+	}
+	add("src", "A")
+	add("farBorder", "A")
+	add("nearBorder", "A")
+	add("bIn1", "B")
+	add("bIn2", "B")
+	add("dst", "B")
+	g.MustConnect("src", "farBorder", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.050})
+	g.MustConnect("src", "nearBorder", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.001})
+	g.MustConnect("farBorder", "bIn1", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.001})
+	g.MustConnect("nearBorder", "bIn2", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.001})
+	g.MustConnect("bIn1", "dst", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.001})
+	g.MustConnect("bIn2", "dst", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.001})
+	p := NewPolicy()
+	p.MustAddCustomerProvider("A", "B")
+	g.SetRouter(Finder{Policy: p})
+	path, err := g.Path("src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(topology.PathNames(path), ",")
+	if got != "src,nearBorder,bIn2,dst" {
+		t.Fatalf("hot-potato path = %s, want src,nearBorder,bIn2,dst", got)
+	}
+}
+
+func BenchmarkRoutesToLargeGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewPolicy()
+	n := 60
+	doms := make([]string, n)
+	for i := range doms {
+		doms[i] = fmt.Sprintf("as%d", i)
+		p.AddDomain(doms[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch rng.Intn(6) {
+			case 0:
+				p.MustAddCustomerProvider(doms[i], doms[j])
+			case 1:
+				_ = p.AddPeer(doms[i], doms[j])
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RoutesTo(doms[i%n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// paperDomains encodes the AS-level relationships of the paper's
+// setting (IXP fabrics like PacificWave are not ASes and are omitted):
+// universities buy from regional research networks, regionals buy from
+// or peer with the national backbones, the backbones peer with the
+// cloud providers, and Purdue additionally buys commodity transit.
+func paperDomains() *Policy {
+	p := NewPolicy()
+	// Research side.
+	p.MustAddCustomerProvider("UBC", "BCNet")
+	p.MustAddCustomerProvider("BCNet", "CANARIE")
+	p.MustAddCustomerProvider("UAlberta", "Cybera")
+	p.MustAddCustomerProvider("Cybera", "CANARIE")
+	p.MustAddCustomerProvider("UMich", "Merit")
+	p.MustAddCustomerProvider("Merit", "Internet2")
+	p.MustAddCustomerProvider("Purdue", "Internet2")
+	p.MustAddPeer("CANARIE", "Internet2")
+	// Commodity side: regionals and nationals buy commodity transit for
+	// destinations without research peering.
+	p.MustAddCustomerProvider("Purdue", "ISP")
+	p.MustAddCustomerProvider("UCLA", "CENIC")
+	p.MustAddPeer("CENIC", "ISP")
+	p.MustAddCustomerProvider("CANARIE", "ISP")
+	p.MustAddCustomerProvider("Merit", "ISP")
+	// Providers peer with the backbones and buy commodity transit.
+	p.MustAddPeer("Google", "CANARIE")
+	p.MustAddPeer("Google", "Internet2")
+	p.MustAddPeer("Google", "CENIC")
+	p.MustAddCustomerProvider("Google", "ISP")
+	p.MustAddCustomerProvider("Microsoft", "ISP")
+	p.MustAddPeer("Microsoft", "CANARIE")
+	p.MustAddPeer("Microsoft", "Internet2")
+	p.MustAddCustomerProvider("Dropbox", "ISP")
+	return p
+}
+
+func TestPaperDomainsPolicy(t *testing.T) {
+	p := paperDomains()
+	// Every client reaches every provider valley-free.
+	for _, src := range []string{"UBC", "UAlberta", "Purdue", "UMich", "UCLA"} {
+		for _, dst := range []string{"Google", "Microsoft", "Dropbox"} {
+			path, err := p.DomainPath(src, dst)
+			if err != nil {
+				t.Fatalf("%s -> %s unreachable: %v", src, dst, err)
+			}
+			if !p.ValleyFree(path) {
+				t.Fatalf("%s -> %s path %v not valley-free", src, dst, path)
+			}
+		}
+	}
+	// UBC and UAlberta both reach Google through CANARIE's peering —
+	// the shared vncv1rtr2 hand-off of Figs 5-6.
+	for _, src := range []string{"UBC", "UAlberta"} {
+		path, _ := p.DomainPath(src, "Google")
+		if got := strings.Join(path, ","); !strings.Contains(got, "CANARIE,Google") {
+			t.Fatalf("%s -> Google should exit via the CANARIE peering: %v", src, path)
+		}
+	}
+	// The paper's Purdue pathology emerges from policy alone: Purdue's
+	// commodity provider route to Google (ISP has Google as a customer)
+	// and its research route (Internet2 peers with Google) are both
+	// provider routes of equal AS-path length, and nothing in vanilla
+	// Gao-Rexford prefers the research path — so Purdue's traffic can
+	// legitimately ride the congested commodity peering even though a
+	// fast Internet2 path exists. (Operators fix this with local-pref;
+	// the scenario's route pins stand in for the 2015 misconfiguration.)
+	path, _ := p.DomainPath("Purdue", "Google")
+	if got := strings.Join(path, ","); got != "Purdue,ISP,Google" {
+		t.Fatalf("Purdue -> Google = %v, want the commodity route under plain Gao-Rexford", got)
+	}
+	if !p.ValleyFree([]string{"Purdue", "Internet2", "Google"}) {
+		t.Fatal("the fast Internet2 alternative must exist and be policy-compliant")
+	}
+	// Dropbox is commodity-only: research clients must descend through
+	// the ISP (no research peering exists), never through another
+	// university.
+	path, _ = p.DomainPath("UBC", "Dropbox")
+	if !strings.Contains(strings.Join(path, ","), "ISP,Dropbox") {
+		t.Fatalf("UBC -> Dropbox = %v", path)
+	}
+	for _, dom := range path {
+		if dom == "UAlberta" || dom == "Purdue" || dom == "UMich" || dom == "UCLA" {
+			t.Fatalf("path transits a stub university: %v", path)
+		}
+	}
+	// No university ever carries transit for another: routes between
+	// providers never dip into a customer stub.
+	gPath, err := p.DomainPath("Google", "Microsoft")
+	if err != nil {
+		t.Fatalf("Google -> Microsoft: %v", err)
+	}
+	if !p.ValleyFree(gPath) {
+		t.Fatalf("provider-to-provider path not valley-free: %v", gPath)
+	}
+	// The detour's policy insight: the overlay relay at UAlberta is the
+	// only way UBC traffic legitimately "uses" UAlberta's connectivity —
+	// native routing never sends UBC packets through the UAlberta stub.
+	ubcGoogle, _ := p.DomainPath("UBC", "Google")
+	for _, dom := range ubcGoogle {
+		if dom == "UAlberta" || dom == "Cybera" {
+			t.Fatalf("native routing should not transit UAlberta: %v", ubcGoogle)
+		}
+	}
+}

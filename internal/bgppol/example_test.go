@@ -1,0 +1,25 @@
+package bgppol_test
+
+import (
+	"fmt"
+	"strings"
+
+	"detournet/internal/bgppol"
+)
+
+// Valley-free routing in a customer/provider/peer graph: the stub
+// domains can only reach each other over the peering between their
+// providers — never through another stub.
+func ExamplePolicy_DomainPath() {
+	p := bgppol.NewPolicy()
+	p.MustAddCustomerProvider("campusA", "backboneA")
+	p.MustAddCustomerProvider("campusB", "backboneB")
+	p.MustAddPeer("backboneA", "backboneB")
+
+	path, _ := p.DomainPath("campusA", "campusB")
+	fmt.Println(strings.Join(path, " -> "))
+	fmt.Println("valley-free:", p.ValleyFree(path))
+	// Output:
+	// campusA -> backboneA -> backboneB -> campusB
+	// valley-free: true
+}

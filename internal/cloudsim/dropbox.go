@@ -1,0 +1,152 @@
+package cloudsim
+
+import (
+	"encoding/json"
+
+	"detournet/internal/httpsim"
+)
+
+// Dropbox API v2 subset: single-shot upload plus chunked upload
+// sessions, content download, delete. API arguments ride in the
+// Dropbox-API-Arg header as JSON, content in the body — matching the
+// real wire protocol.
+//
+//	POST /2/files/upload                      arg {path}            body -> metadata
+//	POST /2/files/upload_session/start        body chunk            -> {session_id}
+//	POST /2/files/upload_session/append_v2    arg {cursor}          body chunk -> 200
+//	POST /2/files/upload_session/finish       arg {cursor, commit}  body chunk -> metadata
+//	POST /2/files/download                    arg {path}            -> bytes
+//	POST /2/files/delete_v2                   arg {path}            -> metadata
+func (s *Service) mountDropbox() {
+	s.HTTP.Handle("POST", "/2/files/upload_session/start", s.protect(s.dbxStart))
+	s.HTTP.Handle("POST", "/2/files/upload_session/append_v2", s.protect(s.dbxAppend))
+	s.HTTP.Handle("POST", "/2/files/upload_session/finish", s.protect(s.dbxFinish))
+	s.HTTP.Handle("POST", "/2/files/upload", s.protect(s.dbxUpload))
+	s.HTTP.Handle("POST", "/2/files/download", s.protect(s.dbxDownload))
+	s.HTTP.Handle("POST", "/2/files/delete_v2", s.protect(s.dbxDelete))
+}
+
+type dbxArg struct {
+	Path   string     `json:"path,omitempty"`
+	Cursor *dbxCursor `json:"cursor,omitempty"`
+	Commit *dbxCommit `json:"commit,omitempty"`
+}
+
+type dbxCursor struct {
+	SessionID string  `json:"session_id"`
+	Offset    float64 `json:"offset"`
+}
+
+type dbxCommit struct {
+	Path string `json:"path"`
+}
+
+func dbxParseArg(req *httpsim.Request) (dbxArg, *httpsim.Response) {
+	var a dbxArg
+	raw, ok := req.Header["Dropbox-API-Arg"]
+	if !ok {
+		return a, errResp(httpsim.StatusBadRequest, "missing Dropbox-API-Arg")
+	}
+	if err := json.Unmarshal([]byte(raw), &a); err != nil {
+		return a, errResp(httpsim.StatusBadRequest, "bad Dropbox-API-Arg")
+	}
+	return a, nil
+}
+
+func (s *Service) dbxUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	a, errR := dbxParseArg(req)
+	if errR != nil {
+		return errR
+	}
+	if a.Path == "" {
+		return errResp(httpsim.StatusBadRequest, "missing path")
+	}
+	o, err := s.Store.Put(a.Path, req.ContentLength(), req.Header["X-Content-MD5"])
+	if err != nil {
+		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+	}
+	return jsonResp(httpsim.StatusOK, metaOf(o))
+}
+
+func (s *Service) dbxStart(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	sess := s.newSession("", 0)
+	sess.received = req.ContentLength() // start may carry the first chunk
+	return jsonResp(httpsim.StatusOK, map[string]string{"session_id": sess.id})
+}
+
+func (s *Service) dbxAppend(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	a, errR := dbxParseArg(req)
+	if errR != nil {
+		return errR
+	}
+	if a.Cursor == nil {
+		return errResp(httpsim.StatusBadRequest, "missing cursor")
+	}
+	sess, ok := s.sessions[a.Cursor.SessionID]
+	if !ok || sess.done {
+		return errResp(httpsim.StatusNotFound, "unknown session")
+	}
+	if a.Cursor.Offset != sess.received {
+		return errResp(httpsim.StatusConflict, "incorrect_offset")
+	}
+	sess.received += req.ContentLength()
+	return &httpsim.Response{Status: httpsim.StatusOK}
+}
+
+func (s *Service) dbxFinish(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	a, errR := dbxParseArg(req)
+	if errR != nil {
+		return errR
+	}
+	if a.Cursor == nil || a.Commit == nil || a.Commit.Path == "" {
+		return errResp(httpsim.StatusBadRequest, "missing cursor or commit")
+	}
+	sess, ok := s.sessions[a.Cursor.SessionID]
+	if !ok || sess.done {
+		return errResp(httpsim.StatusNotFound, "unknown session")
+	}
+	if a.Cursor.Offset != sess.received {
+		return errResp(httpsim.StatusConflict, "incorrect_offset")
+	}
+	sess.received += req.ContentLength()
+	sess.done = true
+	o, err := s.Store.Put(a.Commit.Path, sess.received, req.Header["X-Content-MD5"])
+	if err != nil {
+		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+	}
+	return jsonResp(httpsim.StatusOK, metaOf(o))
+}
+
+func (s *Service) dbxDownload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	a, errR := dbxParseArg(req)
+	if errR != nil {
+		return errR
+	}
+	o, ok := s.Store.Get(a.Path)
+	if !ok {
+		return errResp(httpsim.StatusNotFound, "path/not_found")
+	}
+	return &httpsim.Response{Status: httpsim.StatusOK, BodySize: o.Size,
+		Header: map[string]string{"Dropbox-API-Result": mustJSON(metaOf(o))}}
+}
+
+func (s *Service) dbxDelete(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	a, errR := dbxParseArg(req)
+	if errR != nil {
+		return errR
+	}
+	o, ok := s.Store.Get(a.Path)
+	if !ok {
+		return errResp(httpsim.StatusNotFound, "path_lookup/not_found")
+	}
+	s.Store.Delete(a.Path)
+	return jsonResp(httpsim.StatusOK, metaOf(o))
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

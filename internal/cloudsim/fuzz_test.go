@@ -1,0 +1,22 @@
+package cloudsim
+
+import "testing"
+
+// FuzzParseContentRange must never panic and must reject inverted or
+// malformed ranges.
+func FuzzParseContentRange(f *testing.F) {
+	f.Add("bytes 0-99/1000")
+	f.Add("bytes 100-199/*")
+	f.Add("bytes 5-2/10")
+	f.Add("")
+	f.Add("octets 1-2/3")
+	f.Add("bytes -1-2/3")
+	f.Fuzz(func(t *testing.T, s string) {
+		lo, hi, _, err := parseContentRange(s)
+		if err == nil {
+			if lo < 0 || hi < lo {
+				t.Fatalf("accepted invalid range %q -> %v %v", s, lo, hi)
+			}
+		}
+	})
+}

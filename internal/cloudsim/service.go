@@ -1,0 +1,221 @@
+package cloudsim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"detournet/internal/httpsim"
+	"detournet/internal/oauthsim"
+	"detournet/internal/simclock"
+	"detournet/internal/transport"
+)
+
+// Style selects which provider protocol a Service speaks.
+type Style int
+
+const (
+	// GoogleDrive: resumable-session init, then one (or few) large PUTs.
+	GoogleDrive Style = iota
+	// Dropbox: upload_session start/append_v2/finish with small chunks.
+	Dropbox
+	// OneDrive: createUploadSession, then Content-Range fragment PUTs.
+	OneDrive
+)
+
+func (s Style) String() string {
+	switch s {
+	case GoogleDrive:
+		return "GoogleDrive"
+	case Dropbox:
+		return "Dropbox"
+	case OneDrive:
+		return "OneDrive"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// DefaultChunkBytes returns the upload chunk/fragment size the 2015-era
+// client libraries used for this provider.
+func (s Style) DefaultChunkBytes() float64 {
+	switch s {
+	case GoogleDrive:
+		return 8 << 20
+	case Dropbox:
+		return 4 << 20
+	case OneDrive:
+		return 10 << 20
+	default:
+		return 8 << 20
+	}
+}
+
+// APIPort is the HTTPS port every provider listens on.
+const APIPort = 443
+
+// Service is one provider instance: API frontend host, auth server,
+// object store, and protocol handlers.
+type Service struct {
+	Name  string
+	Host  string
+	Style Style
+	Auth  *oauthsim.AuthServer
+	Store *ObjectStore
+	HTTP  *httpsim.Server
+
+	eng      *simclock.Engine
+	sessions map[string]*uploadSession
+	nextSess int
+
+	// Requests counts API requests served (excluding the token endpoint),
+	// exposed for tests and ablations.
+	Requests int
+	// Throttled counts requests rejected with 429.
+	Throttled int
+
+	// RateLimit, when positive, caps API requests per RateWindow seconds
+	// (token-bucket style); excess requests get 429 with a Retry-After
+	// header, as the real providers throttle heavy uploaders.
+	RateLimit  int
+	RateWindow float64
+
+	windowStart simclock.Time
+	windowCount int
+}
+
+type uploadSession struct {
+	id       string
+	name     string
+	total    float64 // declared size; 0 when unknown (Dropbox)
+	received float64
+	done     bool
+}
+
+// NewService builds a provider and mounts its routes. Call Start to bind
+// the listener and begin serving.
+func NewService(eng *simclock.Engine, tn *transport.Net, name, host string, style Style) *Service {
+	s := &Service{
+		Name:  name,
+		Host:  host,
+		Style: style,
+		Auth:  oauthsim.NewAuthServer(eng),
+		Store: NewObjectStore(eng),
+		HTTP:  httpsim.NewServer(tn),
+
+		eng:      eng,
+		sessions: make(map[string]*uploadSession),
+	}
+	s.Auth.Mount(s.HTTP)
+	switch style {
+	case GoogleDrive:
+		s.mountGoogleDrive()
+	case Dropbox:
+		s.mountDropbox()
+	case OneDrive:
+		s.mountOneDrive()
+	default:
+		panic("cloudsim: unknown style")
+	}
+	return s
+}
+
+// Start binds the API listener on the service host and serves forever.
+func (s *Service) Start(tn *transport.Net) *transport.Listener {
+	l := tn.MustListen(s.Host, APIPort)
+	s.HTTP.Serve(l)
+	return l
+}
+
+func (s *Service) newSession(name string, total float64) *uploadSession {
+	sess := &uploadSession{
+		id:    fmt.Sprintf("sess-%d", s.nextSess),
+		name:  name,
+		total: total,
+	}
+	s.nextSess++
+	s.sessions[sess.id] = sess
+	return sess
+}
+
+// protect wraps a handler with OAuth, rate limiting, and request
+// counting.
+func (s *Service) protect(fn httpsim.HandlerFunc) httpsim.HandlerFunc {
+	inner := s.Auth.Protect(fn)
+	return func(ctx *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+		if resp := s.throttle(); resp != nil {
+			return resp
+		}
+		s.Requests++
+		return inner(ctx, req)
+	}
+}
+
+// throttle enforces the request rate limit; nil means admitted.
+func (s *Service) throttle() *httpsim.Response {
+	if s.RateLimit <= 0 {
+		return nil
+	}
+	window := s.RateWindow
+	if window <= 0 {
+		window = 1
+	}
+	now := s.eng.Now()
+	if float64(now-s.windowStart) >= window {
+		s.windowStart = now
+		s.windowCount = 0
+	}
+	if s.windowCount >= s.RateLimit {
+		s.Throttled++
+		retry := window - float64(now-s.windowStart)
+		return &httpsim.Response{
+			Status: httpsim.StatusTooManyRequests,
+			Header: map[string]string{"Retry-After": fmt.Sprintf("%.3f", retry)},
+			Body:   []byte("rate limit exceeded"),
+		}
+	}
+	s.windowCount++
+	return nil
+}
+
+func jsonResp(status int, v any) *httpsim.Response {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return &httpsim.Response{Status: httpsim.StatusInternalServerError, Body: []byte(err.Error())}
+	}
+	return &httpsim.Response{Status: status, Body: body,
+		Header: map[string]string{"Content-Type": "application/json"}}
+}
+
+func errResp(status int, msg string) *httpsim.Response {
+	return jsonResp(status, map[string]any{"error": msg})
+}
+
+// fileMeta is the metadata shape shared by the provider responses.
+type fileMeta struct {
+	ID   string  `json:"id"`
+	Name string  `json:"name"`
+	Size float64 `json:"size"`
+	MD5  string  `json:"md5,omitempty"`
+}
+
+func metaOf(o *Object) fileMeta {
+	return fileMeta{ID: o.ID, Name: o.Name, Size: o.Size, MD5: o.MD5}
+}
+
+// parseContentRange parses "bytes lo-hi/total" (total may be "*").
+func parseContentRange(v string) (lo, hi, total float64, err error) {
+	var totStr string
+	n, err := fmt.Sscanf(v, "bytes %f-%f/%s", &lo, &hi, &totStr)
+	if err != nil || n != 3 {
+		return 0, 0, 0, fmt.Errorf("cloudsim: bad Content-Range %q", v)
+	}
+	if totStr == "*" {
+		total = -1
+	} else if _, err := fmt.Sscanf(totStr, "%f", &total); err != nil {
+		return 0, 0, 0, fmt.Errorf("cloudsim: bad Content-Range total %q", totStr)
+	}
+	if lo < 0 || hi < lo {
+		return 0, 0, 0, fmt.Errorf("cloudsim: inverted Content-Range %q", v)
+	}
+	return lo, hi, total, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/simproc"
+)
+
+func TestDirectDownload(t *testing.T) {
+	tb := newTestbed(t)
+	client := tb.directClient()
+	tb.run(t, func(p *simproc.Proc) {
+		if _, err := client.Upload(p, "f.bin", 20e6, "d"); err != nil {
+			t.Error(err)
+			return
+		}
+		rep, err := DirectDownload(p, client, "f.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rep.Info.Size != 20e6 || rep.Total <= 0 {
+			t.Errorf("report = %+v", rep)
+		}
+		// Download rides the same 2 MB/s bottleneck: ~10.3s.
+		if rep.Total < 9 || rep.Total > 13 {
+			t.Errorf("direct download took %v, want ~10.3s", rep.Total)
+		}
+	})
+}
+
+func TestDirectDownloadMissing(t *testing.T) {
+	tb := newTestbed(t)
+	client := tb.directClient()
+	tb.run(t, func(p *simproc.Proc) {
+		if _, err := DirectDownload(p, client, "ghost.bin"); err == nil {
+			t.Error("download of missing file succeeded")
+		}
+	})
+}
+
+func TestDetourDownload(t *testing.T) {
+	tb := newTestbed(t)
+	client := tb.directClient()
+	dc := NewDetourClient(tb.tn, "user", "dtn")
+	tb.run(t, func(p *simproc.Proc) {
+		if _, err := client.Upload(p, "f.bin", 20e6, "digest"); err != nil {
+			t.Error(err)
+			return
+		}
+		rep, err := dc.Download(p, "GoogleDrive", "f.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rep.Hop1 <= 0 || rep.Hop2 <= 0 {
+			t.Errorf("hop times: %+v", rep)
+		}
+		if rep.Total < rep.Hop1+rep.Hop2-1e-9 {
+			t.Errorf("store-and-forward download: total %v < %v", rep.Total, rep.Hop1+rep.Hop2)
+		}
+		// Both hops ride 8 MB/s paths: total ~5.5s, beating direct ~10.3s.
+		if rep.Total > 9 {
+			t.Errorf("detour download took %v, want < 9s", rep.Total)
+		}
+		// The staged copy carries the provider's digest end to end.
+		st, ok := tb.agent.daemon.Staged("f.bin")
+		if !ok || st.MD5 != "digest" {
+			t.Errorf("staged = %+v %v", st, ok)
+		}
+	})
+}
+
+func TestDetourDownloadBeatsDirectHere(t *testing.T) {
+	tb := newTestbed(t)
+	client := tb.directClient()
+	dc := NewDetourClient(tb.tn, "user", "dtn")
+	tb.run(t, func(p *simproc.Proc) {
+		if _, err := client.Upload(p, "f.bin", 30e6, ""); err != nil {
+			t.Error(err)
+			return
+		}
+		direct, err := DirectDownload(p, client, "f.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		det, err := dc.Download(p, "GoogleDrive", "f.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if det.Total >= direct.Total {
+			t.Errorf("detour download %v not faster than direct %v", det.Total, direct.Total)
+		}
+	})
+}
+
+func TestDetourDownloadMissingFile(t *testing.T) {
+	tb := newTestbed(t)
+	dc := NewDetourClient(tb.tn, "user", "dtn")
+	tb.run(t, func(p *simproc.Proc) {
+		_, err := dc.Download(p, "GoogleDrive", "ghost.bin")
+		if err == nil || !strings.Contains(err.Error(), "hop1") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestDetourDownloadUnknownProvider(t *testing.T) {
+	tb := newTestbed(t)
+	dc := NewDetourClient(tb.tn, "user", "dtn")
+	tb.run(t, func(p *simproc.Proc) {
+		if _, err := dc.Download(p, "Nope", "f.bin"); err == nil {
+			t.Error("download via unknown provider succeeded")
+		}
+	})
+}

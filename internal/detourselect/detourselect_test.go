@@ -1,0 +1,169 @@
+package detourselect
+
+import (
+	"testing"
+
+	"detournet/internal/core"
+	"detournet/internal/scenario"
+	"detournet/internal/simproc"
+)
+
+func choose(t *testing.T, seed int64, client, provider string, size float64) (core.Route, []Prediction) {
+	t.Helper()
+	w := scenario.Build(seed)
+	var route core.Route
+	var preds []Prediction
+	w.RunWorkload("select", func(p *simproc.Proc) {
+		direct := w.NewSDKClient(client, provider)
+		detours := map[string]*core.DetourClient{
+			scenario.UAlberta: w.NewDetourClient(client, scenario.UAlberta),
+			scenario.UMich:    w.NewDetourClient(client, scenario.UMich),
+		}
+		var err error
+		route, preds, err = NewSelector().Choose(p, direct, detours, provider, size)
+		if err != nil {
+			t.Error(err)
+		}
+		direct.Close()
+	})
+	return route, preds
+}
+
+func TestSelectorPicksUAlbertaForUBCGoogleDrive(t *testing.T) {
+	route, preds := choose(t, 31, scenario.UBC, scenario.GoogleDrive, 100e6)
+	if route != core.ViaRoute(scenario.UAlberta) {
+		t.Fatalf("chose %v, want via ualberta; preds=%+v", route, preds)
+	}
+	if len(preds) != 3 || preds[0].Seconds > preds[1].Seconds {
+		t.Fatalf("predictions unsorted: %+v", preds)
+	}
+}
+
+func TestSelectorPicksDirectForUBCDropbox(t *testing.T) {
+	route, preds := choose(t, 32, scenario.UBC, scenario.Dropbox, 100e6)
+	if route != core.DirectRoute {
+		t.Fatalf("chose %v, want Direct; preds=%+v", route, preds)
+	}
+}
+
+func TestSelectorPicksDetourForPurdueGoogleDrive(t *testing.T) {
+	route, _ := choose(t, 33, scenario.Purdue, scenario.GoogleDrive, 100e6)
+	if route.Kind != core.Detour {
+		t.Fatalf("chose %v, want a detour", route)
+	}
+}
+
+func TestSelectorPredictionsTrackReality(t *testing.T) {
+	// The predicted time for the chosen route should be within 2.5x of
+	// the realized time (probe-based extrapolation on a noisy world).
+	w := scenario.Build(34)
+	w.RunWorkload("verify", func(p *simproc.Proc) {
+		direct := w.NewSDKClient(scenario.UBC, scenario.GoogleDrive)
+		detours := map[string]*core.DetourClient{
+			scenario.UAlberta: w.NewDetourClient(scenario.UBC, scenario.UAlberta),
+		}
+		route, preds, err := NewSelector().Choose(p, direct, detours, scenario.GoogleDrive, 60e6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rep, err := core.Upload(p, route, direct, detours, scenario.GoogleDrive, "verify.bin", 60e6, "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pred := preds[0].Seconds
+		if rep.Total > pred*2.5 || rep.Total < pred/2.5 {
+			t.Errorf("prediction %v vs actual %v: off by more than 2.5x", pred, rep.Total)
+		}
+		direct.Close()
+	})
+}
+
+func TestSelectorValidation(t *testing.T) {
+	w := scenario.Build(35)
+	w.RunWorkload("bad", func(p *simproc.Proc) {
+		direct := w.NewSDKClient(scenario.UBC, scenario.GoogleDrive)
+		if _, _, err := NewSelector().Choose(p, direct, nil, scenario.GoogleDrive, 0); err == nil {
+			t.Error("zero size accepted")
+		}
+		direct.Close()
+	})
+}
+
+func TestBanditExploresThenConverges(t *testing.T) {
+	routes := []core.Route{core.DirectRoute, core.ViaRoute("a"), core.ViaRoute("b")}
+	b := NewBandit(routes, 1)
+	// First picks cover all arms.
+	seen := map[core.Route]bool{}
+	for i := 0; i < 3; i++ {
+		r := b.Next()
+		seen[r] = true
+		// Simulated outcome: route "a" is 3x faster.
+		sec := 30.0
+		if r == core.ViaRoute("a") {
+			sec = 10
+		}
+		b.Observe(r, 100e6, sec)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("bandit did not explore all arms: %v", seen)
+	}
+	// After convergence, "a" dominates the choices.
+	picks := map[core.Route]int{}
+	for i := 0; i < 200; i++ {
+		r := b.Next()
+		picks[r]++
+		sec := 30.0
+		if r == core.ViaRoute("a") {
+			sec = 10
+		}
+		b.Observe(r, 100e6, sec)
+	}
+	if picks[core.ViaRoute("a")] < 150 {
+		t.Fatalf("bandit did not converge: %v", picks)
+	}
+	if b.Best() != core.ViaRoute("a") {
+		t.Fatalf("Best = %v", b.Best())
+	}
+}
+
+func TestBanditAdaptsToChange(t *testing.T) {
+	routes := []core.Route{core.DirectRoute, core.ViaRoute("a")}
+	b := NewBandit(routes, 2)
+	b.Epsilon = 0.2
+	fast := core.ViaRoute("a")
+	for i := 0; i < 100; i++ {
+		r := b.Next()
+		sec := 30.0
+		if r == fast {
+			sec = 10
+		}
+		b.Observe(r, 100e6, sec)
+	}
+	if b.Best() != core.ViaRoute("a") {
+		t.Fatalf("pre-change Best = %v", b.Best())
+	}
+	// The bottleneck moves: direct becomes fast.
+	fast = core.DirectRoute
+	for i := 0; i < 300; i++ {
+		r := b.Next()
+		sec := 30.0
+		if r == fast {
+			sec = 10
+		}
+		b.Observe(r, 100e6, sec)
+	}
+	if b.Best() != core.DirectRoute {
+		t.Fatalf("bandit did not adapt: Best = %v, throughputs direct=%v a=%v",
+			b.Best(), b.Throughput(core.DirectRoute), b.Throughput(core.ViaRoute("a")))
+	}
+}
+
+func TestBanditIgnoresBadObservations(t *testing.T) {
+	b := NewBandit([]core.Route{core.DirectRoute}, 3)
+	b.Observe(core.DirectRoute, 100, -1)
+	if b.Throughput(core.DirectRoute) != 0 {
+		t.Fatal("negative duration recorded")
+	}
+}

@@ -1,0 +1,81 @@
+package detourselect
+
+import (
+	"fmt"
+	"sort"
+
+	"detournet/internal/core"
+	"detournet/internal/overlay"
+	"detournet/internal/sdk"
+	"detournet/internal/simproc"
+)
+
+// ChooseFromMesh is the monitoring-driven variant of Choose: instead of
+// probing the client→DTN legs on demand, it reads the overlay mesh's
+// continuously-maintained throughput estimates (the paper's "systems
+// like RouteViews and dynamic network monitoring tools ... as important
+// input" future work). Only the DTN→provider legs and the direct route
+// are probed, because the mesh cannot see provider-side paths.
+//
+// The trade-off this encodes: on-demand probing pays probe traffic per
+// decision but is always fresh; monitoring amortizes measurement across
+// decisions but can be stale. Both paths return the same Prediction
+// shape so callers can compare them (see the selector ablation).
+func (s *Selector) ChooseFromMesh(p *simproc.Proc, mesh *overlay.Mesh, direct sdk.Client,
+	detours map[string]*core.DetourClient, provider string, size float64) (core.Route, []Prediction, error) {
+	if size <= 0 {
+		return core.Route{}, nil, fmt.Errorf("detourselect: non-positive size")
+	}
+	if mesh == nil {
+		return core.Route{}, nil, fmt.Errorf("detourselect: nil mesh")
+	}
+	probeB := s.ProbeBytes
+	if probeB <= 0 {
+		probeB = 2 << 20
+	}
+	var preds []Prediction
+
+	// Direct: still an on-demand probe (providers are not mesh members).
+	probeName := ".probe-direct"
+	t0 := p.Now()
+	if _, err := direct.Upload(p, probeName, probeB, ""); err != nil {
+		return core.Route{}, nil, fmt.Errorf("detourselect: direct probe: %w", err)
+	}
+	directDur := float64(p.Now() - t0)
+	_ = direct.Delete(p, probeName)
+	preds = append(preds, Prediction{
+		Route:   core.DirectRoute,
+		Seconds: size / s.rateFromProbe(probeB, directDur),
+		Hop2:    size / s.rateFromProbe(probeB, directDur),
+	})
+
+	names := make([]string, 0, len(detours))
+	for via := range detours {
+		names = append(names, via)
+	}
+	sort.Strings(names)
+	for _, via := range names {
+		dc := detours[via]
+		st, ok := mesh.Stat(direct.From(), via)
+		if !ok || st.Rate <= 0 {
+			// The mesh has no usable estimate for this leg; skip the
+			// candidate rather than block on a probe — monitoring-driven
+			// selection must stay probe-free on hop1.
+			continue
+		}
+		h2, err := dc.ProbeHop2(p, provider, probeB)
+		if err != nil {
+			return core.Route{}, nil, fmt.Errorf("detourselect: hop2 probe via %s: %w", via, err)
+		}
+		e1 := size / st.Rate
+		e2 := size / s.rateFromProbe(probeB, h2)
+		preds = append(preds, Prediction{
+			Route:   core.ViaRoute(via),
+			Seconds: e1 + e2,
+			Hop1:    e1,
+			Hop2:    e2,
+		})
+	}
+	sort.SliceStable(preds, func(i, j int) bool { return preds[i].Seconds < preds[j].Seconds })
+	return preds[0].Route, preds, nil
+}

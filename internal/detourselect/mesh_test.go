@@ -1,0 +1,97 @@
+package detourselect
+
+import (
+	"testing"
+
+	"detournet/internal/core"
+	"detournet/internal/overlay"
+	"detournet/internal/scenario"
+	"detournet/internal/simproc"
+)
+
+// meshWorld wires an overlay over the client + DTN hosts of the
+// scenario world so monitoring stats exist for the hop1 legs.
+func meshWorld(t *testing.T, seed int64, client string) (*scenario.World, *overlay.Mesh) {
+	t.Helper()
+	w := scenario.Build(seed)
+	members := append([]string{client}, scenario.DTNs...)
+	for _, m := range members {
+		overlay.NewDaemon(w.Net, m).Start()
+	}
+	return w, overlay.NewMesh(w.Net, client, members)
+}
+
+func TestChooseFromMeshMatchesProbedChoice(t *testing.T) {
+	w, mesh := meshWorld(t, 61, scenario.UBC)
+	w.RunWorkload("mesh-select", func(p *simproc.Proc) {
+		if err := mesh.ProbeAll(p); err != nil {
+			t.Error(err)
+			return
+		}
+		direct := w.NewSDKClient(scenario.UBC, scenario.GoogleDrive)
+		defer direct.Close()
+		detours := map[string]*core.DetourClient{
+			scenario.UAlberta: w.NewDetourClient(scenario.UBC, scenario.UAlberta),
+			scenario.UMich:    w.NewDetourClient(scenario.UBC, scenario.UMich),
+		}
+		sel := NewSelector()
+		meshRoute, meshPreds, err := sel.ChooseFromMesh(p, mesh, direct, detours, scenario.GoogleDrive, 100e6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if meshRoute != core.ViaRoute(scenario.UAlberta) {
+			t.Errorf("mesh-driven choice = %v, want via ualberta; preds=%+v", meshRoute, meshPreds)
+		}
+		// All three candidates predicted (mesh had stats for both DTNs).
+		if len(meshPreds) != 3 {
+			t.Errorf("predictions = %d, want 3", len(meshPreds))
+		}
+	})
+}
+
+func TestChooseFromMeshSkipsUnmonitoredDTNs(t *testing.T) {
+	w, mesh := meshWorld(t, 62, scenario.UBC)
+	w.RunWorkload("mesh-partial", func(p *simproc.Proc) {
+		// Probe only the UAlberta leg.
+		if _, err := mesh.Probe(p, scenario.UBC, scenario.UAlberta); err != nil {
+			t.Error(err)
+			return
+		}
+		direct := w.NewSDKClient(scenario.UBC, scenario.GoogleDrive)
+		defer direct.Close()
+		detours := map[string]*core.DetourClient{
+			scenario.UAlberta: w.NewDetourClient(scenario.UBC, scenario.UAlberta),
+			scenario.UMich:    w.NewDetourClient(scenario.UBC, scenario.UMich),
+		}
+		_, preds, err := NewSelector().ChooseFromMesh(p, mesh, direct, detours, scenario.GoogleDrive, 60e6)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Direct + via-UAlberta only: the unmonitored UMich leg is skipped.
+		if len(preds) != 2 {
+			t.Errorf("predictions = %d, want 2 (UMich unmonitored): %+v", len(preds), preds)
+		}
+		for _, pr := range preds {
+			if pr.Route == core.ViaRoute(scenario.UMich) {
+				t.Errorf("unmonitored DTN predicted: %+v", pr)
+			}
+		}
+	})
+}
+
+func TestChooseFromMeshValidation(t *testing.T) {
+	w, mesh := meshWorld(t, 63, scenario.UBC)
+	w.RunWorkload("mesh-bad", func(p *simproc.Proc) {
+		direct := w.NewSDKClient(scenario.UBC, scenario.GoogleDrive)
+		defer direct.Close()
+		sel := NewSelector()
+		if _, _, err := sel.ChooseFromMesh(p, mesh, direct, nil, scenario.GoogleDrive, 0); err == nil {
+			t.Error("zero size accepted")
+		}
+		if _, _, err := sel.ChooseFromMesh(p, nil, direct, nil, scenario.GoogleDrive, 1e6); err == nil {
+			t.Error("nil mesh accepted")
+		}
+	})
+}

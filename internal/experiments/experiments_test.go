@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/core"
+	"detournet/internal/scenario"
+)
+
+// quickSuite shares one reduced-protocol suite across tests; grids are
+// computed lazily per pair.
+var quickSuite = &Suite{Options: Quick()}
+
+func TestFig2ShapeUBCGoogleDrive(t *testing.T) {
+	g := quickSuite.Pair(scenario.UBC, scenario.GoogleDrive).Grid
+	for _, mb := range g.Spec.SizesMB {
+		direct := g.Cell(mb, core.DirectRoute).Summary.Mean
+		ualb := g.Cell(mb, core.ViaRoute(scenario.UAlberta)).Summary.Mean
+		umich := g.Cell(mb, core.ViaRoute(scenario.UMich)).Summary.Mean
+		if !(ualb < direct && direct < umich) {
+			t.Errorf("%d MB: want viaUAlberta < direct < viaUMich, got %.1f %.1f %.1f",
+				mb, ualb, direct, umich)
+		}
+	}
+	// Table II headline: UAlberta detour saves > 30% at every size, >50%
+	// at 100 MB.
+	if gain := quickSuite.RelativeGain(scenario.UBC, scenario.GoogleDrive, core.ViaRoute(scenario.UAlberta), 100); gain > -45 {
+		t.Errorf("100MB UAlberta gain = %.1f%%, want <= -45%%", gain)
+	}
+	out := quickSuite.Fig2()
+	if !strings.Contains(out, "Fig 2") || !strings.Contains(out, "±") {
+		t.Fatalf("Fig2 format:\n%s", out)
+	}
+}
+
+func TestFig4ShapeUBCDropbox(t *testing.T) {
+	g := quickSuite.Pair(scenario.UBC, scenario.Dropbox).Grid
+	fast, slow := g.OverallFastest()
+	if fast != core.DirectRoute {
+		t.Errorf("UBC->Dropbox overall fastest = %v, want Direct", fast)
+	}
+	if slow != core.ViaRoute(scenario.UMich) {
+		t.Errorf("UBC->Dropbox overall slowest = %v, want via UMich", slow)
+	}
+}
+
+func TestFig7ShapePurdueGoogleDrive(t *testing.T) {
+	g := quickSuite.Pair(scenario.Purdue, scenario.GoogleDrive).Grid
+	for _, mb := range g.Spec.SizesMB {
+		direct := g.Cell(mb, core.DirectRoute).Summary.Mean
+		for _, via := range []string{scenario.UAlberta, scenario.UMich} {
+			det := g.Cell(mb, core.ViaRoute(via)).Summary.Mean
+			if det >= direct {
+				t.Errorf("%d MB via %s (%.1f) should beat direct (%.1f)", mb, via, det, direct)
+			}
+		}
+	}
+	// Table III headline: both detours save >= 50% at 100 MB.
+	for _, via := range []string{scenario.UAlberta, scenario.UMich} {
+		if gain := quickSuite.RelativeGain(scenario.Purdue, scenario.GoogleDrive, core.ViaRoute(via), 100); gain > -50 {
+			t.Errorf("100MB via %s gain = %.1f%%, want <= -50%%", via, gain)
+		}
+	}
+}
+
+func TestFig9ShapePurdueOneDrive(t *testing.T) {
+	// Under the full 7-run protocol the route preference is
+	// size-dependent (the paper's Sec III-B point: "tricky to decide"):
+	// some sizes favour a detour, at least one favours direct, and the
+	// 100 MB detour win is substantial.
+	full := &Suite{Options: Default()}
+	fg := full.Pair(scenario.Purdue, scenario.OneDrive).Grid
+	var directWins, detourWins int
+	for _, mb := range fg.Spec.SizesMB {
+		if fg.Fastest(mb).Kind == core.Direct {
+			directWins++
+		} else {
+			detourWins++
+		}
+	}
+	t.Logf("Purdue->OneDrive fastest-route split: direct %d sizes, detour %d sizes", directWins, detourWins)
+	if directWins == 0 || detourWins == 0 {
+		t.Errorf("route preference should be size-dependent: direct=%d detour=%d", directWins, detourWins)
+	}
+	if gain := full.RelativeGain(scenario.Purdue, scenario.OneDrive, core.ViaRoute(scenario.UAlberta), 100); gain > -15 {
+		t.Errorf("100MB detour gain = %.1f%%, want <= -15%%", gain)
+	}
+}
+
+func TestFig10and11ShapeUCLA(t *testing.T) {
+	for _, prov := range []string{scenario.GoogleDrive, scenario.Dropbox} {
+		g := quickSuite.Pair(scenario.UCLA, prov).Grid
+		fast, _ := g.OverallFastest()
+		if fast != core.DirectRoute {
+			t.Errorf("UCLA->%s overall fastest = %v, want Direct (last-mile bound)", prov, fast)
+		}
+		// Everything is slow: even 10 MB direct takes > 20 s.
+		if m := g.Cell(10, core.DirectRoute).Summary.Mean; m < 20 {
+			t.Errorf("UCLA->%s 10MB direct = %.1f s, want last-mile bound (>20s)", prov, m)
+		}
+		// Routes are within a small factor of each other (no big win).
+		for _, mb := range g.Spec.SizesMB {
+			d := g.Cell(mb, core.DirectRoute).Summary.Mean
+			for _, r := range g.Spec.Routes[1:] {
+				if v := g.Cell(mb, r).Summary.Mean; v < d*0.9 {
+					t.Errorf("UCLA->%s %dMB: %v (%.1f) materially beats direct (%.1f)", prov, mb, r, v, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTableIRendersAllCells(t *testing.T) {
+	out := quickSuite.TableI()
+	for _, c := range []string{"UBC", "Purdue", "UCLA"} {
+		if !strings.Contains(out, c) {
+			t.Fatalf("Table I missing client %s:\n%s", c, out)
+		}
+	}
+	for _, p := range scenario.ProviderNames {
+		if !strings.Contains(out, p) {
+			t.Fatalf("Table I missing provider %s:\n%s", p, out)
+		}
+	}
+	if !strings.Contains(out, "Fastest:") || !strings.Contains(out, "Slowest:") {
+		t.Fatalf("Table I labels missing:\n%s", out)
+	}
+}
+
+func TestTableIIandIIIRender(t *testing.T) {
+	out := quickSuite.TableII()
+	if !strings.Contains(out, "UBC-to-Google Drive") || !strings.Contains(out, "%]") {
+		t.Fatalf("Table II:\n%s", out)
+	}
+	out = quickSuite.TableIII()
+	if !strings.Contains(out, "Purdue-to-Google Drive") {
+		t.Fatalf("Table III:\n%s", out)
+	}
+	// Table III detour entries are all negative (faster).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "[+") {
+			t.Fatalf("Table III has a slower detour entry: %s", line)
+		}
+	}
+}
+
+func TestTableIVRendersWithOverlap(t *testing.T) {
+	out := quickSuite.TableIV()
+	if !strings.Contains(out, "Dropbox (Direct)") || !strings.Contains(out, "OneDrive (via ualberta)") {
+		t.Fatalf("Table IV rows:\n%s", out)
+	}
+	if !strings.Contains(out, "overlap=") {
+		t.Fatalf("Table IV overlap analysis missing:\n%s", out)
+	}
+}
+
+func TestFig5and6Traceroutes(t *testing.T) {
+	out := quickSuite.Fig5()
+	if !strings.Contains(out, "pacificwave") || !strings.Contains(out, "vncv1rtr2.canarie.ca") {
+		t.Fatalf("Fig 5:\n%s", out)
+	}
+	out = quickSuite.Fig6()
+	if strings.Contains(out, "pacificwave") {
+		t.Fatalf("Fig 6 must not cross pacificwave:\n%s", out)
+	}
+	if !strings.Contains(out, "* * *") || !strings.Contains(out, "edmn1rtr2.canarie.ca") {
+		t.Fatalf("Fig 6:\n%s", out)
+	}
+}
+
+func TestFig3AndTableV(t *testing.T) {
+	out := quickSuite.Fig3()
+	for _, name := range []string{"UBC", "UAlberta", "GoogleDrive", "Dropbox", "OneDrive"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Fig 3 missing %s:\n%s", name, out)
+		}
+	}
+	out = quickSuite.TableV()
+	if !strings.Contains(out, "km") || !strings.Contains(out, "fastest=") {
+		t.Fatalf("Table V:\n%s", out)
+	}
+	// The UBC->GoogleDrive row must show the geographic backtracking:
+	// fastest is the UAlberta detour whose path length exceeds direct.
+	if !strings.Contains(out, "via ualberta") {
+		t.Fatalf("Table V should show the UAlberta detour winning for UBC->GoogleDrive:\n%s", out)
+	}
+}
+
+func TestPairSeedStable(t *testing.T) {
+	o := Default()
+	a := pairSeed(o, scenario.UBC, scenario.GoogleDrive)
+	b := pairSeed(o, scenario.UBC, scenario.GoogleDrive)
+	c := pairSeed(o, scenario.UBC, scenario.Dropbox)
+	if a != b || a == c {
+		t.Fatalf("pairSeed: %d %d %d", a, b, c)
+	}
+}
+
+func TestMeanAccessor(t *testing.T) {
+	if m := quickSuite.Mean(scenario.UBC, scenario.GoogleDrive, core.DirectRoute, 10); m <= 0 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := quickSuite.Mean(scenario.UBC, scenario.GoogleDrive, core.DirectRoute, 999); m != 0 {
+		t.Fatalf("bogus size Mean = %v", m)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"detournet/internal/core"
+	"detournet/internal/scenario"
+)
+
+// TestGoldenNumbers pins the committed EXPERIMENTS.md values at the
+// default seed and full protocol. The simulation is deterministic, so
+// these should reproduce exactly; the 1 % tolerance only allows for
+// intentional non-behavioural refactors (e.g. float re-association).
+// If a calibration change moves these numbers on purpose, update both
+// this table and EXPERIMENTS.md.
+func TestGoldenNumbers(t *testing.T) {
+	s := &Suite{Options: Default()}
+	ualb := core.ViaRoute(scenario.UAlberta)
+	umich := core.ViaRoute(scenario.UMich)
+	golden := []struct {
+		client, provider string
+		route            core.Route
+		sizeMB           int
+		want             float64
+	}{
+		// Table II (UBC -> Google Drive).
+		{scenario.UBC, scenario.GoogleDrive, core.DirectRoute, 100, 87.26},
+		{scenario.UBC, scenario.GoogleDrive, ualb, 100, 38.28},
+		{scenario.UBC, scenario.GoogleDrive, umich, 100, 122.64},
+		{scenario.UBC, scenario.GoogleDrive, core.DirectRoute, 10, 8.82},
+		{scenario.UBC, scenario.GoogleDrive, ualb, 10, 4.05},
+		// Table III (Purdue -> Google Drive).
+		{scenario.Purdue, scenario.GoogleDrive, core.DirectRoute, 100, 823.00},
+		{scenario.Purdue, scenario.GoogleDrive, ualb, 100, 200.34},
+		{scenario.Purdue, scenario.GoogleDrive, umich, 100, 194.46},
+		// Table IV rows (Purdue, 100 MB means).
+		{scenario.Purdue, scenario.Dropbox, core.DirectRoute, 100, 181.96},
+		{scenario.Purdue, scenario.Dropbox, ualb, 100, 264.84},
+		{scenario.Purdue, scenario.OneDrive, core.DirectRoute, 100, 304.90},
+		{scenario.Purdue, scenario.OneDrive, ualb, 100, 206.86},
+		// Fig 10 (UCLA last-mile bound).
+		{scenario.UCLA, scenario.GoogleDrive, core.DirectRoute, 100, 267.85},
+	}
+	for _, g := range golden {
+		got := s.Mean(g.client, g.provider, g.route, g.sizeMB)
+		if math.Abs(got-g.want)/g.want > 0.01 {
+			t.Errorf("%s -> %s %v %dMB = %.2f, want %.2f (±1%%)",
+				g.client, g.provider, g.route, g.sizeMB, got, g.want)
+		}
+	}
+}
+
+// TestGoldenTableIVStdDev pins the variance signature of the Purdue
+// rows: direct OneDrive at 100 MB keeps a large standard deviation and
+// the 60 MB ±1σ intervals overlap (the paper's Sec III-B argument).
+func TestGoldenTableIVStdDev(t *testing.T) {
+	s := &Suite{Options: Default()}
+	od := s.Pair(scenario.Purdue, scenario.OneDrive).Grid
+	direct100 := od.Cell(100, core.DirectRoute).Summary
+	if direct100.StdDev < 30 {
+		t.Errorf("Purdue->OneDrive direct 100MB stddev = %.1f, want large (>=30)", direct100.StdDev)
+	}
+	direct60 := od.Cell(60, core.DirectRoute).Summary
+	det60 := od.Cell(60, core.ViaRoute(scenario.UAlberta)).Summary
+	if !direct60.Overlaps(det60) {
+		t.Errorf("60MB OneDrive ±1σ intervals should overlap: %+v vs %+v", direct60, det60)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/scenario"
+)
+
+func TestSensitivitySweepFindsCrossover(t *testing.T) {
+	points := SensitivityPacificWave(Quick(), []float64{1.25, 3, 8})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// At the paper's 1.25 MB/s the detour wins.
+	if !points[0].DetourWins() {
+		t.Errorf("at 1.25 MB/s detour should win: %+v", points[0])
+	}
+	// With the hand-off at 8 MB/s (matching the research paths) the
+	// artifact is gone and direct wins.
+	if points[2].DetourWins() {
+		t.Errorf("at 8 MB/s direct should win: %+v", points[2])
+	}
+	// Direct time is monotone non-increasing in hand-off capacity.
+	for i := 1; i < len(points); i++ {
+		if points[i].DirectSeconds > points[i-1].DirectSeconds*1.05 {
+			t.Errorf("direct time not improving with capacity: %+v -> %+v",
+				points[i-1], points[i])
+		}
+	}
+	// Detour time is roughly unaffected (it avoids the swept link).
+	for _, pt := range points {
+		if pt.DetourSeconds < 28 || pt.DetourSeconds > 55 {
+			t.Errorf("detour time drifted: %+v", pt)
+		}
+	}
+	out := FormatSensitivity(points)
+	if !strings.Contains(out, "winner") || !strings.Contains(out, "detour") || !strings.Contains(out, "direct") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestContentionStudyScalesGracefully(t *testing.T) {
+	sets := [][]string{
+		{scenario.UBC},
+		{scenario.UBC, scenario.Purdue},
+		{scenario.UBC, scenario.Purdue, scenario.UCLA},
+	}
+	results, err := ContentionStudy(Quick(), sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	solo := results[0].Seconds[0]
+	if solo <= 0 {
+		t.Fatalf("solo = %v", solo)
+	}
+	// UBC's transfer with three concurrent relays must not be slower
+	// than 3x its solo time (the DTN legs don't fully overlap: the other
+	// clients' hop1 bottlenecks are their own access links).
+	three := results[2].Seconds[0]
+	if three > 3*solo {
+		t.Errorf("UBC under 3-way contention %.1fs vs solo %.1fs: worse than 3x", three, solo)
+	}
+	// Every client completed.
+	for _, r := range results {
+		for i, s := range r.Seconds {
+			if s <= 0 {
+				t.Errorf("client %s never finished: %+v", r.Clients[i], r)
+			}
+		}
+	}
+	out := FormatContention(results)
+	if !strings.Contains(out, "3 client(s)") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/scenario"
+)
+
+func TestWorkloadStudyPurdueGoogleDrive(t *testing.T) {
+	// Purdue->Google Drive is the paper's strongest detour case: both the
+	// static-detour and adaptive policies must beat always-direct on mean
+	// transfer time.
+	results, err := WorkloadStudy(Quick(), scenario.Purdue, scenario.GoogleDrive, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byPolicy := map[WorkloadPolicy]WorkloadResult{}
+	for _, r := range results {
+		byPolicy[r.Policy] = r
+		if len(r.Transfers) != 12 {
+			t.Fatalf("%s transfers = %d", r.Policy, len(r.Transfers))
+		}
+		if r.Makespan <= 0 || r.MeanTransfer <= 0 {
+			t.Fatalf("%s: %+v", r.Policy, r)
+		}
+	}
+	direct := byPolicy[PolicyDirect]
+	detour := byPolicy[PolicyDetour]
+	adaptive := byPolicy[PolicyAdaptive]
+	if direct.DetourJobs != 0 {
+		t.Fatalf("direct policy took detours: %d", direct.DetourJobs)
+	}
+	if detour.DetourJobs != 12 {
+		t.Fatalf("static detour policy skipped detours: %d", detour.DetourJobs)
+	}
+	if detour.MeanTransfer >= direct.MeanTransfer {
+		t.Errorf("static detour mean %.1f should beat direct %.1f", detour.MeanTransfer, direct.MeanTransfer)
+	}
+	if adaptive.MeanTransfer >= direct.MeanTransfer {
+		t.Errorf("adaptive mean %.1f should beat direct %.1f", adaptive.MeanTransfer, direct.MeanTransfer)
+	}
+}
+
+func TestWorkloadStudyUCLADirectBest(t *testing.T) {
+	// From UCLA the last mile binds: adaptive must not lose much to
+	// direct, and the static detour should be the worst policy.
+	results, err := WorkloadStudy(Quick(), scenario.UCLA, scenario.GoogleDrive, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[WorkloadPolicy]WorkloadResult{}
+	for _, r := range results {
+		byPolicy[r.Policy] = r
+	}
+	direct := byPolicy[PolicyDirect]
+	detour := byPolicy[PolicyDetour]
+	adaptive := byPolicy[PolicyAdaptive]
+	if detour.MeanTransfer <= direct.MeanTransfer {
+		t.Errorf("forced detour (%.1f) should lose to direct (%.1f) at UCLA",
+			detour.MeanTransfer, direct.MeanTransfer)
+	}
+	if adaptive.MeanTransfer > direct.MeanTransfer*1.15 {
+		t.Errorf("adaptive (%.1f) should stay near direct (%.1f) at UCLA",
+			adaptive.MeanTransfer, direct.MeanTransfer)
+	}
+}
+
+func TestFormatWorkloadStudy(t *testing.T) {
+	results, err := WorkloadStudy(Quick(), scenario.UBC, scenario.GoogleDrive, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatWorkloadStudy(scenario.UBC, scenario.GoogleDrive, results)
+	for _, want := range []string{"Workload study", "direct", "detour", "adaptive", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package fluid_test
+
+import (
+	"fmt"
+
+	"detournet/internal/fluid"
+	"detournet/internal/simclock"
+)
+
+// Max-min fair sharing on one link: a rate-capped flow keeps its cap and
+// the uncapped flow absorbs the residual capacity.
+func ExampleNetwork_StartFlow() {
+	eng := simclock.NewEngine()
+	net := fluid.New(eng)
+	link := net.AddLink("bottleneck", 100, 0.001)
+
+	capped := net.StartFlow([]*fluid.Link{link}, 1000, fluid.FlowOpts{RateCap: 20})
+	greedy := net.StartFlow([]*fluid.Link{link}, 1000, fluid.FlowOpts{})
+
+	fmt.Printf("capped: %.0f B/s\n", capped.Rate())
+	fmt.Printf("greedy: %.0f B/s\n", greedy.Rate())
+	eng.Run()
+	fmt.Printf("greedy finished at t=%.1f s\n", float64(greedy.FinishedAt()))
+	// Output:
+	// capped: 20 B/s
+	// greedy: 80 B/s
+	// greedy finished at t=12.5 s
+}

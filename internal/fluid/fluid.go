@@ -1,0 +1,487 @@
+// Package fluid is a flow-level ("fluid") wide-area network simulator.
+//
+// Instead of simulating individual packets, each active transfer is a
+// fluid flow over a path of links; every time the set of flows (or the
+// capacity available to them) changes, the simulator recomputes a global
+// max-min fair allocation — the classic progressive-filling model of TCP
+// bandwidth sharing — and reschedules each flow's completion event.
+//
+// Per-flow rate caps model everything that keeps a real TCP connection
+// below its fair share: receive windows, slow-start ramping (driven by
+// package tcpmodel), and application pacing. Cross-traffic (package
+// xtraffic) modulates the capacity a link has left for foreground flows.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"detournet/internal/simclock"
+)
+
+// Inf is the rate-cap value meaning "uncapped".
+var Inf = math.Inf(1)
+
+// Link is a unidirectional network link.
+type Link struct {
+	id       int
+	Name     string
+	Capacity float64 // bytes/second at zero cross-traffic
+	load     float64 // fraction of Capacity consumed by cross-traffic, [0, maxLoad]
+
+	// FlowCap, when positive, caps every individual flow crossing this
+	// link at that rate — the behaviour of a stateful campus firewall
+	// doing per-connection inspection, the bottleneck Science DMZ data
+	// transfer nodes exist to bypass.
+	FlowCap float64
+
+	// PropDelay is the one-way propagation delay contributed by this
+	// link in seconds. The fluid allocator ignores it; path RTTs are
+	// computed from it by higher layers.
+	PropDelay float64
+
+	flows []*Flow // active flows crossing this link, ordered by flow id
+}
+
+// maxLoad bounds cross-traffic so foreground flows always make progress;
+// a fully starved link would make completion times infinite.
+const maxLoad = 0.98
+
+// Available returns the capacity currently left for foreground flows.
+func (l *Link) Available() float64 {
+	return l.Capacity * (1 - l.load)
+}
+
+// Load returns the current cross-traffic fraction.
+func (l *Link) Load() float64 { return l.load }
+
+// NumFlows returns the number of foreground flows on the link.
+func (l *Link) NumFlows() int { return len(l.flows) }
+
+// FlowState describes where a flow is in its lifecycle.
+type FlowState int
+
+const (
+	// FlowActive means the flow is transferring.
+	FlowActive FlowState = iota
+	// FlowDone means the flow delivered all its bytes.
+	FlowDone
+	// FlowCancelled means the flow was aborted before completion.
+	FlowCancelled
+)
+
+// Flow is an in-progress bulk transfer over a fixed path.
+type Flow struct {
+	id    int
+	Label string
+	path  []*Link
+
+	remaining  float64 // bytes still to deliver, as of lastTouch
+	rate       float64 // current allocated rate, bytes/sec
+	cap        float64 // external rate cap (TCP window, pacing)
+	lastTouch  simclock.Time
+	state      FlowState
+	startedAt  simclock.Time
+	finishedAt simclock.Time
+
+	onComplete func(*Flow)
+	completion *simclock.Event
+
+	// progressive-filling scratch state
+	frozen bool
+}
+
+// Rate returns the flow's current allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Cap returns the flow's current external rate cap.
+func (f *Flow) Cap() float64 { return f.cap }
+
+// State returns the flow's lifecycle state.
+func (f *Flow) State() FlowState { return f.state }
+
+// StartedAt returns the virtual time the flow was started.
+func (f *Flow) StartedAt() simclock.Time { return f.startedAt }
+
+// FinishedAt returns the virtual completion time; it is meaningful only
+// once State is FlowDone or FlowCancelled.
+func (f *Flow) FinishedAt() simclock.Time { return f.finishedAt }
+
+// Path returns the flow's links in order.
+func (f *Flow) Path() []*Link { return f.path }
+
+// Network owns links and flows and keeps the allocation consistent.
+type Network struct {
+	eng      *simclock.Engine
+	links    []*Link
+	flows    []*Flow // active flows, ordered by id
+	nextFlow int
+	nextLink int
+
+	// Reallocations counts global rate recomputations, exposed for
+	// performance tests and benchmarks.
+	Reallocations uint64
+}
+
+// New returns an empty network bound to the engine.
+func New(eng *simclock.Engine) *Network {
+	if eng == nil {
+		panic("fluid: nil engine")
+	}
+	return &Network{eng: eng}
+}
+
+// Engine returns the simulation engine the network runs on.
+func (n *Network) Engine() *simclock.Engine { return n.eng }
+
+// AddLink creates a link. Capacity is in bytes/second and must be
+// positive; propDelay is the one-way propagation delay in seconds.
+func (n *Network) AddLink(name string, capacity, propDelay float64) *Link {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("fluid: link %q capacity %v", name, capacity))
+	}
+	if propDelay < 0 {
+		panic(fmt.Sprintf("fluid: link %q negative delay", name))
+	}
+	l := &Link{id: n.nextLink, Name: name, Capacity: capacity, PropDelay: propDelay}
+	n.nextLink++
+	n.links = append(n.links, l)
+	return l
+}
+
+// SetLinkLoad sets the fraction of a link's capacity consumed by
+// cross-traffic and reallocates. The fraction is clamped to [0, 0.98].
+func (n *Network) SetLinkLoad(l *Link, fraction float64) {
+	if math.IsNaN(fraction) {
+		panic("fluid: NaN link load")
+	}
+	fraction = math.Max(0, math.Min(maxLoad, fraction))
+	if fraction == l.load {
+		return
+	}
+	l.load = fraction
+	if len(l.flows) > 0 {
+		n.reallocate()
+	}
+}
+
+// FlowOpts configures StartFlow.
+type FlowOpts struct {
+	// Label names the flow in diagnostics.
+	Label string
+	// RateCap is the initial external cap in bytes/sec; zero means
+	// uncapped.
+	RateCap float64
+	// OnComplete runs (inside the simulation) when the last byte is
+	// delivered. It is not called for cancelled flows.
+	OnComplete func(*Flow)
+}
+
+// StartFlow begins transferring bytes over path and returns the flow.
+// The path must be non-empty and bytes positive.
+func (n *Network) StartFlow(path []*Link, bytes float64, opts FlowOpts) *Flow {
+	if len(path) == 0 {
+		panic("fluid: empty path")
+	}
+	if bytes <= 0 || math.IsNaN(bytes) || math.IsInf(bytes, 0) {
+		panic(fmt.Sprintf("fluid: flow of %v bytes", bytes))
+	}
+	cap := opts.RateCap
+	if cap <= 0 {
+		cap = Inf
+	}
+	f := &Flow{
+		id:         n.nextFlow,
+		Label:      opts.Label,
+		path:       path,
+		remaining:  bytes,
+		cap:        cap,
+		lastTouch:  n.eng.Now(),
+		startedAt:  n.eng.Now(),
+		onComplete: opts.OnComplete,
+	}
+	n.nextFlow++
+	n.flows = append(n.flows, f)
+	for _, l := range path {
+		l.flows = append(l.flows, f)
+	}
+	n.reallocate()
+	return f
+}
+
+// SetFlowCap changes a flow's external rate cap (bytes/sec; <=0 means
+// uncapped) and reallocates. Calling it on a finished flow is a no-op.
+func (n *Network) SetFlowCap(f *Flow, cap float64) {
+	if f.state != FlowActive {
+		return
+	}
+	if cap <= 0 {
+		cap = Inf
+	}
+	if cap == f.cap {
+		return
+	}
+	f.cap = cap
+	n.reallocate()
+}
+
+// CancelFlow aborts an active flow without running its completion
+// callback. It reports whether the flow was still active.
+func (n *Network) CancelFlow(f *Flow) bool {
+	if f.state != FlowActive {
+		return false
+	}
+	f.settleProgress(n.eng.Now())
+	f.state = FlowCancelled
+	f.finishedAt = n.eng.Now()
+	if f.completion != nil {
+		n.eng.Cancel(f.completion)
+		f.completion = nil
+	}
+	n.detach(f)
+	n.reallocate()
+	return true
+}
+
+// Remaining returns the bytes a flow still has to deliver as of now.
+func (n *Network) Remaining(f *Flow) float64 {
+	if f.state != FlowActive {
+		return 0
+	}
+	elapsed := float64(n.eng.Now() - f.lastTouch)
+	rem := f.remaining - f.rate*elapsed
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// ActiveFlows returns the number of active flows in the network.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// settleProgress charges the bytes transferred since lastTouch against
+// remaining, as of time now.
+func (f *Flow) settleProgress(now simclock.Time) {
+	elapsed := float64(now - f.lastTouch)
+	if elapsed > 0 && f.rate > 0 {
+		f.remaining -= f.rate * elapsed
+		if f.remaining < 1e-9 {
+			f.remaining = 0
+		}
+	}
+	f.lastTouch = now
+}
+
+func (n *Network) detach(f *Flow) {
+	for _, l := range f.path {
+		for i, g := range l.flows {
+			if g == f {
+				l.flows = append(l.flows[:i], l.flows[i+1:]...)
+				break
+			}
+		}
+	}
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			break
+		}
+	}
+}
+
+// reallocate recomputes the global max-min fair allocation and
+// reschedules completion events. It must be called whenever the flow
+// set, a link's available capacity, or a flow cap changes.
+func (n *Network) reallocate() {
+	n.Reallocations++
+	now := n.eng.Now()
+
+	// Charge progress under the old rates before changing anything.
+	for _, f := range n.flows {
+		f.settleProgress(now)
+	}
+
+	n.computeMaxMin()
+
+	// Reschedule completions under the new rates.
+	for _, f := range n.flows {
+		var at simclock.Time
+		if f.rate <= 0 {
+			at = simclock.Infinity
+		} else {
+			at = now + simclock.Time(f.remaining/f.rate)
+		}
+		if f.completion != nil {
+			n.eng.Cancel(f.completion)
+			f.completion = nil
+		}
+		if at != simclock.Infinity {
+			f := f
+			f.completion = n.eng.Schedule(at, func() { n.complete(f) })
+		}
+	}
+}
+
+func (n *Network) complete(f *Flow) {
+	if f.state != FlowActive {
+		return
+	}
+	f.settleProgress(n.eng.Now())
+	f.remaining = 0
+	f.state = FlowDone
+	f.finishedAt = n.eng.Now()
+	f.completion = nil
+	n.detach(f)
+	n.reallocate()
+	if f.onComplete != nil {
+		f.onComplete(f)
+	}
+}
+
+// computeMaxMin runs progressive filling with per-flow caps: all unfrozen
+// flows' rates rise together; a flow freezes when a link on its path
+// saturates or when it reaches its own cap. The result is the unique
+// max-min fair allocation.
+func (n *Network) computeMaxMin() {
+	if len(n.flows) == 0 {
+		return
+	}
+	for _, f := range n.flows {
+		f.rate = 0
+		f.frozen = false
+	}
+	// Effective per-flow ceiling: the external cap combined with any
+	// per-flow caps (firewalls) on the path.
+	effCap := func(f *Flow) float64 {
+		c := f.cap
+		for _, l := range f.path {
+			if l.FlowCap > 0 && l.FlowCap < c {
+				c = l.FlowCap
+			}
+		}
+		return c
+	}
+	caps := make(map[*Flow]float64, len(n.flows))
+	for _, f := range n.flows {
+		caps[f] = effCap(f)
+	}
+	unfrozen := len(n.flows)
+	for unfrozen > 0 {
+		// Smallest headroom-per-flow across links with unfrozen flows,
+		// and smallest cap slack across unfrozen flows.
+		delta := math.Inf(1)
+		for _, l := range n.links {
+			cnt := 0
+			used := 0.0
+			for _, f := range l.flows {
+				used += f.rate
+				if !f.frozen {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			d := (l.Available() - used) / float64(cnt)
+			if d < delta {
+				delta = d
+			}
+		}
+		for _, f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			if slack := caps[f] - f.rate; slack < delta {
+				delta = slack
+			}
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		if math.IsInf(delta, 1) {
+			// Only possible if every unfrozen flow is uncapped and all
+			// its links have infinite headroom — links have finite
+			// capacity, so this is unreachable.
+			panic("fluid: unbounded allocation")
+		}
+		for _, f := range n.flows {
+			if !f.frozen {
+				f.rate += delta
+			}
+		}
+		// Freeze flows at saturated links or at their caps.
+		for _, l := range n.links {
+			used := 0.0
+			hasUnfrozen := false
+			for _, f := range l.flows {
+				used += f.rate
+				if !f.frozen {
+					hasUnfrozen = true
+				}
+			}
+			if !hasUnfrozen {
+				continue
+			}
+			if l.Available()-used <= 1e-9*math.Max(1, l.Available()) {
+				for _, f := range l.flows {
+					if !f.frozen {
+						f.frozen = true
+						unfrozen--
+					}
+				}
+			}
+		}
+		for _, f := range n.flows {
+			c := caps[f]
+			if !f.frozen && !math.IsInf(c, 1) && c-f.rate <= 1e-12*math.Max(1, c) {
+				f.frozen = true
+				unfrozen--
+			}
+		}
+		if delta == 0 {
+			// No headroom anywhere: freeze everything still live to
+			// guarantee termination (their rates stay as allocated).
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.frozen = true
+					unfrozen--
+				}
+			}
+		}
+	}
+}
+
+// PathDelay sums the propagation delay of a path, in seconds.
+func PathDelay(path []*Link) float64 {
+	var d float64
+	for _, l := range path {
+		d += l.PropDelay
+	}
+	return d
+}
+
+// BottleneckCapacity returns the smallest available capacity on a path.
+func BottleneckCapacity(path []*Link) float64 {
+	if len(path) == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, l := range path {
+		if a := l.Available(); a < m {
+			m = a
+		}
+	}
+	return m
+}
+
+// SortedFlowLabels returns the labels of active flows in id order; it
+// exists for deterministic test assertions and diagnostics.
+func (n *Network) SortedFlowLabels() []string {
+	out := make([]string, len(n.flows))
+	for i, f := range n.flows {
+		out[i] = f.Label
+	}
+	sort.Strings(out)
+	return out
+}

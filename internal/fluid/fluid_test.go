@@ -1,0 +1,547 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"detournet/internal/simclock"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleFlowUsesFullLink(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0.01)
+	var doneAt simclock.Time
+	n.StartFlow([]*Link{l}, 1000, FlowOpts{OnComplete: func(f *Flow) { doneAt = f.FinishedAt() }})
+	eng.Run()
+	if !almost(float64(doneAt), 10, 1e-9) {
+		t.Fatalf("1000B over 100B/s finished at %v, want 10", doneAt)
+	}
+}
+
+func TestTwoFlowsShareBottleneck(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	f1 := n.StartFlow([]*Link{l}, 1000, FlowOpts{Label: "a"})
+	f2 := n.StartFlow([]*Link{l}, 1000, FlowOpts{Label: "b"})
+	if f1.Rate() != 50 || f2.Rate() != 50 {
+		t.Fatalf("rates = %v %v, want 50 50", f1.Rate(), f2.Rate())
+	}
+	eng.Run()
+	// Both share until t=20 when both finish together.
+	if !almost(float64(f1.FinishedAt()), 20, 1e-6) || !almost(float64(f2.FinishedAt()), 20, 1e-6) {
+		t.Fatalf("finish times %v %v, want 20 20", f1.FinishedAt(), f2.FinishedAt())
+	}
+}
+
+func TestSecondFlowSpeedsUpAfterFirstCompletes(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	f1 := n.StartFlow([]*Link{l}, 500, FlowOpts{})  // alone: 5s; shared: rate 50
+	f2 := n.StartFlow([]*Link{l}, 1500, FlowOpts{}) // gets full link after f1 done
+	eng.Run()
+	// Shared at 50 each until f1 finishes at t=10 (500/50); f2 then has
+	// 1000 left at rate 100, finishing at t=20.
+	if !almost(float64(f1.FinishedAt()), 10, 1e-6) {
+		t.Fatalf("f1 finished at %v, want 10", f1.FinishedAt())
+	}
+	if !almost(float64(f2.FinishedAt()), 20, 1e-6) {
+		t.Fatalf("f2 finished at %v, want 20", f2.FinishedAt())
+	}
+}
+
+func TestLateArrivalSlowsExistingFlow(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	f1 := n.StartFlow([]*Link{l}, 1000, FlowOpts{})
+	eng.Advance(5) // f1 delivered 500 at full rate
+	f2 := n.StartFlow([]*Link{l}, 250, FlowOpts{})
+	eng.Run()
+	// From t=5 both run at 50. f2 finishes at t=10; f1 has 250 left,
+	// finishes at 10+250/100 = 12.5.
+	if !almost(float64(f2.FinishedAt()), 10, 1e-6) {
+		t.Fatalf("f2 finished at %v, want 10", f2.FinishedAt())
+	}
+	if !almost(float64(f1.FinishedAt()), 12.5, 1e-6) {
+		t.Fatalf("f1 finished at %v, want 12.5", f1.FinishedAt())
+	}
+}
+
+func TestRateCapBinds(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	f1 := n.StartFlow([]*Link{l}, 100, FlowOpts{RateCap: 10})
+	f2 := n.StartFlow([]*Link{l}, 900, FlowOpts{})
+	if !almost(f1.Rate(), 10, 1e-9) {
+		t.Fatalf("capped flow rate = %v, want 10", f1.Rate())
+	}
+	// Max-min: the capped flow's unused share goes to the other flow.
+	if !almost(f2.Rate(), 90, 1e-9) {
+		t.Fatalf("uncapped flow rate = %v, want 90", f2.Rate())
+	}
+	eng.Run()
+	if !almost(float64(f1.FinishedAt()), 10, 1e-6) || !almost(float64(f2.FinishedAt()), 10, 1e-6) {
+		t.Fatalf("finish times %v %v", f1.FinishedAt(), f2.FinishedAt())
+	}
+}
+
+func TestSetFlowCapMidTransfer(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	f := n.StartFlow([]*Link{l}, 1000, FlowOpts{RateCap: 10})
+	eng.Advance(10) // 100 bytes done
+	n.SetFlowCap(f, 0)
+	eng.Run()
+	// Remaining 900 at 100 B/s: finishes at 19.
+	if !almost(float64(f.FinishedAt()), 19, 1e-6) {
+		t.Fatalf("finished at %v, want 19", f.FinishedAt())
+	}
+}
+
+func TestMultiLinkPathBottleneck(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	a := n.AddLink("fast", 1000, 0.001)
+	b := n.AddLink("slow", 10, 0.020)
+	f := n.StartFlow([]*Link{a, b}, 100, FlowOpts{})
+	if !almost(f.Rate(), 10, 1e-9) {
+		t.Fatalf("rate = %v, want 10 (bottleneck)", f.Rate())
+	}
+	if d := PathDelay(f.Path()); !almost(d, 0.021, 1e-12) {
+		t.Fatalf("PathDelay = %v", d)
+	}
+	eng.Run()
+	if !almost(float64(f.FinishedAt()), 10, 1e-6) {
+		t.Fatalf("finished at %v, want 10", f.FinishedAt())
+	}
+}
+
+func TestCrossTrafficReducesRate(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	f := n.StartFlow([]*Link{l}, 1000, FlowOpts{})
+	eng.Advance(5) // 500 delivered
+	n.SetLinkLoad(l, 0.5)
+	eng.Run()
+	// Remaining 500 at 50 B/s: finish at 15.
+	if !almost(float64(f.FinishedAt()), 15, 1e-6) {
+		t.Fatalf("finished at %v, want 15", f.FinishedAt())
+	}
+}
+
+func TestLinkLoadClamped(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	n.SetLinkLoad(l, 2.0)
+	if l.Load() > 0.99 {
+		t.Fatalf("load = %v, want clamped <= 0.98", l.Load())
+	}
+	if l.Available() <= 0 {
+		t.Fatal("available must stay positive under full load")
+	}
+	n.SetLinkLoad(l, -1)
+	if l.Load() != 0 {
+		t.Fatalf("negative load not clamped: %v", l.Load())
+	}
+}
+
+func TestCancelFlow(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	called := false
+	f1 := n.StartFlow([]*Link{l}, 1000, FlowOpts{OnComplete: func(*Flow) { called = true }})
+	f2 := n.StartFlow([]*Link{l}, 500, FlowOpts{})
+	eng.Advance(2)
+	if !n.CancelFlow(f1) {
+		t.Fatal("CancelFlow reported false")
+	}
+	if n.CancelFlow(f1) {
+		t.Fatal("double cancel reported true")
+	}
+	eng.Run()
+	if called {
+		t.Fatal("cancelled flow ran OnComplete")
+	}
+	if f1.State() != FlowCancelled {
+		t.Fatalf("state = %v", f1.State())
+	}
+	// f2: 100 bytes delivered by t=2 (shared), then full rate:
+	// 400 remaining at 100 B/s => finish at 6.
+	if !almost(float64(f2.FinishedAt()), 6, 1e-6) {
+		t.Fatalf("f2 finished at %v, want 6", f2.FinishedAt())
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d", n.ActiveFlows())
+	}
+}
+
+func TestRemainingAccounting(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	f := n.StartFlow([]*Link{l}, 1000, FlowOpts{})
+	eng.Advance(3)
+	if r := n.Remaining(f); !almost(r, 700, 1e-6) {
+		t.Fatalf("Remaining = %v, want 700", r)
+	}
+	eng.Run()
+	if r := n.Remaining(f); r != 0 {
+		t.Fatalf("Remaining after done = %v", r)
+	}
+}
+
+func TestParkingLotFairness(t *testing.T) {
+	// Classic parking-lot: long flow crosses links A and B; two short
+	// flows cross A and B respectively. Max-min: every flow gets C/2.
+	eng := simclock.NewEngine()
+	n := New(eng)
+	a := n.AddLink("a", 100, 0)
+	b := n.AddLink("b", 100, 0)
+	long := n.StartFlow([]*Link{a, b}, 1e6, FlowOpts{})
+	s1 := n.StartFlow([]*Link{a}, 1e6, FlowOpts{})
+	s2 := n.StartFlow([]*Link{b}, 1e6, FlowOpts{})
+	for _, f := range []*Flow{long, s1, s2} {
+		if !almost(f.Rate(), 50, 1e-9) {
+			t.Fatalf("parking-lot rate = %v, want 50", f.Rate())
+		}
+	}
+}
+
+func TestUnevenBottlenecksMaxMin(t *testing.T) {
+	// Flow1 on a 10-link alone would get 10; flow2 shares a 100-link with
+	// flow3. Max-min: f1=10, f2=f3=50.
+	eng := simclock.NewEngine()
+	n := New(eng)
+	small := n.AddLink("small", 10, 0)
+	big := n.AddLink("big", 100, 0)
+	f1 := n.StartFlow([]*Link{small, big}, 1e6, FlowOpts{})
+	f2 := n.StartFlow([]*Link{big}, 1e6, FlowOpts{})
+	if !almost(f1.Rate(), 10, 1e-9) {
+		t.Fatalf("f1 rate = %v, want 10", f1.Rate())
+	}
+	if !almost(f2.Rate(), 90, 1e-9) {
+		t.Fatalf("f2 rate = %v, want 90 (max-min residual)", f2.Rate())
+	}
+}
+
+func TestBottleneckCapacity(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	a := n.AddLink("a", 100, 0)
+	b := n.AddLink("b", 30, 0)
+	if c := BottleneckCapacity([]*Link{a, b}); !almost(c, 30, 1e-9) {
+		t.Fatalf("BottleneckCapacity = %v", c)
+	}
+	n.SetLinkLoad(b, 0.5)
+	if c := BottleneckCapacity([]*Link{a, b}); !almost(c, 15, 1e-9) {
+		t.Fatalf("BottleneckCapacity under load = %v", c)
+	}
+	if c := BottleneckCapacity(nil); c != 0 {
+		t.Fatalf("empty path capacity = %v", c)
+	}
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("l", 100, 0)
+	for _, fn := range []func(){
+		func() { n.StartFlow(nil, 10, FlowOpts{}) },
+		func() { n.StartFlow([]*Link{l}, 0, FlowOpts{}) },
+		func() { n.StartFlow([]*Link{l}, math.NaN(), FlowOpts{}) },
+		func() { n.AddLink("bad", 0, 0) },
+		func() { n.AddLink("bad", 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: total allocated rate on any link never exceeds its available
+// capacity, and every flow eventually completes, delivering exactly its
+// byte count (work conservation under random arrivals).
+func TestPropertyConservationAndCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := simclock.NewEngine()
+		n := New(eng)
+		links := make([]*Link, 5)
+		for i := range links {
+			links[i] = n.AddLink("l", 50+float64(rng.Intn(200)), 0.001)
+		}
+		type rec struct {
+			bytes float64
+			f     *Flow
+		}
+		var recs []*rec
+		for i := 0; i < 15; i++ {
+			i := i
+			eng.Schedule(simclock.Time(rng.Float64()*20), func() {
+				// Random sub-path of 1-3 links.
+				k := 1 + rng.Intn(3)
+				perm := rng.Perm(len(links))[:k]
+				path := make([]*Link, k)
+				for j, p := range perm {
+					path[j] = links[p]
+				}
+				r := &rec{bytes: 100 + float64(rng.Intn(5000))}
+				opts := FlowOpts{Label: "f"}
+				if i%3 == 0 {
+					opts.RateCap = 20 + rng.Float64()*100
+				}
+				r.f = n.StartFlow(path, r.bytes, opts)
+				recs = append(recs, r)
+
+				// Capacity invariant check at every arrival.
+				for _, l := range links {
+					var sum float64
+					for _, fl := range l.flows {
+						sum += fl.rate
+					}
+					if sum > l.Available()*(1+1e-6) {
+						panic("link over-allocated")
+					}
+				}
+				// Cap invariant.
+				for _, fl := range n.flows {
+					if fl.rate > fl.cap*(1+1e-9) {
+						panic("flow over its cap")
+					}
+				}
+			})
+		}
+		eng.Run()
+		for _, r := range recs {
+			if r.f.State() != FlowDone {
+				return false
+			}
+			// Duration must be at least bytes / bottleneck capacity.
+			dur := float64(r.f.FinishedAt() - r.f.StartedAt())
+			minDur := r.bytes / BottleneckCapacity(r.f.Path())
+			if dur < minDur*(1-1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with k identical flows on one link, each gets C/k and all
+// finish simultaneously.
+func TestPropertyEqualSharing(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		eng := simclock.NewEngine()
+		n := New(eng)
+		l := n.AddLink("l", 100, 0)
+		flows := make([]*Flow, k)
+		for i := range flows {
+			flows[i] = n.StartFlow([]*Link{l}, 1000, FlowOpts{})
+		}
+		for _, fl := range flows {
+			if !almost(fl.Rate(), 100/float64(k), 1e-6) {
+				return false
+			}
+		}
+		eng.Run()
+		want := 1000 * float64(k) / 100
+		for _, fl := range flows {
+			if !almost(float64(fl.FinishedAt()), want, 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerFlowCapFirewall(t *testing.T) {
+	// A 100 B/s link with a 10 B/s per-flow cap: one flow gets 10, five
+	// flows get 10 each (the firewall, not the wire, binds).
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("fw", 100, 0)
+	l.FlowCap = 10
+	var flows []*Flow
+	for i := 0; i < 5; i++ {
+		flows = append(flows, n.StartFlow([]*Link{l}, 1000, FlowOpts{}))
+	}
+	for i, f := range flows {
+		if !almost(f.Rate(), 10, 1e-9) {
+			t.Fatalf("flow %d rate = %v, want 10 (per-flow cap)", i, f.Rate())
+		}
+	}
+	eng.Run()
+	for _, f := range flows {
+		if !almost(float64(f.FinishedAt()), 100, 1e-6) {
+			t.Fatalf("capped flow finished at %v, want 100", f.FinishedAt())
+		}
+	}
+}
+
+func TestPerFlowCapInteractsWithExternalCap(t *testing.T) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	l := n.AddLink("fw", 100, 0)
+	l.FlowCap = 10
+	// External cap tighter than the firewall: external wins.
+	f1 := n.StartFlow([]*Link{l}, 100, FlowOpts{RateCap: 4})
+	if !almost(f1.Rate(), 4, 1e-9) {
+		t.Fatalf("rate = %v, want 4", f1.Rate())
+	}
+	// External cap looser: firewall wins.
+	f2 := n.StartFlow([]*Link{l}, 100, FlowOpts{RateCap: 50})
+	if !almost(f2.Rate(), 10, 1e-9) {
+		t.Fatalf("rate = %v, want 10", f2.Rate())
+	}
+	eng.Run()
+}
+
+func TestPerFlowCapOnlyOnFirewalledPath(t *testing.T) {
+	// Two parallel paths: one firewalled, one clean. The clean path's
+	// flow runs at link speed.
+	eng := simclock.NewEngine()
+	n := New(eng)
+	fw := n.AddLink("fw", 100, 0)
+	fw.FlowCap = 5
+	clean := n.AddLink("clean", 100, 0)
+	f1 := n.StartFlow([]*Link{fw}, 100, FlowOpts{})
+	f2 := n.StartFlow([]*Link{clean}, 100, FlowOpts{})
+	if !almost(f1.Rate(), 5, 1e-9) || !almost(f2.Rate(), 100, 1e-9) {
+		t.Fatalf("rates = %v %v, want 5 100", f1.Rate(), f2.Rate())
+	}
+	eng.Run()
+}
+
+func BenchmarkMaxMinReallocation(b *testing.B) {
+	eng := simclock.NewEngine()
+	n := New(eng)
+	links := make([]*Link, 20)
+	for i := range links {
+		links[i] = n.AddLink("l", 1e9, 0.001)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		k := 1 + rng.Intn(3)
+		path := make([]*Link, k)
+		for j := 0; j < k; j++ {
+			path[j] = links[rng.Intn(len(links))]
+		}
+		// Enormous flows so none complete during the benchmark.
+		n.StartFlow(dedupLinks(path), 1e18, FlowOpts{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.SetLinkLoad(links[i%len(links)], float64(i%50)/100)
+	}
+}
+
+func dedupLinks(in []*Link) []*Link {
+	seen := map[*Link]bool{}
+	var out []*Link
+	for _, l := range in {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestPropertyMaxMinCharacterization verifies the defining property of a
+// max-min fair allocation: every flow is either at its (effective) rate
+// cap, or crosses at least one saturated link on which no other flow
+// receives a strictly higher rate. This characterization is necessary
+// and sufficient, so it pins the allocator's correctness without
+// reimplementing it.
+func TestPropertyMaxMinCharacterization(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		eng := simclock.NewEngine()
+		n := New(eng)
+		links := make([]*Link, 2+rng.Intn(6))
+		for i := range links {
+			links[i] = n.AddLink("l", 10+float64(rng.Intn(190)), 0)
+			if rng.Intn(4) == 0 {
+				links[i].FlowCap = 5 + float64(rng.Intn(50))
+			}
+		}
+		var flows []*Flow
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			k := 1 + rng.Intn(3)
+			perm := rng.Perm(len(links))
+			if k > len(perm) {
+				k = len(perm)
+			}
+			path := make([]*Link, k)
+			for j := 0; j < k; j++ {
+				path[j] = links[perm[j]]
+			}
+			opts := FlowOpts{}
+			if rng.Intn(3) == 0 {
+				opts.RateCap = 1 + rng.Float64()*80
+			}
+			flows = append(flows, n.StartFlow(path, 1e12, opts))
+		}
+		effCap := func(f *Flow) float64 {
+			c := f.cap
+			for _, l := range f.path {
+				if l.FlowCap > 0 && l.FlowCap < c {
+					c = l.FlowCap
+				}
+			}
+			return c
+		}
+		for fi, f := range flows {
+			if f.Rate() >= effCap(f)*(1-1e-9) {
+				continue // cap-limited: fine
+			}
+			bottlenecked := false
+			for _, l := range f.path {
+				var used, maxRate float64
+				for _, g := range l.flows {
+					used += g.Rate()
+					if g.Rate() > maxRate {
+						maxRate = g.Rate()
+					}
+				}
+				saturated := used >= l.Available()*(1-1e-6)
+				if saturated && f.Rate() >= maxRate*(1-1e-6) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				t.Fatalf("seed %d: flow %d (rate %v, cap %v) is neither cap-limited nor bottlenecked",
+					seed, fi, f.Rate(), effCap(f))
+			}
+		}
+		// Cleanup so the engine does not run forever.
+		for _, f := range flows {
+			n.CancelFlow(f)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package geo
+
+import "testing"
+
+// FuzzDBLookup: arbitrary strings must never panic the geolocation
+// lookup, and garbage must not resolve.
+func FuzzDBLookup(f *testing.F) {
+	f.Add("142.103.2.253")
+	f.Add("not-an-ip")
+	f.Add("999.999.999.999")
+	f.Add("::1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		d := PaperDB()
+		_, _ = d.Lookup(s)
+	})
+}

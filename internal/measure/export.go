@@ -1,0 +1,85 @@
+package measure
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Export formats: the text tables mirror the paper; CSV and JSON carry
+// the raw cells for external plotting (the figures in the paper are bar
+// charts over exactly these rows).
+
+// WriteCSV emits one row per (size, route) cell: client, provider,
+// size_mb, route, mean_s, stddev_s, runs_kept, hop1_s, hop2_s, followed
+// by the raw run durations.
+func (g *Grid) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"client", "provider", "size_mb", "route", "mean_s", "stddev_s", "runs_kept", "hop1_s", "hop2_s", "runs_s"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range g.Cells {
+		runs := ""
+		for i, r := range c.Runs {
+			if i > 0 {
+				runs += ";"
+			}
+			runs += fmt.Sprintf("%.3f", r)
+		}
+		rec := []string{
+			g.Spec.Client,
+			g.Spec.Provider,
+			fmt.Sprintf("%d", c.SizeMB),
+			c.Route.String(),
+			fmt.Sprintf("%.3f", c.Summary.Mean),
+			fmt.Sprintf("%.3f", c.Summary.StdDev),
+			fmt.Sprintf("%d", c.Summary.N),
+			fmt.Sprintf("%.3f", c.Hop1),
+			fmt.Sprintf("%.3f", c.Hop2),
+			runs,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// cellJSON is the stable JSON shape of one cell.
+type cellJSON struct {
+	Client   string    `json:"client"`
+	Provider string    `json:"provider"`
+	SizeMB   int       `json:"size_mb"`
+	Route    string    `json:"route"`
+	MeanS    float64   `json:"mean_s"`
+	StdDevS  float64   `json:"stddev_s"`
+	RunsKept int       `json:"runs_kept"`
+	Hop1S    float64   `json:"hop1_s"`
+	Hop2S    float64   `json:"hop2_s"`
+	RunsS    []float64 `json:"runs_s"`
+}
+
+// WriteJSON emits the grid's cells as a JSON array.
+func (g *Grid) WriteJSON(w io.Writer) error {
+	out := make([]cellJSON, 0, len(g.Cells))
+	for _, c := range g.Cells {
+		out = append(out, cellJSON{
+			Client:   g.Spec.Client,
+			Provider: g.Spec.Provider,
+			SizeMB:   c.SizeMB,
+			Route:    c.Route.String(),
+			MeanS:    c.Summary.Mean,
+			StdDevS:  c.Summary.StdDev,
+			RunsKept: c.Summary.N,
+			Hop1S:    c.Hop1,
+			Hop2S:    c.Hop2,
+			RunsS:    append([]float64(nil), c.Runs...),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,44 @@
+package overlay_test
+
+import (
+	"fmt"
+	"strings"
+
+	"detournet/internal/fluid"
+	"detournet/internal/overlay"
+	"detournet/internal/simclock"
+	"detournet/internal/simproc"
+	"detournet/internal/tcpmodel"
+	"detournet/internal/topology"
+	"detournet/internal/transport"
+)
+
+// A three-member overlay discovering that the fast path to c runs
+// through b — the triangle-inequality violation the paper exploits.
+func ExampleMesh_BestPath() {
+	eng := simclock.NewEngine()
+	r := simproc.New(eng)
+	g := topology.New(fluid.New(eng))
+	for _, n := range []string{"a", "b", "c"} {
+		g.MustAddNode(&topology.Node{Name: n, Kind: topology.Host, RespondsICMP: true})
+	}
+	g.MustConnect("a", "b", topology.LinkSpec{CapacityBps: 8e6, DelaySec: 0.005})
+	g.MustConnect("b", "c", topology.LinkSpec{CapacityBps: 8e6, DelaySec: 0.005})
+	g.MustConnect("a", "c", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.004})
+	tn := transport.NewNet(g, r, tcpmodel.Params{})
+	for _, h := range []string{"a", "b", "c"} {
+		overlay.NewDaemon(tn, h).Start()
+	}
+	mesh := overlay.NewMesh(tn, "a", []string{"a", "b", "c"})
+
+	r.Go("demo", func(p *simproc.Proc) {
+		if err := mesh.ProbeAll(p); err != nil {
+			panic(err)
+		}
+		path, _ := mesh.BestPath("a", "c")
+		fmt.Println(strings.Join(path, " -> "))
+	})
+	r.RunUntil(simclock.Time(1e6))
+	// Output:
+	// a -> b -> c
+}

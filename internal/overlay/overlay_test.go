@@ -1,0 +1,271 @@
+package overlay
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/fluid"
+	"detournet/internal/simclock"
+	"detournet/internal/simproc"
+	"detournet/internal/tcpmodel"
+	"detournet/internal/topology"
+	"detournet/internal/transport"
+)
+
+// triangle builds three members where a->c direct is slow (1 MB/s) but
+// a->b and b->c are fast (8 MB/s) — a TIV triangle like the paper's.
+type rig struct {
+	eng     *simclock.Engine
+	r       *simproc.Runner
+	tn      *transport.Net
+	g       *topology.Graph
+	daemons map[string]*Daemon
+}
+
+func triangle(t *testing.T) *rig {
+	t.Helper()
+	eng := simclock.NewEngine()
+	r := simproc.New(eng)
+	g := topology.New(fluid.New(eng))
+	for _, n := range []string{"a", "b", "c", "ra", "rb", "rc"} {
+		g.MustAddNode(&topology.Node{Name: n, Kind: topology.Host, RespondsICMP: true})
+	}
+	// Hosts hang off their own routers; the slow edge is ra--rc.
+	g.MustConnect("a", "ra", topology.LinkSpec{CapacityBps: 50e6, DelaySec: 0.0005})
+	g.MustConnect("b", "rb", topology.LinkSpec{CapacityBps: 50e6, DelaySec: 0.0005})
+	g.MustConnect("c", "rc", topology.LinkSpec{CapacityBps: 50e6, DelaySec: 0.0005})
+	g.MustConnect("ra", "rb", topology.LinkSpec{CapacityBps: 8e6, DelaySec: 0.008})
+	g.MustConnect("rb", "rc", topology.LinkSpec{CapacityBps: 8e6, DelaySec: 0.008})
+	g.MustConnect("ra", "rc", topology.LinkSpec{CapacityBps: 1e6, DelaySec: 0.010})
+	tn := transport.NewNet(g, r, tcpmodel.Params{RwndBytes: 4 << 20})
+	rg := &rig{eng: eng, r: r, tn: tn, g: g, daemons: map[string]*Daemon{}}
+	for _, h := range []string{"a", "b", "c"} {
+		d := NewDaemon(tn, h)
+		d.Start()
+		rg.daemons[h] = d
+	}
+	return rg
+}
+
+func (rg *rig) run(t *testing.T, fn func(p *simproc.Proc)) {
+	t.Helper()
+	done := false
+	rg.r.Go("test", func(p *simproc.Proc) {
+		fn(p)
+		done = true
+	})
+	rg.r.RunUntil(simclock.Time(1e6))
+	if !done {
+		t.Fatal("test proc did not finish")
+	}
+}
+
+func TestProbeMeasuresThroughput(t *testing.T) {
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "b", "c"})
+	rg.run(t, func(p *simproc.Proc) {
+		rate, err := m.Probe(p, "a", "b")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// 1 MiB over an 8 MB/s path, with handshake: effective well
+		// above 1 MB/s and below 8.
+		if rate < 1e6 || rate > 8e6 {
+			t.Errorf("a->b probe rate = %v", rate)
+		}
+		rateSlow, err := m.Probe(p, "a", "c")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rateSlow >= rate {
+			t.Errorf("slow edge (%v) measured faster than fast edge (%v)", rateSlow, rate)
+		}
+		if s, ok := m.Stat("a", "b"); !ok || s.Probes != 1 || s.Rate != rate {
+			t.Errorf("stat = %+v %v", s, ok)
+		}
+	})
+}
+
+func TestBestPathRoutesAroundSlowEdge(t *testing.T) {
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "b", "c"})
+	rg.run(t, func(p *simproc.Proc) {
+		if err := m.ProbeAll(p); err != nil {
+			t.Error(err)
+			return
+		}
+		path, bw := m.BestPath("a", "c")
+		if strings.Join(path, ",") != "a,b,c" {
+			t.Errorf("BestPath = %v (bw %v), want a,b,c", path, bw)
+		}
+		// Direct path preferred for the already-fast pair.
+		path, _ = m.BestPath("a", "b")
+		if strings.Join(path, ",") != "a,b" {
+			t.Errorf("BestPath a->b = %v", path)
+		}
+	})
+}
+
+func TestMaxIntermediatesBoundsDetours(t *testing.T) {
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "b", "c"})
+	m.MaxIntermediates = 0
+	rg.run(t, func(p *simproc.Proc) {
+		if err := m.ProbeAll(p); err != nil {
+			t.Error(err)
+			return
+		}
+		path, _ := m.BestPath("a", "c")
+		if strings.Join(path, ",") != "a,c" {
+			t.Errorf("with 0 intermediates path = %v", path)
+		}
+	})
+}
+
+func TestSendUsesDetourAndBeatsDirect(t *testing.T) {
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "b", "c"})
+	rg.run(t, func(p *simproc.Proc) {
+		if err := m.ProbeAll(p); err != nil {
+			t.Error(err)
+			return
+		}
+		size := 20e6
+		path, detourSec, err := m.Send(p, "a", "c", size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if strings.Join(path, ",") != "a,b,c" {
+			t.Errorf("Send path = %v", path)
+		}
+		directSec, err := m.Transfer(p, []string{"a", "c"}, size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Direct 20MB at 1MB/s ≈ 20s; two-hop at 8MB/s ≈ 5s.
+		if detourSec >= directSec {
+			t.Errorf("overlay detour %v not faster than direct %v", detourSec, directSec)
+		}
+	})
+	if rg.daemons["b"].Relayed != 1 {
+		t.Fatalf("b relayed %d payloads, want 1", rg.daemons["b"].Relayed)
+	}
+}
+
+func TestMonitorDetectsDegradation(t *testing.T) {
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "b", "c"})
+	m.Alpha = 0.9 // adapt fast in this test
+	stop := m.Monitor(5)
+	var before, after []string
+	done := false
+	rg.r.Go("scenario", func(p *simproc.Proc) {
+		p.Sleep(20) // let several probe rounds land
+		before, _ = m.BestPath("a", "c")
+		// The fast ra->rb edge degrades to a trickle.
+		e, _ := rg.g.Edge("ra", "rb")
+		rg.g.Fluid().SetLinkLoad(e.Link, 0.95)
+		p.Sleep(40)
+		after, _ = m.BestPath("a", "c")
+		stop()
+		done = true
+	})
+	rg.r.RunUntil(simclock.Time(1e6))
+	if !done {
+		t.Fatal("scenario did not finish")
+	}
+	if strings.Join(before, ",") != "a,b,c" {
+		t.Fatalf("pre-degradation path = %v", before)
+	}
+	if strings.Join(after, ",") != "a,c" {
+		t.Fatalf("monitor did not reroute after degradation: %v", after)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "b", "c"})
+	rg.run(t, func(p *simproc.Proc) {
+		if _, err := m.Transfer(p, []string{"a"}, 100); err == nil {
+			t.Error("single-node path accepted")
+		}
+		if _, _, err := m.Send(p, "a", "c", 100); err == nil {
+			t.Error("Send without probes should fail (no rates)")
+		}
+	})
+}
+
+func TestMeshValidation(t *testing.T) {
+	rg := triangle(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mesh with one member accepted")
+		}
+	}()
+	NewMesh(rg.tn, "a", []string{"a"})
+}
+
+func TestMeshSurvivesDeadMember(t *testing.T) {
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "b", "c"})
+	rg.run(t, func(p *simproc.Proc) {
+		if err := m.ProbeAll(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// c's access link dies in both directions: c is unreachable.
+		rg.g.SetLinkState("c", "rc", false)
+		rg.g.SetLinkState("rc", "c", false)
+		if err := m.ProbeAll(p); err == nil {
+			t.Error("probe sweep to a dead member should report an error")
+		}
+		// Stats for pairs involving c are zeroed; a<->b still works.
+		if s, _ := m.Stat("a", "c"); s.Rate != 0 {
+			t.Errorf("a->c rate = %v, want 0", s.Rate)
+		}
+		if s, _ := m.Stat("a", "b"); s.Rate <= 0 {
+			t.Errorf("a->b rate = %v, want > 0", s.Rate)
+		}
+		if _, _, err := m.Send(p, "a", "c", 1e6); err == nil {
+			t.Error("Send to dead member succeeded")
+		}
+		// Recovery: link back up, probes restore the path.
+		rg.g.SetLinkState("c", "rc", true)
+		rg.g.SetLinkState("rc", "c", true)
+		if err := m.ProbeAll(p); err != nil {
+			t.Errorf("post-recovery sweep: %v", err)
+			return
+		}
+		if _, _, err := m.Send(p, "a", "c", 1e6); err != nil {
+			t.Errorf("post-recovery Send: %v", err)
+		}
+	})
+}
+
+func TestUnderlayRerouteChangesOverlayRates(t *testing.T) {
+	// Killing the slow ra-rc edge makes the underlay route a->c through
+	// rb: the overlay's "direct" a->c probe then measures the fast path.
+	rg := triangle(t)
+	m := NewMesh(rg.tn, "a", []string{"a", "c"})
+	rg.run(t, func(p *simproc.Proc) {
+		before, err := m.Probe(p, "a", "c")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rg.g.SetLinkState("ra", "rc", false)
+		rg.g.SetLinkState("rc", "ra", false)
+		after, err := m.Probe(p, "a", "c")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if after <= before {
+			t.Errorf("underlay reroute should raise a->c rate: %v -> %v", before, after)
+		}
+	})
+}

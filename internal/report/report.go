@@ -1,0 +1,150 @@
+// Package report renders a complete reproduction report — every table,
+// figure series, traceroute, and extension study — as a single markdown
+// document. `detourbench -experiment report` writes it to stdout; the
+// committed EXPERIMENTS.md is the hand-annotated version of this
+// output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"detournet/internal/core"
+	"detournet/internal/experiments"
+	"detournet/internal/scenario"
+)
+
+// Config selects what the report includes.
+type Config struct {
+	// Options is the measurement protocol.
+	Options experiments.Options
+	// Extensions adds the sensitivity/contention/workload studies.
+	Extensions bool
+}
+
+// Write renders the report to w.
+func Write(w io.Writer, cfg Config) error {
+	r := &renderer{w: w, suite: &experiments.Suite{Options: cfg.Options}}
+	r.header(cfg)
+	r.headline()
+	r.figures()
+	r.tables()
+	r.traceroutes()
+	r.geography()
+	if cfg.Extensions {
+		r.extensions(cfg)
+	}
+	return r.err
+}
+
+type renderer struct {
+	w     io.Writer
+	suite *experiments.Suite
+	err   error
+}
+
+func (r *renderer) printf(format string, args ...any) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = fmt.Fprintf(r.w, format, args...)
+}
+
+func (r *renderer) section(title string) {
+	r.printf("\n## %s\n\n", title)
+}
+
+func (r *renderer) code(body string) {
+	r.printf("```\n%s```\n", ensureNL(body))
+}
+
+func ensureNL(s string) string {
+	if !strings.HasSuffix(s, "\n") {
+		return s + "\n"
+	}
+	return s
+}
+
+func (r *renderer) header(cfg Config) {
+	r.printf("# detournet reproduction report\n\n")
+	r.printf("Seed %d, %d runs per cell (mean of last %d), sizes %v MB.\n",
+		cfg.Options.Seed, cfg.Options.Runs, cfg.Options.Keep, cfg.Options.SizesMB)
+	r.printf("All values are virtual-time seconds in the simulated WAN; see DESIGN.md.\n")
+}
+
+func (r *renderer) headline() {
+	r.section("Headline (paper Sec I)")
+	g := r.suite.Pair(scenario.UBC, scenario.GoogleDrive).Grid
+	direct := g.Cell(100, core.DirectRoute)
+	det := g.Cell(100, core.ViaRoute(scenario.UAlberta))
+	if direct == nil || det == nil {
+		r.printf("(100 MB cell not measured at these options)\n")
+		return
+	}
+	r.printf("UBC -> Google Drive, 100 MB: direct %.1f s, via UAlberta %.1f s "+
+		"(rsync %.1f s + upload %.1f s) — %.1fx faster despite the geographic detour.\n",
+		direct.Summary.Mean, det.Summary.Mean, det.Hop1, det.Hop2,
+		direct.Summary.Mean/det.Summary.Mean)
+}
+
+func (r *renderer) figures() {
+	r.section("Figures 2, 4, 7-11 (upload grids)")
+	for _, fig := range []struct {
+		render func() string
+	}{
+		{r.suite.Fig2}, {r.suite.Fig4}, {r.suite.Fig7},
+		{r.suite.Fig8}, {r.suite.Fig9}, {r.suite.Fig10}, {r.suite.Fig11},
+	} {
+		r.code(fig.render())
+		r.printf("\n")
+	}
+}
+
+func (r *renderer) tables() {
+	r.section("Tables I-IV")
+	for _, t := range []func() string{
+		r.suite.TableI, r.suite.TableII, r.suite.TableIII, r.suite.TableIV,
+	} {
+		r.code(t())
+		r.printf("\n")
+	}
+}
+
+func (r *renderer) traceroutes() {
+	r.section("Figures 5-6 (traceroutes)")
+	r.code(r.suite.Fig5())
+	r.printf("\n")
+	r.code(r.suite.Fig6())
+}
+
+func (r *renderer) geography() {
+	r.section("Figure 3 / Table V (geography)")
+	r.code(r.suite.Fig3())
+	r.printf("\n")
+	r.code(r.suite.TableV())
+}
+
+func (r *renderer) extensions(cfg Config) {
+	r.section("Extension studies")
+	points := experiments.SensitivityPacificWave(cfg.Options, []float64{0.6, 1.25, 2.5, 4, 8})
+	r.code(experiments.FormatSensitivity(points))
+	r.printf("\n")
+	cont, err := experiments.ContentionStudy(cfg.Options, [][]string{
+		{scenario.UBC},
+		{scenario.UBC, scenario.Purdue},
+		{scenario.UBC, scenario.Purdue, scenario.UCLA},
+	})
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.code(experiments.FormatContention(cont))
+	r.printf("\n")
+	wl, err := experiments.WorkloadStudy(cfg.Options, scenario.Purdue, scenario.GoogleDrive, 12)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.code(experiments.FormatWorkloadStudy(scenario.Purdue, scenario.GoogleDrive, wl))
+}

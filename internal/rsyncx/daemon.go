@@ -1,0 +1,343 @@
+package rsyncx
+
+import (
+	"fmt"
+
+	"detournet/internal/simproc"
+	"detournet/internal/transport"
+)
+
+// Port is the rsync daemon port.
+const Port = 873
+
+// Staged is a file held in a daemon's staging area (the DTN's disk).
+type Staged struct {
+	Name string
+	Size float64
+	Data []byte // nil for sized-only transfers
+	MD5  string
+}
+
+// Daemon is the DTN-side rsync server: it answers signature requests,
+// applies deltas, and stages the results for the second detour hop.
+type Daemon struct {
+	tn   *transport.Net
+	host string
+	// BlockSize for signatures; DefaultBlockSize when zero.
+	BlockSize int
+	staging   map[string]*Staged
+	// Pushes counts completed receive operations, for tests.
+	Pushes int
+}
+
+// NewDaemon returns a daemon for the given DTN host.
+func NewDaemon(tn *transport.Net, host string) *Daemon {
+	if tn == nil {
+		panic("rsyncx: nil transport")
+	}
+	return &Daemon{tn: tn, host: host, staging: make(map[string]*Staged)}
+}
+
+// Staged returns a staged file by name.
+func (d *Daemon) Staged(name string) (*Staged, bool) {
+	s, ok := d.staging[name]
+	return s, ok
+}
+
+// Stage places a file into the staging area directly — the relay agent
+// uses it to land provider downloads next to rsync-pushed uploads.
+func (d *Daemon) Stage(st *Staged) {
+	if st == nil || st.Name == "" {
+		panic("rsyncx: staging nil or unnamed file")
+	}
+	d.staging[st.Name] = st
+}
+
+// Remove deletes a staged file, reporting whether it existed. The paper
+// deletes staged files before each benchmarked run.
+func (d *Daemon) Remove(name string) bool {
+	if _, ok := d.staging[name]; !ok {
+		return false
+	}
+	delete(d.staging, name)
+	return true
+}
+
+// Start binds the daemon listener and serves until the listener closes.
+func (d *Daemon) Start() *transport.Listener {
+	l := d.tn.MustListen(d.host, Port)
+	r := d.tn.Runner()
+	r.Go("rsyncd:"+d.host, func(p *simproc.Proc) {
+		for {
+			conn, err := l.Accept(p)
+			if err != nil {
+				return
+			}
+			c := conn
+			r.Go("rsyncd-conn:"+c.RemoteHost(), func(hp *simproc.Proc) {
+				d.serve(hp, c)
+			})
+		}
+	})
+	return l
+}
+
+// Wire message types. Sizes are charged explicitly per message.
+
+type pushReq struct {
+	Name    string
+	Size    float64
+	HasData bool
+}
+
+type sigResp struct {
+	Sig *Signature // nil when no basis exists
+}
+
+type deltaMsg struct {
+	Delta *Delta // nil in sized-only mode
+	MD5   string
+}
+
+type deleteReq struct {
+	Name string
+}
+
+type fetchReq struct {
+	Name string
+}
+
+type fetchResp struct {
+	OK   bool
+	Err  string
+	Size float64
+	MD5  string
+	Data []byte
+}
+
+type ack struct {
+	OK  bool
+	Err string
+	MD5 string
+}
+
+const ctrlBytes = 96 // rough wire size of control messages
+
+func (d *Daemon) serve(p *simproc.Proc, c *transport.Conn) {
+	defer c.Close()
+	for {
+		msg, err := c.Recv(p)
+		if err != nil {
+			return
+		}
+		switch m := msg.Payload.(type) {
+		case pushReq:
+			d.handlePush(p, c, m)
+		case deleteReq:
+			ok := d.Remove(m.Name)
+			_ = c.Send(p, ack{OK: ok}, ctrlBytes)
+		case fetchReq:
+			st, ok := d.staging[m.Name]
+			if !ok {
+				_ = c.Send(p, fetchResp{OK: false, Err: "not staged: " + m.Name}, ctrlBytes)
+				continue
+			}
+			resp := fetchResp{OK: true, Size: st.Size, MD5: st.MD5, Data: st.Data}
+			_ = c.Send(p, resp, st.Size+ctrlBytes)
+		default:
+			_ = c.Send(p, ack{OK: false, Err: "protocol error"}, ctrlBytes)
+			return
+		}
+	}
+}
+
+func (d *Daemon) handlePush(p *simproc.Proc, c *transport.Conn, req pushReq) {
+	// 1. Answer with the signature of whatever basis we hold.
+	var sig *Signature
+	if base, ok := d.staging[req.Name]; ok && base.Data != nil {
+		sig = Sign(base.Data, d.BlockSize)
+	}
+	resp := sigResp{Sig: sig}
+	sigBytes := float64(ctrlBytes)
+	if sig != nil {
+		sigBytes += sig.WireSize()
+	}
+	if err := c.Send(p, resp, sigBytes); err != nil {
+		return
+	}
+
+	// 2. Receive the delta (or sized payload) and stage the result.
+	msg, err := c.Recv(p)
+	if err != nil {
+		return
+	}
+	dm, ok := msg.Payload.(deltaMsg)
+	if !ok {
+		_ = c.Send(p, ack{OK: false, Err: "expected delta"}, ctrlBytes)
+		return
+	}
+	st := &Staged{Name: req.Name, Size: req.Size, MD5: dm.MD5}
+	if req.HasData {
+		if dm.Delta == nil {
+			_ = c.Send(p, ack{OK: false, Err: "missing delta"}, ctrlBytes)
+			return
+		}
+		var basis []byte
+		if base, ok := d.staging[req.Name]; ok {
+			basis = base.Data
+		}
+		data, err := Apply(basis, dm.Delta)
+		if err != nil {
+			_ = c.Send(p, ack{OK: false, Err: err.Error()}, ctrlBytes)
+			return
+		}
+		if dm.MD5 != "" && Checksum(data) != dm.MD5 {
+			_ = c.Send(p, ack{OK: false, Err: "checksum mismatch"}, ctrlBytes)
+			return
+		}
+		st.Data = data
+		st.Size = float64(len(data))
+		st.MD5 = Checksum(data)
+	}
+	d.staging[req.Name] = st
+	d.Pushes++
+	_ = c.Send(p, ack{OK: true, MD5: st.MD5}, ctrlBytes)
+}
+
+// Client pushes files from a host to a daemon.
+type Client struct {
+	tn   *transport.Net
+	from string
+	dtn  string
+	// BlockSize for delta computation; DefaultBlockSize when zero.
+	BlockSize int
+}
+
+// NewClient returns an rsync client from `from` to the daemon at `dtn`.
+func NewClient(tn *transport.Net, from, dtn string) *Client {
+	if tn == nil {
+		panic("rsyncx: nil transport")
+	}
+	return &Client{tn: tn, from: from, dtn: dtn}
+}
+
+func (cl *Client) dial(p *simproc.Proc) (*transport.Conn, error) {
+	return cl.tn.Dial(p, cl.from, cl.dtn, Port, transport.DialOpts{})
+}
+
+// Push transfers data under name using the full rsync protocol: fetch
+// the basis signature, compute and ship the delta, verify the ack.
+func (cl *Client) Push(p *simproc.Proc, name string, data []byte) error {
+	c, err := cl.dial(p)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Send(p, pushReq{Name: name, Size: float64(len(data)), HasData: true}, ctrlBytes); err != nil {
+		return err
+	}
+	msg, err := c.Recv(p)
+	if err != nil {
+		return err
+	}
+	sr, ok := msg.Payload.(sigResp)
+	if !ok {
+		return fmt.Errorf("rsyncx: expected signature, got %T", msg.Payload)
+	}
+	sig := sr.Sig
+	if sig == nil {
+		sig = Sign(nil, cl.BlockSize)
+	}
+	delta := ComputeDelta(sig, data)
+	dm := deltaMsg{Delta: delta, MD5: Checksum(data)}
+	if err := c.Send(p, dm, delta.WireSize()+ctrlBytes); err != nil {
+		return err
+	}
+	return recvAck(p, c)
+}
+
+// PushSized transfers a file of the given size without materializing its
+// bytes: the paper's staged files are random (incompressible, no basis),
+// so the wire cost is simply the size plus protocol overhead. md5
+// optionally carries an end-to-end digest for the relay to forward.
+func (cl *Client) PushSized(p *simproc.Proc, name string, size float64, md5 string) error {
+	if size < 0 {
+		return fmt.Errorf("rsyncx: negative size")
+	}
+	c, err := cl.dial(p)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Send(p, pushReq{Name: name, Size: size, HasData: false}, ctrlBytes); err != nil {
+		return err
+	}
+	if _, err := c.Recv(p); err != nil { // signature (always empty here)
+		return err
+	}
+	if err := c.Send(p, deltaMsg{MD5: md5}, size+ctrlBytes); err != nil {
+		return err
+	}
+	return recvAck(p, c)
+}
+
+// Fetch pulls a staged file from the daemon (the reverse direction,
+// used by detoured downloads: provider → DTN → client). It returns the
+// staged metadata after the bytes have crossed the wire.
+func (cl *Client) Fetch(p *simproc.Proc, name string) (*Staged, error) {
+	c, err := cl.dial(p)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.Send(p, fetchReq{Name: name}, ctrlBytes); err != nil {
+		return nil, err
+	}
+	msg, err := c.Recv(p)
+	if err != nil {
+		return nil, err
+	}
+	fr, ok := msg.Payload.(fetchResp)
+	if !ok {
+		return nil, fmt.Errorf("rsyncx: expected fetch response, got %T", msg.Payload)
+	}
+	if !fr.OK {
+		return nil, fmt.Errorf("rsyncx: fetch: %s", fr.Err)
+	}
+	return &Staged{Name: name, Size: fr.Size, MD5: fr.MD5, Data: fr.Data}, nil
+}
+
+// Delete removes a staged file on the daemon.
+func (cl *Client) Delete(p *simproc.Proc, name string) error {
+	c, err := cl.dial(p)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Send(p, deleteReq{Name: name}, ctrlBytes); err != nil {
+		return err
+	}
+	msg, err := c.Recv(p)
+	if err != nil {
+		return err
+	}
+	if a, ok := msg.Payload.(ack); ok && !a.OK {
+		return fmt.Errorf("rsyncx: delete: no such staged file %q", name)
+	}
+	return nil
+}
+
+func recvAck(p *simproc.Proc, c *transport.Conn) error {
+	msg, err := c.Recv(p)
+	if err != nil {
+		return err
+	}
+	a, ok := msg.Payload.(ack)
+	if !ok {
+		return fmt.Errorf("rsyncx: expected ack, got %T", msg.Payload)
+	}
+	if !a.OK {
+		return fmt.Errorf("rsyncx: push rejected: %s", a.Err)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package rsyncx_test
+
+import (
+	"fmt"
+
+	"detournet/internal/rsyncx"
+)
+
+// The rsync algorithm end to end: sign a basis, diff an edited copy
+// against it, and rebuild the edit from the delta.
+func ExampleComputeDelta() {
+	basis := []byte("the quick brown fox jumps over the lazy dog, repeatedly and at length")
+	target := append([]byte("PREFIX "), basis...) // a 7-byte insertion at the front
+
+	sig := rsyncx.Sign(basis, 16)
+	delta := rsyncx.ComputeDelta(sig, target)
+	rebuilt, _ := rsyncx.Apply(basis, delta)
+
+	fmt.Printf("literal bytes shipped: %d of %d\n", delta.LiteralBytes(), len(target))
+	fmt.Printf("rebuilt correctly: %v\n", string(rebuilt) == string(target))
+	// Output:
+	// literal bytes shipped: 12 of 76
+	// rebuilt correctly: true
+}

@@ -1,0 +1,66 @@
+package rsyncx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDeltaRoundTrip checks the core rsync invariant on arbitrary
+// byte pairs: Apply(basis, ComputeDelta(Sign(basis), target)) == target.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte(""), []byte(""), 16)
+	f.Add([]byte("hello world"), []byte("hello brave new world"), 4)
+	f.Add(bytes.Repeat([]byte{0xAA}, 1000), bytes.Repeat([]byte{0xAA}, 999), 64)
+	f.Add([]byte("abcdefgh"), []byte("abcdefgh"), 1)
+	f.Fuzz(func(t *testing.T, basis, target []byte, blockRaw int) {
+		block := blockRaw%256 + 1
+		sig := Sign(basis, block)
+		d := ComputeDelta(sig, target)
+		got, err := Apply(basis, d)
+		if err != nil {
+			t.Fatalf("Apply failed: %v", err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(target))
+		}
+	})
+}
+
+// FuzzApplyRobustness feeds Apply adversarial delta structures: it may
+// error but must never panic or return a wrong-length result as success.
+func FuzzApplyRobustness(f *testing.F) {
+	f.Add([]byte("basis"), 3, 100, []byte("lit"), 999)
+	f.Add([]byte(""), 0, 0, []byte(""), 0)
+	f.Fuzz(func(t *testing.T, basis []byte, idx, targetLen int, lit []byte, block int) {
+		d := &Delta{
+			BlockSize: block,
+			TargetLen: targetLen,
+			Ops: []Op{
+				{Kind: OpCopy, Index: idx},
+				{Kind: OpData, Data: lit},
+			},
+		}
+		out, err := Apply(basis, d)
+		if err == nil && len(out) != targetLen {
+			t.Fatalf("Apply returned success with wrong length %d != %d", len(out), targetLen)
+		}
+	})
+}
+
+// FuzzRollConsistency: rolling must equal from-scratch for any window.
+func FuzzRollConsistency(f *testing.F) {
+	f.Add([]byte("abcdefghij"), 3)
+	f.Fuzz(func(t *testing.T, data []byte, nRaw int) {
+		n := nRaw%64 + 1
+		if len(data) < n+1 {
+			return
+		}
+		w := weak(data[:n])
+		for i := 0; i+n < len(data); i++ {
+			w = roll(w, data[i], data[i+n], n)
+			if w != weak(data[i+1:i+1+n]) {
+				t.Fatalf("roll diverged at %d (n=%d)", i+1, n)
+			}
+		}
+	})
+}

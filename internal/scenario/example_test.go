@@ -1,0 +1,27 @@
+package scenario_test
+
+import (
+	"fmt"
+
+	"detournet/internal/core"
+	"detournet/internal/scenario"
+	"detournet/internal/simproc"
+)
+
+// The paper's headline experiment in eight lines: build the calibrated
+// world and compare the direct upload with the UAlberta detour.
+func ExampleBuild() {
+	w := scenario.Build(2015)
+	w.RunWorkload("example", func(p *simproc.Proc) {
+		drive := w.NewSDKClient(scenario.UBC, scenario.GoogleDrive)
+		defer drive.Close()
+		direct, _ := core.DirectUpload(p, drive, "f.bin", 100e6, "")
+		detour, _ := w.NewDetourClient(scenario.UBC, scenario.UAlberta).
+			Upload(p, scenario.GoogleDrive, "f.bin", 100e6, "")
+		fmt.Printf("direct: %.0f s\n", direct.Total)
+		fmt.Printf("%s: %.0f s\n", detour.Route, detour.Total)
+	})
+	// Output:
+	// direct: 87 s
+	// via ualberta: 38 s
+}

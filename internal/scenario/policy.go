@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"detournet/internal/bgppol"
+)
+
+// Policy-routing mode: instead of the default filtered min-delay router,
+// the world can route with the full Gao–Rexford model over the AS-level
+// relationships of the 2015 setting. The three observed route pins still
+// apply (they model operator configuration the policy model cannot
+// derive); everything else follows from who-buys-from-whom.
+//
+// This mode exists to study the routing layer itself — e.g. that the
+// Purdue pathology needs no misconfiguration at all, just a commodity
+// provider route tying with the research route — while the default mode
+// stays the calibrated reproduction target.
+
+// PaperPolicy returns the AS relationship graph of the paper's setting.
+// Domain names match the Node.Domain values of the built topology.
+func PaperPolicy() *bgppol.Policy {
+	p := bgppol.NewPolicy()
+	// Universities buy from their regional research networks.
+	p.MustAddCustomerProvider("UBC", "BCNet")
+	p.MustAddCustomerProvider("UAlberta", "Cybera")
+	p.MustAddCustomerProvider("UMich", "Merit")
+	p.MustAddCustomerProvider("Purdue", "Internet2")
+	p.MustAddCustomerProvider("UCLA", "CENIC")
+	// Regionals buy from the national backbones.
+	p.MustAddCustomerProvider("BCNet", "CANARIE")
+	p.MustAddCustomerProvider("Cybera", "CANARIE")
+	p.MustAddCustomerProvider("Merit", "Internet2")
+	// National backbones peer with each other and with the providers.
+	p.MustAddPeer("CANARIE", "Internet2")
+	p.MustAddPeer("Google", "CANARIE")
+	p.MustAddPeer("Google", "Internet2")
+	p.MustAddPeer("Google", "CENIC")
+	p.MustAddPeer("Microsoft", "CANARIE")
+	p.MustAddPeer("Microsoft", "Internet2")
+	// PacificWave is deliberately absent: it is an IXP fabric, not an
+	// AS, so it never appears in AS paths. The only route through it is
+	// the pinned UBC→Google artifact, which models operator/exchange
+	// configuration that BGP policy cannot derive.
+	// Commodity transit: campuses and backbones buy it for destinations
+	// without research peering; the cloud providers buy it too.
+	p.MustAddCustomerProvider("Purdue", "ISP")
+	p.MustAddCustomerProvider("CANARIE", "Transit")
+	p.MustAddCustomerProvider("Merit", "Transit")
+	p.MustAddCustomerProvider("CENIC", "Transit")
+	p.MustAddCustomerProvider("BCNet", "Transit")
+	p.MustAddPeer("ISP", "Transit")
+	p.MustAddCustomerProvider("Google", "ISP")
+	p.MustAddCustomerProvider("Microsoft", "ISP")
+	p.MustAddCustomerProvider("Microsoft", "Transit")
+	p.MustAddCustomerProvider("Dropbox", "Transit")
+	p.MustAddCustomerProvider("Dropbox", "ISP")
+	return p
+}
+
+// WithPolicyRouting switches the world to full Gao–Rexford inter-domain
+// routing over PaperPolicy (plus the standard route pins).
+func WithPolicyRouting() Option {
+	return func(c *buildCfg) { c.policyRouting = true }
+}
+
+// installPolicyRouting replaces the router after the graph is built.
+func (w *World) installPolicyRouting() {
+	w.Graph.SetRouter(bgppol.Finder{Policy: PaperPolicy()})
+}
+
+// DomainPathOf returns the AS-level path a host-to-host route crosses,
+// for tests and diagnostics: consecutive duplicate domains collapsed.
+func (w *World) DomainPathOf(src, dst string) ([]string, error) {
+	nodes, err := w.Graph.Path(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	var doms []string
+	for _, n := range nodes {
+		if len(doms) == 0 || doms[len(doms)-1] != n.Domain {
+			doms = append(doms, n.Domain)
+		}
+	}
+	return doms, nil
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/core"
+	"detournet/internal/simproc"
+)
+
+func TestPolicyWorldRoutesAllPairs(t *testing.T) {
+	w := Build(71, WithPolicyRouting())
+	pol := PaperPolicy()
+	// The three pinned routes model operator/IXP configuration outside
+	// the AS-relationship model; they must route but are exempt from the
+	// valley-free check.
+	pinned := map[[2]string]bool{
+		{UBC, GDriveDC}:      true,
+		{Purdue, GDriveDC}:   true,
+		{Purdue, OneDriveDC}: true,
+	}
+	endpoints := append(append([]string{}, Clients...), UAlberta, UMich)
+	for _, src := range endpoints {
+		for _, prov := range ProviderNames {
+			dst := Providers[prov]
+			doms, err := w.DomainPathOf(src, dst)
+			if err != nil {
+				t.Fatalf("%s -> %s unroutable under policy: %v", src, dst, err)
+			}
+			if pinned[[2]string{src, dst}] {
+				continue
+			}
+			if !pol.ValleyFree(doms) {
+				t.Fatalf("%s -> %s domain path %v not valley-free", src, dst, doms)
+			}
+		}
+	}
+}
+
+func TestPolicyWorldKeepsPaperArtifacts(t *testing.T) {
+	w := Build(72, WithPolicyRouting())
+	// The pinned UBC->Google route still crosses PacificWave.
+	doms, err := w.DomainPathOf(UBC, GDriveDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(doms, ","); !strings.Contains(got, "PacificWave") {
+		t.Fatalf("pinned UBC route lost under policy routing: %v", doms)
+	}
+	// UAlberta (unpinned) exits CANARIE straight into Google.
+	doms, err = w.DomainPathOf(UAlberta, GDriveDC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(doms, ",")
+	if !strings.Contains(got, "CANARIE,Google") {
+		t.Fatalf("UAlberta -> Google = %v, want CANARIE peering exit", doms)
+	}
+	// No university domain ever transits another's traffic.
+	for _, src := range Clients {
+		for _, prov := range ProviderNames {
+			doms, err := w.DomainPathOf(src, Providers[prov])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range doms[1:] {
+				for _, stub := range []string{"UBC", "UAlberta", "UMich", "Purdue", "UCLA"} {
+					if d == stub && doms[0] != stub {
+						t.Fatalf("%s -> %s transits university stub %s: %v", src, prov, stub, doms)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyWorldTransfersStillWork(t *testing.T) {
+	// End-to-end: uploads complete under policy routing, and the
+	// headline detour still wins (the artifact links are unchanged).
+	w := Build(73, WithPolicyRouting())
+	var direct, detour float64
+	w.RunWorkload("policy-transfer", func(p *simproc.Proc) {
+		client := w.NewSDKClient(UBC, GoogleDrive)
+		defer client.Close()
+		rep, err := core.DirectUpload(p, client, "a.bin", 60e6, "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		direct = rep.Total
+		dc := w.NewDetourClient(UBC, UAlberta)
+		rep, err = dc.Upload(p, GoogleDrive, "b.bin", 60e6, "")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		detour = rep.Total
+	})
+	if detour >= direct {
+		t.Fatalf("under policy routing detour (%v) should still beat direct (%v)", detour, direct)
+	}
+}
+
+func TestPolicyPaperPolicyValleyFreeEverywhere(t *testing.T) {
+	pol := PaperPolicy()
+	for _, src := range pol.Domains() {
+		for _, dst := range pol.Domains() {
+			if src == dst {
+				continue
+			}
+			path, err := pol.DomainPath(src, dst)
+			if err != nil {
+				continue // some pairs are legitimately unreachable
+			}
+			if !pol.ValleyFree(path) {
+				t.Fatalf("%s -> %s = %v not valley-free", src, dst, path)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package sdk
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"detournet/internal/cloudsim"
+	"detournet/internal/simclock"
+	"detournet/internal/simproc"
+	"detournet/internal/transport"
+)
+
+// Dropbox is the API-v2 client: single-shot upload for files that fit in
+// one chunk, upload sessions (start / append_v2 / finish) otherwise,
+// with the 4 MiB chunks of the 2015 Java SDK.
+type Dropbox struct {
+	base
+}
+
+// NewDropbox returns a Dropbox client dialing from `from` to `host`.
+func NewDropbox(eng *simclock.Engine, tn *transport.Net, from, host string, creds Credentials, opts Options) *Dropbox {
+	return &Dropbox{base: newBase(eng, tn, from, host, creds, cloudsim.Dropbox, opts)}
+}
+
+// ProviderName implements Client.
+func (d *Dropbox) ProviderName() string { return "Dropbox" }
+
+func (d *Dropbox) apiCall(p *simproc.Proc, path string, arg any, bodySize float64, md5 string) ([]byte, error) {
+	req, err := d.authed(p, "POST", path)
+	if err != nil {
+		return nil, err
+	}
+	argJSON, err := json.Marshal(arg)
+	if err != nil {
+		return nil, err
+	}
+	req.Header["Dropbox-API-Arg"] = string(argJSON)
+	req.Header["Content-Type"] = "application/octet-stream"
+	if md5 != "" {
+		req.Header["X-Content-MD5"] = md5
+	}
+	req.BodySize = bodySize
+	resp, err := d.do(p, req)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+type dbxCursor struct {
+	SessionID string  `json:"session_id"`
+	Offset    float64 `json:"offset"`
+}
+
+// Upload implements Client.
+func (d *Dropbox) Upload(p *simproc.Proc, name string, size float64, md5 string) (FileInfo, error) {
+	if size < 0 {
+		return FileInfo{}, fmt.Errorf("sdk: negative size")
+	}
+	if size <= d.chunk {
+		body, err := d.apiCall(p, "/2/files/upload", map[string]string{"path": name}, size, md5)
+		if err != nil {
+			return FileInfo{}, fmt.Errorf("sdk: dropbox upload: %w", err)
+		}
+		return decodeMeta(body)
+	}
+	// Session: start carries the first chunk.
+	first := d.chunk
+	body, err := d.apiCall(p, "/2/files/upload_session/start", map[string]any{}, first, "")
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("sdk: dropbox session start: %w", err)
+	}
+	var start struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(body, &start); err != nil || start.SessionID == "" {
+		return FileInfo{}, fmt.Errorf("sdk: dropbox session start: bad response")
+	}
+	sent := first
+	for size-sent > d.chunk {
+		arg := map[string]any{"cursor": dbxCursor{SessionID: start.SessionID, Offset: sent}}
+		if _, err := d.apiCall(p, "/2/files/upload_session/append_v2", arg, d.chunk, ""); err != nil {
+			return FileInfo{}, fmt.Errorf("sdk: dropbox append at %.0f: %w", sent, err)
+		}
+		sent += d.chunk
+	}
+	arg := map[string]any{
+		"cursor": dbxCursor{SessionID: start.SessionID, Offset: sent},
+		"commit": map[string]string{"path": name},
+	}
+	body, err = d.apiCall(p, "/2/files/upload_session/finish", arg, size-sent, md5)
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("sdk: dropbox finish: %w", err)
+	}
+	return decodeMeta(body)
+}
+
+// Download implements Client.
+func (d *Dropbox) Download(p *simproc.Proc, name string) (FileInfo, error) {
+	req, err := d.authed(p, "POST", "/2/files/download")
+	if err != nil {
+		return FileInfo{}, err
+	}
+	argJSON, _ := json.Marshal(map[string]string{"path": name})
+	req.Header["Dropbox-API-Arg"] = string(argJSON)
+	resp, err := d.do(p, req)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	var fi FileInfo
+	if raw, ok := resp.Header["Dropbox-API-Result"]; ok {
+		if err := json.Unmarshal([]byte(raw), &fi); err != nil {
+			return FileInfo{}, fmt.Errorf("sdk: bad Dropbox-API-Result: %w", err)
+		}
+	}
+	fi.Size = resp.BodySize
+	return fi, nil
+}
+
+// Delete implements Client.
+func (d *Dropbox) Delete(p *simproc.Proc, name string) error {
+	_, err := d.apiCall(p, "/2/files/delete_v2", map[string]string{"path": name}, 0, "")
+	return err
+}
+
+var _ Client = (*Dropbox)(nil)

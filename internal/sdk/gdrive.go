@@ -1,0 +1,152 @@
+package sdk
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"detournet/internal/cloudsim"
+	"detournet/internal/httpsim"
+	"detournet/internal/simclock"
+	"detournet/internal/simproc"
+	"detournet/internal/transport"
+)
+
+// GoogleDrive is the Drive v3 client: resumable session initiation
+// followed by Content-Range PUTs of (by default) 8 MiB.
+type GoogleDrive struct {
+	base
+}
+
+// NewGoogleDrive returns a Drive client dialing from `from` to the API
+// frontend at `host`.
+func NewGoogleDrive(eng *simclock.Engine, tn *transport.Net, from, host string, creds Credentials, opts Options) *GoogleDrive {
+	return &GoogleDrive{base: newBase(eng, tn, from, host, creds, cloudsim.GoogleDrive, opts)}
+}
+
+// ProviderName implements Client.
+func (g *GoogleDrive) ProviderName() string { return "GoogleDrive" }
+
+// Upload implements Client via the resumable protocol.
+func (g *GoogleDrive) Upload(p *simproc.Proc, name string, size float64, md5 string) (FileInfo, error) {
+	if size < 0 {
+		return FileInfo{}, fmt.Errorf("sdk: negative size")
+	}
+	// 1. Initiate the session.
+	req, err := g.authed(p, "POST", "/upload/drive/v3/files?uploadType=resumable")
+	if err != nil {
+		return FileInfo{}, err
+	}
+	meta, _ := json.Marshal(map[string]any{"name": name, "size": size})
+	req.Header["Content-Type"] = "application/json"
+	req.Body = meta
+	resp, err := g.do(p, req)
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("sdk: drive initiate: %w", err)
+	}
+	location := resp.Header["Location"]
+	if location == "" {
+		return FileInfo{}, fmt.Errorf("sdk: drive initiate returned no Location")
+	}
+
+	// 2. PUT the content. Empty files are a single bare PUT (there is no
+	// valid Content-Range for zero bytes); everything else goes in
+	// Content-Range chunks.
+	if size == 0 {
+		put, err := g.authed(p, "PUT", location)
+		if err != nil {
+			return FileInfo{}, err
+		}
+		resp, err := g.do(p, put)
+		if err != nil {
+			return FileInfo{}, fmt.Errorf("sdk: drive empty upload: %w", err)
+		}
+		return decodeMeta(resp.Body)
+	}
+	n := chunksOf(size, g.chunk)
+	var sent float64
+	for i := 0; i < n; i++ {
+		chunk := g.chunk
+		if sent+chunk > size {
+			chunk = size - sent
+		}
+		put, err := g.authed(p, "PUT", location)
+		if err != nil {
+			return FileInfo{}, err
+		}
+		put.Header["Content-Range"] = fmt.Sprintf("bytes %.0f-%.0f/%.0f", sent, sent+chunk-1, size)
+		if md5 != "" {
+			put.Header["X-Content-MD5"] = md5
+		}
+		put.BodySize = chunk
+		resp, err := g.doRaw(p, put)
+		if err != nil {
+			return FileInfo{}, err
+		}
+		sent += chunk
+		switch resp.Status {
+		case httpsim.StatusPermanentRedirect: // 308: more expected
+			if i == n-1 {
+				return FileInfo{}, fmt.Errorf("sdk: drive signalled incomplete after final chunk")
+			}
+		case httpsim.StatusOK:
+			return decodeMeta(resp.Body)
+		default:
+			return FileInfo{}, fmt.Errorf("sdk: drive upload chunk %d: %w", i, resp.Error())
+		}
+	}
+	return FileInfo{}, fmt.Errorf("sdk: drive upload ended without completion")
+}
+
+// lookup resolves a name to metadata via the files search endpoint.
+func (g *GoogleDrive) lookup(p *simproc.Proc, name string) (FileInfo, error) {
+	req, err := g.authed(p, "GET", "/drive/v3/files?q=name='"+name+"'")
+	if err != nil {
+		return FileInfo{}, err
+	}
+	resp, err := g.do(p, req)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	var out struct {
+		Files []FileInfo `json:"files"`
+	}
+	if err := json.Unmarshal(resp.Body, &out); err != nil {
+		return FileInfo{}, fmt.Errorf("sdk: bad list response: %w", err)
+	}
+	if len(out.Files) == 0 {
+		return FileInfo{}, fmt.Errorf("sdk: drive: no file named %q", name)
+	}
+	return out.Files[0], nil
+}
+
+// Download implements Client: name lookup, then an alt=media GET.
+func (g *GoogleDrive) Download(p *simproc.Proc, name string) (FileInfo, error) {
+	fi, err := g.lookup(p, name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	req, err := g.authed(p, "GET", "/drive/v3/files/"+fi.ID+"?alt=media")
+	if err != nil {
+		return FileInfo{}, err
+	}
+	if _, err := g.do(p, req); err != nil {
+		return FileInfo{}, err
+	}
+	return fi, nil
+}
+
+// Delete implements Client: lookup then DELETE by id.
+func (g *GoogleDrive) Delete(p *simproc.Proc, name string) error {
+	fi, err := g.lookup(p, name)
+	if err != nil {
+		return err
+	}
+	req, err := g.authed(p, "DELETE", "/drive/v3/files/"+fi.ID)
+	if err != nil {
+		return err
+	}
+	_, err = g.do(p, req)
+	return err
+}
+
+var _ Client = (*GoogleDrive)(nil)

@@ -1,0 +1,168 @@
+// Package sdk provides client libraries for the simulated cloud-storage
+// providers — the counterpart of the official Java SDKs the paper's
+// measurement programs linked against (and the community OneDrive
+// library they patched). Each client speaks its provider's real upload
+// protocol over the simulated HTTPS transport: OAuth2 token refresh,
+// session initiation, chunk/fragment PUTs, and downloads.
+package sdk
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"detournet/internal/cloudsim"
+	"detournet/internal/httpsim"
+	"detournet/internal/oauthsim"
+	"detournet/internal/simclock"
+	"detournet/internal/simproc"
+	"detournet/internal/transport"
+)
+
+// FileInfo describes an uploaded or downloaded object.
+type FileInfo struct {
+	ID   string  `json:"id"`
+	Name string  `json:"name"`
+	Size float64 `json:"size"`
+	MD5  string  `json:"md5,omitempty"`
+}
+
+// Client is the provider-independent surface the detour relay and the
+// examples program against.
+type Client interface {
+	// ProviderName identifies the service ("GoogleDrive", ...).
+	ProviderName() string
+	// Host returns the provider's API frontend host.
+	Host() string
+	// From returns the client's source host.
+	From() string
+	// Upload stores size bytes under name and returns the stored
+	// metadata. md5 optionally carries a content digest for integrity.
+	Upload(p *simproc.Proc, name string, size float64, md5 string) (FileInfo, error)
+	// Download fetches name and returns its metadata (bytes are timed on
+	// the wire, not materialized).
+	Download(p *simproc.Proc, name string) (FileInfo, error)
+	// Delete removes name.
+	Delete(p *simproc.Proc, name string) error
+	// Close releases kept-alive connections.
+	Close()
+}
+
+// Credentials hold an OAuth2 client registration.
+type Credentials struct {
+	ClientID     string
+	ClientSecret string
+	RefreshToken string
+}
+
+// Options tune a client.
+type Options struct {
+	// ChunkBytes overrides the provider's default upload chunk size.
+	ChunkBytes float64
+}
+
+// Register provisions credentials for a client id on the service's auth
+// server, a setup step the paper's authors did once per provider.
+func Register(svc *cloudsim.Service, clientID, secret string) Credentials {
+	rt := svc.Auth.RegisterClient(clientID, secret)
+	return Credentials{ClientID: clientID, ClientSecret: secret, RefreshToken: rt}
+}
+
+// base carries the machinery shared by all three clients.
+type base struct {
+	http  *httpsim.Client
+	ts    *oauthsim.TokenSource
+	host  string
+	from  string
+	chunk float64
+}
+
+func newBase(eng *simclock.Engine, tn *transport.Net, from, host string, creds Credentials, style cloudsim.Style, opts Options) base {
+	hc := httpsim.NewClient(tn, from, cloudsim.APIPort, true)
+	chunk := opts.ChunkBytes
+	if chunk <= 0 {
+		chunk = style.DefaultChunkBytes()
+	}
+	return base{
+		http:  hc,
+		ts:    oauthsim.NewTokenSource(eng, hc, host, creds.ClientID, creds.ClientSecret, creds.RefreshToken),
+		host:  host,
+		from:  from,
+		chunk: chunk,
+	}
+}
+
+func (b *base) Host() string { return b.host }
+func (b *base) From() string { return b.from }
+func (b *base) Close()       { b.http.CloseIdle() }
+
+// authed builds a request with a fresh bearer token.
+func (b *base) authed(p *simproc.Proc, method, path string) (*httpsim.Request, error) {
+	hdr, err := b.ts.AuthHeader(p)
+	if err != nil {
+		return nil, err
+	}
+	return &httpsim.Request{
+		Method: method, Path: path, Host: b.host,
+		Header: map[string]string{"Authorization": hdr},
+	}, nil
+}
+
+// maxThrottleRetries bounds 429 retries per request.
+const maxThrottleRetries = 8
+
+func (b *base) do(p *simproc.Proc, req *httpsim.Request) (*httpsim.Response, error) {
+	resp, err := b.doRaw(p, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Error(); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// doRaw issues the request, sleeping out 429 Retry-After responses with
+// exponential backoff the way the official client libraries do.
+func (b *base) doRaw(p *simproc.Proc, req *httpsim.Request) (*httpsim.Response, error) {
+	backoff := 0.5
+	for attempt := 0; ; attempt++ {
+		resp, err := b.http.Do(p, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != httpsim.StatusTooManyRequests || attempt >= maxThrottleRetries {
+			return resp, nil
+		}
+		wait := backoff
+		if ra, ok := resp.Header["Retry-After"]; ok {
+			if v, perr := strconv.ParseFloat(ra, 64); perr == nil && v > 0 {
+				wait = v
+			}
+		}
+		// Official clients cap their backoff (Drive's Java SDK caps at
+		// 64 s); without a ceiling a pathological Retry-After would park
+		// the client forever.
+		if wait > 60 {
+			wait = 60
+		}
+		p.Sleep(wait)
+		backoff *= 2
+	}
+}
+
+func decodeMeta(body []byte) (FileInfo, error) {
+	var fi FileInfo
+	if err := json.Unmarshal(body, &fi); err != nil {
+		return FileInfo{}, fmt.Errorf("sdk: bad metadata: %w", err)
+	}
+	return fi, nil
+}
+
+func chunksOf(size, chunk float64) int {
+	if size <= 0 {
+		return 1
+	}
+	return int(math.Ceil(size / chunk))
+}

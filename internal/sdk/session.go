@@ -1,0 +1,255 @@
+package sdk
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"detournet/internal/httpsim"
+	"detournet/internal/simproc"
+)
+
+// UploadSession is a provider upload in progress: chunks are written
+// sequentially and the final write returns the stored metadata. The
+// pipelined detour relay uses sessions to start uploading to the
+// provider before the whole file has arrived at the DTN.
+type UploadSession interface {
+	// WriteChunk appends n bytes. last must be set on the final chunk;
+	// the returned FileInfo is only valid then.
+	WriteChunk(p *simproc.Proc, n float64, last bool) (FileInfo, error)
+	// Written returns the bytes appended so far.
+	Written() float64
+}
+
+// SessionClient is implemented by every provider client in this package.
+type SessionClient interface {
+	Client
+	// BeginUpload opens an upload session for a file of the given total
+	// size. md5 optionally carries an end-to-end digest committed with
+	// the final chunk.
+	BeginUpload(p *simproc.Proc, name string, size float64, md5 string) (UploadSession, error)
+}
+
+// --- Google Drive ---
+
+// GDriveSession is a Drive resumable upload in progress.
+type GDriveSession struct {
+	g        *GoogleDrive
+	location string
+	size     float64
+	sent     float64
+	md5      string
+}
+
+// BeginUpload initiates a resumable session.
+func (g *GoogleDrive) BeginUpload(p *simproc.Proc, name string, size float64, md5 string) (UploadSession, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("sdk: session needs positive size")
+	}
+	req, err := g.authed(p, "POST", "/upload/drive/v3/files?uploadType=resumable")
+	if err != nil {
+		return nil, err
+	}
+	meta, _ := json.Marshal(map[string]any{"name": name, "size": size})
+	req.Header["Content-Type"] = "application/json"
+	req.Body = meta
+	resp, err := g.do(p, req)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: drive initiate: %w", err)
+	}
+	location := resp.Header["Location"]
+	if location == "" {
+		return nil, fmt.Errorf("sdk: drive initiate returned no Location")
+	}
+	return &GDriveSession{g: g, location: location, size: size, md5: md5}, nil
+}
+
+// Written implements UploadSession.
+func (s *GDriveSession) Written() float64 { return s.sent }
+
+// WriteChunk implements UploadSession.
+func (s *GDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (FileInfo, error) {
+	if n <= 0 {
+		return FileInfo{}, fmt.Errorf("sdk: empty chunk")
+	}
+	put, err := s.g.authed(p, "PUT", s.location)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	put.Header["Content-Range"] = fmt.Sprintf("bytes %.0f-%.0f/%.0f", s.sent, s.sent+n-1, s.size)
+	if s.md5 != "" {
+		put.Header["X-Content-MD5"] = s.md5
+	}
+	put.BodySize = n
+	resp, err := s.g.doRaw(p, put)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	s.sent += n
+	switch {
+	case resp.Status == httpsim.StatusPermanentRedirect && !last:
+		return FileInfo{}, nil
+	case resp.Status == httpsim.StatusOK && last:
+		return decodeMeta(resp.Body)
+	default:
+		return FileInfo{}, fmt.Errorf("sdk: drive chunk at %.0f: status %d (last=%v)", s.sent-n, resp.Status, last)
+	}
+}
+
+// Location exposes the session URI so an interrupted upload can be
+// resumed later with ResumeUpload.
+func (s *GDriveSession) Location() string { return s.location }
+
+// ResumeUpload reattaches to an existing Drive resumable session after
+// an interruption: it queries the server for the confirmed offset
+// (a "bytes */total" status PUT, per the real protocol) and returns a
+// session positioned to continue from there.
+func (g *GoogleDrive) ResumeUpload(p *simproc.Proc, location string, size float64, md5 string) (UploadSession, error) {
+	if location == "" || size <= 0 {
+		return nil, fmt.Errorf("sdk: resume needs a location and positive size")
+	}
+	req, err := g.authed(p, "PUT", location)
+	if err != nil {
+		return nil, err
+	}
+	req.Header["Content-Range"] = fmt.Sprintf("bytes */%.0f", size)
+	resp, err := g.http.Do(p, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != httpsim.StatusPermanentRedirect {
+		return nil, fmt.Errorf("sdk: resume status query got %d", resp.Status)
+	}
+	var sent float64
+	if r, ok := resp.Header["Range"]; ok {
+		var hi float64
+		if _, err := fmt.Sscanf(r, "bytes=0-%f", &hi); err == nil {
+			sent = hi + 1
+		}
+	}
+	return &GDriveSession{g: g, location: location, size: size, md5: md5, sent: sent}, nil
+}
+
+// --- Dropbox ---
+
+// DropboxSession is an upload_session in progress.
+type DropboxSession struct {
+	d         *Dropbox
+	name      string
+	md5       string
+	sessionID string
+	sent      float64
+}
+
+// BeginUpload starts an upload session (the start call itself carries no
+// data; the first WriteChunk may).
+func (d *Dropbox) BeginUpload(p *simproc.Proc, name string, size float64, md5 string) (UploadSession, error) {
+	body, err := d.apiCall(p, "/2/files/upload_session/start", map[string]any{}, 0, "")
+	if err != nil {
+		return nil, fmt.Errorf("sdk: dropbox session start: %w", err)
+	}
+	var start struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(body, &start); err != nil || start.SessionID == "" {
+		return nil, fmt.Errorf("sdk: dropbox session start: bad response")
+	}
+	return &DropboxSession{d: d, name: name, md5: md5, sessionID: start.SessionID}, nil
+}
+
+// Written implements UploadSession.
+func (s *DropboxSession) Written() float64 { return s.sent }
+
+// WriteChunk implements UploadSession.
+func (s *DropboxSession) WriteChunk(p *simproc.Proc, n float64, last bool) (FileInfo, error) {
+	if n < 0 {
+		return FileInfo{}, fmt.Errorf("sdk: negative chunk")
+	}
+	cursor := dbxCursor{SessionID: s.sessionID, Offset: s.sent}
+	if last {
+		arg := map[string]any{"cursor": cursor, "commit": map[string]string{"path": s.name}}
+		body, err := s.d.apiCall(p, "/2/files/upload_session/finish", arg, n, s.md5)
+		if err != nil {
+			return FileInfo{}, fmt.Errorf("sdk: dropbox finish: %w", err)
+		}
+		s.sent += n
+		return decodeMeta(body)
+	}
+	arg := map[string]any{"cursor": cursor}
+	if _, err := s.d.apiCall(p, "/2/files/upload_session/append_v2", arg, n, ""); err != nil {
+		return FileInfo{}, fmt.Errorf("sdk: dropbox append at %.0f: %w", s.sent, err)
+	}
+	s.sent += n
+	return FileInfo{}, nil
+}
+
+// --- OneDrive ---
+
+// OneDriveSession is a Graph upload session in progress.
+type OneDriveSession struct {
+	o         *OneDrive
+	uploadURL string
+	size      float64
+	sent      float64
+	md5       string
+}
+
+// BeginUpload creates the upload session; OneDrive requires the total
+// size for fragment range math.
+func (o *OneDrive) BeginUpload(p *simproc.Proc, name string, size float64, md5 string) (UploadSession, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("sdk: session needs positive size")
+	}
+	req, err := o.authed(p, "POST", "/v1.0/drive/root:/"+name+":/createUploadSession")
+	if err != nil {
+		return nil, err
+	}
+	resp, err := o.do(p, req)
+	if err != nil {
+		return nil, fmt.Errorf("sdk: onedrive session: %w", err)
+	}
+	var sess struct {
+		UploadURL string `json:"uploadUrl"`
+	}
+	if err := json.Unmarshal(resp.Body, &sess); err != nil || sess.UploadURL == "" {
+		return nil, fmt.Errorf("sdk: onedrive session: bad response")
+	}
+	return &OneDriveSession{o: o, uploadURL: sess.UploadURL, size: size, md5: md5}, nil
+}
+
+// Written implements UploadSession.
+func (s *OneDriveSession) Written() float64 { return s.sent }
+
+// WriteChunk implements UploadSession.
+func (s *OneDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (FileInfo, error) {
+	if n <= 0 {
+		return FileInfo{}, fmt.Errorf("sdk: empty fragment")
+	}
+	put, err := s.o.authed(p, "PUT", s.uploadURL)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	put.Header["Content-Range"] = fmt.Sprintf("bytes %.0f-%.0f/%.0f", s.sent, s.sent+n-1, s.size)
+	if s.md5 != "" {
+		put.Header["X-Content-MD5"] = s.md5
+	}
+	put.BodySize = n
+	resp, err := s.o.doRaw(p, put)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	s.sent += n
+	switch {
+	case resp.Status == 202 && !last:
+		return FileInfo{}, nil
+	case resp.Status == httpsim.StatusCreated && last:
+		return decodeMeta(resp.Body)
+	default:
+		return FileInfo{}, fmt.Errorf("sdk: onedrive fragment at %.0f: status %d (last=%v)", s.sent-n, resp.Status, last)
+	}
+}
+
+var (
+	_ SessionClient = (*GoogleDrive)(nil)
+	_ SessionClient = (*Dropbox)(nil)
+	_ SessionClient = (*OneDrive)(nil)
+)

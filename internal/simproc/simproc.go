@@ -1,0 +1,238 @@
+// Package simproc layers cooperative blocking processes over the
+// discrete-event engine, in the style of SimPy: protocol code (SDK
+// clients, servers, relays) is written as ordinary sequential Go that
+// sleeps and awaits on *virtual* time, while the engine interleaves all
+// processes deterministically.
+//
+// Exactly one goroutine — either the engine driver or a single process —
+// runs at any moment; control is handed over explicitly through
+// channels. This keeps the simulation single-threaded in effect, so no
+// model state needs locking and runs are bit-reproducible.
+package simproc
+
+import (
+	"fmt"
+	"sort"
+
+	"detournet/internal/simclock"
+)
+
+// Runner couples an engine with a set of processes.
+type Runner struct {
+	eng    *simclock.Engine
+	ack    chan struct{}
+	parked map[*Proc]string // parked process -> what it waits on
+	nextID int
+}
+
+// New returns a Runner over the engine.
+func New(eng *simclock.Engine) *Runner {
+	if eng == nil {
+		panic("simproc: nil engine")
+	}
+	return &Runner{eng: eng, ack: make(chan struct{}), parked: make(map[*Proc]string)}
+}
+
+// Engine returns the underlying engine.
+func (r *Runner) Engine() *simclock.Engine { return r.eng }
+
+// Proc is one cooperative process. Its methods must only be called from
+// the process's own goroutine (the function passed to Go).
+type Proc struct {
+	r      *Runner
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() simclock.Time { return p.r.eng.Now() }
+
+// Runner returns the runner the process belongs to.
+func (p *Proc) Runner() *Runner { return p.r }
+
+// Go schedules fn to start as a new process at the current virtual time.
+// It may be called from the driver (before Run) or from inside another
+// process.
+func (r *Runner) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{r: r, id: r.nextID, name: name, resume: make(chan struct{})}
+	r.nextID++
+	r.eng.Schedule(r.eng.Now(), func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.done = true
+			r.ack <- struct{}{}
+		}()
+		r.handoff(p)
+	})
+	return p
+}
+
+// handoff transfers control to p and blocks until p parks or finishes.
+// It must run in engine context (inside an event callback).
+func (r *Runner) handoff(p *Proc) {
+	p.resume <- struct{}{}
+	<-r.ack
+}
+
+// park yields control back to the engine and blocks until resumed.
+// why describes what the process waits on, for deadlock diagnostics.
+func (p *Proc) park(why string) {
+	p.r.parked[p] = why
+	p.r.ack <- struct{}{}
+	<-p.resume
+	delete(p.r.parked, p)
+}
+
+// wake schedules p to resume at the current virtual time. Must be called
+// while the engine or another process holds control.
+func (p *Proc) wake() {
+	p.r.eng.Schedule(p.r.eng.Now(), func() { p.r.handoff(p) })
+}
+
+// Sleep suspends the process for d seconds of virtual time. Negative d
+// panics; zero is allowed and yields to other work at the same instant.
+func (p *Proc) Sleep(d simclock.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simproc: negative sleep %v", d))
+	}
+	p.r.eng.After(d, func() { p.r.handoff(p) })
+	p.park(fmt.Sprintf("sleep(%v)", d))
+}
+
+// Run drives the engine until no events remain. If processes are still
+// parked when the queue drains, the simulation has deadlocked and Run
+// panics with the list of stuck processes and what they wait on.
+func (r *Runner) Run() simclock.Time {
+	t := r.eng.Run()
+	if len(r.parked) > 0 {
+		var stuck []string
+		for p, why := range r.parked {
+			stuck = append(stuck, fmt.Sprintf("%s (waiting on %s)", p.name, why))
+		}
+		sort.Strings(stuck)
+		panic(fmt.Sprintf("simproc: deadlock at t=%v; parked: %v", t, stuck))
+	}
+	return t
+}
+
+// RunUntil drives the engine to the deadline. Parked processes are not a
+// deadlock here — the caller may keep driving.
+func (r *Runner) RunUntil(deadline simclock.Time) simclock.Time {
+	return r.eng.RunUntil(deadline)
+}
+
+// Drive runs the engine until the event queue is empty, tolerating
+// parked processes (server accept loops park forever by design). Use Run
+// when every process is expected to finish.
+func (r *Runner) Drive() simclock.Time {
+	return r.eng.Run()
+}
+
+// Parked returns how many processes are currently suspended.
+func (r *Runner) Parked() int { return len(r.parked) }
+
+// Future is a write-once value processes can await. The zero value is
+// not usable; use NewFuture.
+type Future[T any] struct {
+	r       *Runner
+	set     bool
+	val     T
+	waiters []*Proc
+}
+
+// NewFuture returns an unset future bound to the runner.
+func NewFuture[T any](r *Runner) *Future[T] {
+	if r == nil {
+		panic("simproc: nil runner")
+	}
+	return &Future[T]{r: r}
+}
+
+// Set fulfils the future and wakes every waiter. Setting twice panics:
+// futures are one-shot completion signals.
+func (f *Future[T]) Set(v T) {
+	if f.set {
+		panic("simproc: Future set twice")
+	}
+	f.set = true
+	f.val = v
+	for _, w := range f.waiters {
+		w.wake()
+	}
+	f.waiters = nil
+}
+
+// IsSet reports whether the future has been fulfilled.
+func (f *Future[T]) IsSet() bool { return f.set }
+
+// Peek returns the value and whether it is set, without blocking.
+func (f *Future[T]) Peek() (T, bool) { return f.val, f.set }
+
+// Await parks p until the future is set and returns its value.
+func Await[T any](p *Proc, f *Future[T]) T {
+	if f.set {
+		return f.val
+	}
+	f.waiters = append(f.waiters, p)
+	p.park("future")
+	return f.val
+}
+
+// Queue is an unbounded in-order message queue between processes; the
+// building block for connections and mailboxes.
+type Queue[T any] struct {
+	r     *Runner
+	items []T
+	recvs []*Proc
+}
+
+// NewQueue returns an empty queue bound to the runner.
+func NewQueue[T any](r *Runner) *Queue[T] {
+	if r == nil {
+		panic("simproc: nil runner")
+	}
+	return &Queue[T]{r: r}
+}
+
+// Push appends an item and wakes one waiting receiver, if any. It never
+// blocks. It may be called from engine or process context.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.recvs) > 0 {
+		w := q.recvs[0]
+		q.recvs = q.recvs[1:]
+		w.wake()
+	}
+}
+
+// Pop removes and returns the head item, parking p while the queue is
+// empty. Multiple receivers are served FIFO.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.recvs = append(q.recvs, p)
+		p.park("queue")
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes the head item if present.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,303 @@
+package simproc
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/simclock"
+)
+
+func TestSleepSequencing(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	var trace []string
+	r.Go("a", func(p *Proc) {
+		p.Sleep(2)
+		trace = append(trace, "a@2")
+		p.Sleep(3)
+		trace = append(trace, "a@5")
+	})
+	r.Go("b", func(p *Proc) {
+		p.Sleep(1)
+		trace = append(trace, "b@1")
+		p.Sleep(3)
+		trace = append(trace, "b@4")
+	})
+	end := r.Run()
+	if end != 5 {
+		t.Fatalf("end = %v, want 5", end)
+	}
+	want := "b@1,a@2,b@4,a@5"
+	if got := strings.Join(trace, ","); got != want {
+		t.Fatalf("trace = %s, want %s", got, want)
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	var trace []string
+	r.Go("a", func(p *Proc) {
+		trace = append(trace, "a1")
+		p.Sleep(0)
+		trace = append(trace, "a2")
+	})
+	r.Go("b", func(p *Proc) {
+		trace = append(trace, "b1")
+	})
+	r.Run()
+	// a starts first (scheduled first), yields at 0, b runs, then a resumes.
+	if got := strings.Join(trace, ","); got != "a1,b1,a2" {
+		t.Fatalf("trace = %s", got)
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	r.Go("a", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative sleep did not panic")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	r.Run()
+}
+
+func TestFutureAwait(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	f := NewFuture[int](r)
+	var got int
+	var at simclock.Time
+	r.Go("waiter", func(p *Proc) {
+		got = Await(p, f)
+		at = p.Now()
+	})
+	r.Go("setter", func(p *Proc) {
+		p.Sleep(7)
+		f.Set(42)
+	})
+	r.Run()
+	if got != 42 || at != 7 {
+		t.Fatalf("got %d at %v, want 42 at 7", got, at)
+	}
+}
+
+func TestFutureAlreadySet(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	f := NewFuture[string](r)
+	f.Set("x")
+	var got string
+	r.Go("w", func(p *Proc) { got = Await(p, f) })
+	r.Run()
+	if got != "x" {
+		t.Fatalf("got %q", got)
+	}
+	if v, ok := f.Peek(); !ok || v != "x" {
+		t.Fatalf("Peek = %q %v", v, ok)
+	}
+}
+
+func TestFutureMultipleWaiters(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	f := NewFuture[int](r)
+	sum := 0
+	for i := 0; i < 5; i++ {
+		r.Go("w", func(p *Proc) { sum += Await(p, f) })
+	}
+	r.Go("s", func(p *Proc) {
+		p.Sleep(1)
+		f.Set(10)
+	})
+	r.Run()
+	if sum != 50 {
+		t.Fatalf("sum = %d, want 50", sum)
+	}
+}
+
+func TestFutureSetTwicePanics(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	f := NewFuture[int](r)
+	f.Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Set did not panic")
+		}
+	}()
+	f.Set(2)
+}
+
+func TestQueueFIFO(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	q := NewQueue[int](r)
+	var got []int
+	r.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Pop(p))
+		}
+	})
+	r.Go("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(1)
+			q.Push(i * 10)
+		}
+	})
+	r.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestQueuePushBeforePop(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	q := NewQueue[string](r)
+	q.Push("early")
+	var got string
+	r.Go("c", func(p *Proc) { got = q.Pop(p) })
+	r.Run()
+	if got != "early" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	q := NewQueue[int](r)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty returned ok")
+	}
+	q.Push(5)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	v, ok := q.TryPop()
+	if !ok || v != 5 {
+		t.Fatalf("TryPop = %v %v", v, ok)
+	}
+}
+
+func TestQueueMultipleConsumersFIFO(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	q := NewQueue[int](r)
+	var order []string
+	r.Go("c1", func(p *Proc) {
+		v := q.Pop(p)
+		order = append(order, "c1")
+		_ = v
+	})
+	r.Go("c2", func(p *Proc) {
+		v := q.Pop(p)
+		order = append(order, "c2")
+		_ = v
+	})
+	r.Go("prod", func(p *Proc) {
+		p.Sleep(1)
+		q.Push(1)
+		p.Sleep(1)
+		q.Push(2)
+	})
+	r.Run()
+	if strings.Join(order, ",") != "c1,c2" {
+		t.Fatalf("consumer order = %v", order)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	f := NewFuture[int](r)
+	r.Go("stuck", func(p *Proc) { Await(p, f) })
+	defer func() {
+		msg := recover()
+		if msg == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+		if !strings.Contains(msg.(string), "stuck") {
+			t.Fatalf("panic message missing proc name: %v", msg)
+		}
+	}()
+	r.Run()
+}
+
+func TestRunUntilLeavesParkedProcs(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	done := false
+	r.Go("late", func(p *Proc) {
+		p.Sleep(100)
+		done = true
+	})
+	r.RunUntil(50)
+	if done {
+		t.Fatal("proc completed early")
+	}
+	if r.Parked() != 1 {
+		t.Fatalf("Parked = %d, want 1", r.Parked())
+	}
+	r.Run()
+	if !done {
+		t.Fatal("proc never completed")
+	}
+}
+
+func TestNestedGo(t *testing.T) {
+	eng := simclock.NewEngine()
+	r := New(eng)
+	var trace []string
+	r.Go("parent", func(p *Proc) {
+		p.Sleep(1)
+		child := NewFuture[bool](r)
+		r.Go("child", func(c *Proc) {
+			c.Sleep(2)
+			trace = append(trace, "child@3")
+			child.Set(true)
+		})
+		Await(p, child)
+		trace = append(trace, "parent@3")
+	})
+	r.Run()
+	if got := strings.Join(trace, ","); got != "child@3,parent@3" {
+		t.Fatalf("trace = %s", got)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func() []string {
+		eng := simclock.NewEngine()
+		r := New(eng)
+		var trace []string
+		q := NewQueue[int](r)
+		for i := 0; i < 10; i++ {
+			i := i
+			r.Go("p", func(p *Proc) {
+				p.Sleep(float64(i % 3))
+				q.Push(i)
+				p.Sleep(0.5)
+				trace = append(trace, p.Name())
+			})
+		}
+		r.Go("drain", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				v := q.Pop(p)
+				trace = append(trace, string(rune('0'+v)))
+			}
+		})
+		r.Run()
+		return trace
+	}
+	a := run()
+	b := run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("non-deterministic traces:\n%v\n%v", a, b)
+	}
+}

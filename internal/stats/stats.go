@@ -1,0 +1,143 @@
+// Package stats provides the small statistical toolkit used by the
+// measurement harness: means, sample standard deviations, confidence
+// half-widths, and the paper's "mean of the last five of seven runs"
+// estimator.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs. It panics on an empty slice:
+// every call site has a fixed, known-positive run count, so an empty
+// input is a harness bug.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// A single observation has zero deviation by convention.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: StdDev of empty slice")
+	}
+	if len(xs) == 1 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs without mutating it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Summary holds the statistics the paper reports for one measurement
+// cell: the mean of the retained runs and one standard deviation.
+type Summary struct {
+	Mean   float64
+	StdDev float64
+	N      int // retained runs
+}
+
+// LastN returns the estimator used throughout the paper: discard the
+// first len(xs)-n warm-up runs and summarize the final n. If xs has at
+// most n elements every run is retained.
+func LastN(xs []float64, n int) Summary {
+	if n <= 0 {
+		panic("stats: LastN with n <= 0")
+	}
+	if len(xs) == 0 {
+		panic("stats: LastN of empty slice")
+	}
+	if len(xs) > n {
+		xs = xs[len(xs)-n:]
+	}
+	return Summary{Mean: Mean(xs), StdDev: StdDev(xs), N: len(xs)}
+}
+
+// PaperSummary applies the paper's exact protocol: seven runs, mean and
+// standard deviation of the last five.
+func PaperSummary(runs []float64) Summary { return LastN(runs, 5) }
+
+// RelativeChange returns the percentage change of x versus base, the
+// quantity printed in square brackets in Tables II and III (negative
+// means x is faster/smaller than base).
+func RelativeChange(base, x float64) float64 {
+	if base == 0 {
+		panic("stats: RelativeChange with zero base")
+	}
+	return (x - base) / base * 100
+}
+
+// FormatRelative renders a relative change the way the paper prints it,
+// e.g. "-31.52%" or "+62.95%".
+func FormatRelative(pct float64) string {
+	return fmt.Sprintf("%+.2f%%", pct)
+}
+
+// Interval returns the ±1σ interval [Mean-StdDev, Mean+StdDev] that the
+// paper uses for error bars and the Table IV overlap argument.
+func (s Summary) Interval() (lo, hi float64) {
+	return s.Mean - s.StdDev, s.Mean + s.StdDev
+}
+
+// Overlaps reports whether the ±1σ intervals of two summaries intersect —
+// the paper's criterion for "statistically unsure benefit" (Sec III-B).
+func (s Summary) Overlaps(o Summary) bool {
+	slo, shi := s.Interval()
+	olo, ohi := o.Interval()
+	return slo <= ohi && olo <= shi
+}

@@ -1,0 +1,189 @@
+// Package tcpmodel captures the TCP connection dynamics that shape the
+// paper's transfer-time curves: connection and TLS handshake latency,
+// slow-start ramping, and the receive-window throughput ceiling
+// (rate <= min(share, rwnd/RTT)).
+//
+// The model is deliberately loss-free: bulk transfers on the paper's
+// paths are bandwidth- or window-limited, and the fluid layer already
+// imposes fair sharing at bottlenecks. What matters for the shape of
+// "transfer time vs file size" is the fixed per-connection cost (DNS +
+// handshakes), the sub-linear ramp on small files, and the linear
+// 1/throughput slope on large ones — all three are modelled here.
+package tcpmodel
+
+import (
+	"math"
+
+	"detournet/internal/fluid"
+	"detournet/internal/simclock"
+)
+
+// Params are per-connection TCP/TLS constants.
+type Params struct {
+	// MSS is the maximum segment size in bytes. Default 1460.
+	MSS float64
+	// InitCwndSegments is the initial congestion window in segments
+	// (RFC 6928's IW10 was deployed by 2015). Default 10.
+	InitCwndSegments float64
+	// RwndBytes is the receive-window cap in bytes; throughput never
+	// exceeds RwndBytes/RTT. Default 1 MiB, a typical 2015 default for
+	// untuned Linux hosts such as PlanetLab slivers.
+	RwndBytes float64
+	// ConnectRTTs is the round trips consumed before the first data byte
+	// on a new TCP connection. Default 1 (SYN, SYN-ACK, then data rides
+	// with the ACK).
+	ConnectRTTs float64
+	// TLSRTTs is the extra round trips for a full TLS handshake. Default
+	// 2 (TLS 1.2 without resumption, as the 2015 provider endpoints).
+	TLSRTTs float64
+}
+
+// WithDefaults fills zero fields with the defaults above.
+func (p Params) WithDefaults() Params {
+	if p.MSS <= 0 {
+		p.MSS = 1460
+	}
+	if p.InitCwndSegments <= 0 {
+		p.InitCwndSegments = 10
+	}
+	if p.RwndBytes <= 0 {
+		p.RwndBytes = 1 << 20
+	}
+	if p.ConnectRTTs <= 0 {
+		p.ConnectRTTs = 1
+	}
+	if p.TLSRTTs <= 0 {
+		p.TLSRTTs = 2
+	}
+	return p
+}
+
+// ConnectDelay returns the virtual time consumed by connection
+// establishment on a path with the given RTT, including TLS when tls is
+// set.
+func (p Params) ConnectDelay(rtt float64, tls bool) float64 {
+	p = p.WithDefaults()
+	d := p.ConnectRTTs * rtt
+	if tls {
+		d += p.TLSRTTs * rtt
+	}
+	return d
+}
+
+// MaxRate returns the receive-window throughput ceiling for a path RTT.
+func (p Params) MaxRate(rtt float64) float64 {
+	p = p.WithDefaults()
+	if rtt <= 0 {
+		return math.Inf(1)
+	}
+	return p.RwndBytes / rtt
+}
+
+// Cwnd is the congestion window of one connection, persisting across the
+// multiple transfers (HTTP requests, upload chunks) that reuse it — the
+// reason a chunked upload over one connection ramps only once while one
+// connection per chunk pays the ramp repeatedly.
+type Cwnd struct {
+	bytes float64
+}
+
+// NewCwnd returns a window at the initial size IW*MSS.
+func NewCwnd(p Params) *Cwnd {
+	p = p.WithDefaults()
+	return &Cwnd{bytes: p.InitCwndSegments * p.MSS}
+}
+
+// Bytes returns the current window size in bytes.
+func (c *Cwnd) Bytes() float64 { return c.bytes }
+
+// RateCap returns the window-limited rate for a path RTT.
+func (c *Cwnd) RateCap(rtt float64) float64 {
+	if rtt <= 0 {
+		return math.Inf(1)
+	}
+	return c.bytes / rtt
+}
+
+// Ramp grows a connection's window while a fluid flow is active,
+// doubling each RTT (slow start) up to the receive window, and keeps the
+// flow's rate cap in sync. One Ramp drives one flow; create a new Ramp
+// per transfer but share the Cwnd per connection.
+type Ramp struct {
+	fl      *fluid.Network
+	flow    *fluid.Flow
+	cwnd    *Cwnd
+	params  Params
+	rtt     float64
+	stopped bool
+	next    *simclock.Event
+}
+
+// StartRamp applies the window cap to the flow and begins doubling. The
+// returned Ramp stops itself when the flow finishes; Stop cancels early.
+func StartRamp(fl *fluid.Network, flow *fluid.Flow, cwnd *Cwnd, params Params, rtt float64) *Ramp {
+	if fl == nil || flow == nil || cwnd == nil {
+		panic("tcpmodel: nil argument")
+	}
+	if rtt <= 0 {
+		panic("tcpmodel: non-positive rtt")
+	}
+	r := &Ramp{fl: fl, flow: flow, cwnd: cwnd, params: params.WithDefaults(), rtt: rtt}
+	fl.SetFlowCap(flow, cwnd.RateCap(rtt))
+	r.schedule()
+	return r
+}
+
+func (r *Ramp) schedule() {
+	if r.cwnd.bytes >= r.params.RwndBytes {
+		return // fully ramped; the cap is already at the ceiling
+	}
+	r.next = r.fl.Engine().After(r.rtt, r.step)
+}
+
+func (r *Ramp) step() {
+	if r.stopped || r.flow.State() != fluid.FlowActive {
+		return
+	}
+	r.cwnd.bytes = math.Min(r.cwnd.bytes*2, r.params.RwndBytes)
+	r.fl.SetFlowCap(r.flow, r.cwnd.RateCap(r.rtt))
+	r.schedule()
+}
+
+// Stop cancels future window growth (the current cap stays in place).
+func (r *Ramp) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	if r.next != nil {
+		r.fl.Engine().Cancel(r.next)
+		r.next = nil
+	}
+}
+
+// EstimateTransferTime returns the closed-form time to move size bytes
+// over a path with the given steady rate and RTT under this model:
+// slow-start doublings from the initial window, then the steady rate.
+// The detour selector uses it to predict transfer times from probe data.
+func (p Params) EstimateTransferTime(size, steadyRate, rtt float64) float64 {
+	p = p.WithDefaults()
+	if size <= 0 {
+		return 0
+	}
+	if steadyRate <= 0 {
+		return math.Inf(1)
+	}
+	steadyRate = math.Min(steadyRate, p.MaxRate(rtt))
+	w := p.InitCwndSegments * p.MSS // bytes sent in the first RTT
+	var t, sent float64
+	for sent < size && w < steadyRate*rtt {
+		send := math.Min(w, size-sent)
+		sent += send
+		t += rtt
+		w *= 2
+	}
+	if sent < size {
+		t += (size - sent) / steadyRate
+	}
+	return t
+}

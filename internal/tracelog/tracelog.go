@@ -1,0 +1,131 @@
+// Package tracelog records structured events on the virtual timeline —
+// the observability layer a production detour deployment would ship:
+// which route a transfer took, how long each hop ran, what the relay
+// agent did. Events serialize as JSON lines for offline analysis.
+package tracelog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"detournet/internal/simclock"
+)
+
+// Event is one timestamped record.
+type Event struct {
+	// At is the virtual time in seconds.
+	At float64 `json:"t"`
+	// Kind is a dotted event name, e.g. "detour.upload.done".
+	Kind string `json:"kind"`
+	// Attrs carries event fields (strings and numbers).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Log collects events. The zero value is not usable; use New. A nil
+// *Log is safe to emit into (no-op), so instrumented code never needs
+// nil checks at call sites.
+type Log struct {
+	eng    *simclock.Engine
+	events []Event
+	// Cap bounds retained events (FIFO eviction); zero means unbounded.
+	Cap int
+}
+
+// New returns an empty log on the clock.
+func New(eng *simclock.Engine) *Log {
+	if eng == nil {
+		panic("tracelog: nil engine")
+	}
+	return &Log{eng: eng}
+}
+
+// Emit appends an event at the current virtual time. Emit on a nil log
+// is a no-op.
+func (l *Log) Emit(kind string, attrs map[string]any) {
+	if l == nil {
+		return
+	}
+	if kind == "" {
+		panic("tracelog: empty event kind")
+	}
+	l.events = append(l.events, Event{At: float64(l.eng.Now()), Kind: kind, Attrs: attrs})
+	if l.Cap > 0 && len(l.events) > l.Cap {
+		l.events = l.events[len(l.events)-l.Cap:]
+	}
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Events returns a copy of the retained events in emission order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return append([]Event(nil), l.events...)
+}
+
+// Filter returns events whose kind matches the prefix (dotted segments).
+func (l *Log) Filter(prefix string) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == prefix || strings.HasPrefix(e.Kind, prefix+".") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all retained events.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.events = l.events[:0]
+}
+
+// WriteJSONL streams the events as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range l.events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders per-kind counts, for quick inspection.
+func (l *Log) Summary() string {
+	if l == nil {
+		return ""
+	}
+	counts := map[string]int{}
+	for _, e := range l.events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-28s %d\n", k, counts[k])
+	}
+	return b.String()
+}

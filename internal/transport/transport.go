@@ -1,0 +1,337 @@
+// Package transport provides a blocking, connection-oriented byte
+// transport over the simulated WAN — the layer the HTTP, rsync, and
+// cloud-SDK code is written against, mirroring how the paper's Java
+// clients sat on TCP sockets.
+//
+// A Conn is one TCP(-ish) connection: Dial pays connect + TLS handshake
+// round trips, each direction has its own congestion window that
+// slow-starts once per connection (so protocols that reuse a connection
+// ramp once, and protocols that reconnect per chunk pay the ramp every
+// time), and message delivery adds the path's one-way propagation delay.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"detournet/internal/fluid"
+	"detournet/internal/simproc"
+	"detournet/internal/tcpmodel"
+	"detournet/internal/topology"
+)
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// ErrRefused is returned by Dial when nothing listens at the address.
+var ErrRefused = errors.New("transport: connection refused")
+
+// EOF signals the peer closed the connection cleanly.
+var EOF = errors.New("transport: EOF")
+
+// DefaultOverheadFactor inflates application bytes to wire bytes
+// (TCP/IP/TLS framing, ~3 %).
+const DefaultOverheadFactor = 1.03
+
+// minWireBytes floors tiny messages at one packet's worth of bytes.
+const minWireBytes = 64
+
+// Net is the transport factory bound to a topology.
+type Net struct {
+	g      *topology.Graph
+	runner *simproc.Runner
+	params tcpmodel.Params
+
+	// OverheadFactor converts payload bytes to wire bytes; defaults to
+	// DefaultOverheadFactor.
+	OverheadFactor float64
+
+	listeners map[string]*Listener
+}
+
+// NewNet returns a transport over the graph. params zero-values are
+// filled with tcpmodel defaults.
+func NewNet(g *topology.Graph, r *simproc.Runner, params tcpmodel.Params) *Net {
+	if g == nil || r == nil {
+		panic("transport: nil graph or runner")
+	}
+	return &Net{
+		g:              g,
+		runner:         r,
+		params:         params.WithDefaults(),
+		OverheadFactor: DefaultOverheadFactor,
+		listeners:      make(map[string]*Listener),
+	}
+}
+
+// Graph returns the underlying topology.
+func (n *Net) Graph() *topology.Graph { return n.g }
+
+// Runner returns the process runner.
+func (n *Net) Runner() *simproc.Runner { return n.runner }
+
+// Params returns the default TCP parameters.
+func (n *Net) Params() tcpmodel.Params { return n.params }
+
+func addrKey(host string, port int) string { return fmt.Sprintf("%s:%d", host, port) }
+
+// Listener accepts incoming connections at a host:port.
+type Listener struct {
+	net     *Net
+	host    string
+	port    int
+	backlog *simproc.Queue[*Conn]
+	closed  bool
+}
+
+// Listen binds a listener. The host must exist in the topology.
+func (n *Net) Listen(host string, port int) (*Listener, error) {
+	if _, ok := n.g.Node(host); !ok {
+		return nil, fmt.Errorf("transport: unknown host %q", host)
+	}
+	key := addrKey(host, port)
+	if _, ok := n.listeners[key]; ok {
+		return nil, fmt.Errorf("transport: address %s already bound", key)
+	}
+	l := &Listener{net: n, host: host, port: port, backlog: simproc.NewQueue[*Conn](n.runner)}
+	n.listeners[key] = l
+	return l, nil
+}
+
+// MustListen is Listen, panicking on error; for static server setup.
+func (n *Net) MustListen(host string, port int) *Listener {
+	l, err := n.Listen(host, port)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Accept blocks until a connection arrives and returns its server end.
+func (l *Listener) Accept(p *simproc.Proc) (*Conn, error) {
+	if l.closed {
+		return nil, ErrClosed
+	}
+	c := l.backlog.Pop(p)
+	if c == nil {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close unbinds the listener and wakes pending Accepts with an error.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.net.listeners, addrKey(l.host, l.port))
+	l.backlog.Push(nil)
+}
+
+// Addr returns the listener's bind address.
+func (l *Listener) Addr() string { return addrKey(l.host, l.port) }
+
+// DialOpts tunes one connection.
+type DialOpts struct {
+	// TLS adds the TLS handshake round trips and marks the connection
+	// encrypted.
+	TLS bool
+	// Params overrides the Net's TCP parameters for this connection.
+	Params *tcpmodel.Params
+}
+
+// Message is one application message as received.
+type Message struct {
+	// Payload is the application object (HTTP request, rsync frame, ...).
+	Payload any
+	// Bytes is the payload's size used for wire timing.
+	Bytes float64
+}
+
+type inboxItem struct {
+	msg Message
+	err error
+}
+
+// Conn is one endpoint of an established connection.
+type Conn struct {
+	net    *Net
+	local  string
+	remote string
+	port   int
+	tls    bool
+	params tcpmodel.Params
+
+	rtt      float64
+	fwdLinks []*fluid.Link
+	fwdDelay float64
+
+	sendCwnd    *tcpmodel.Cwnd
+	sendBusy    bool
+	sendWaiters []*simproc.Future[bool]
+
+	inbox  *simproc.Queue[inboxItem]
+	peer   *Conn
+	closed bool
+}
+
+// Dial connects from srcHost to dstHost:port, blocking through the
+// routing lookup and TCP/TLS handshakes. The returned connection's
+// server end is delivered to the destination listener.
+func (n *Net) Dial(p *simproc.Proc, srcHost, dstHost string, port int, opts DialOpts) (*Conn, error) {
+	l, ok := n.listeners[addrKey(dstHost, port)]
+	if !ok || l.closed {
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addrKey(dstHost, port))
+	}
+	fwd, err := n.g.RoutedLinks(srcHost, dstHost)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	rev, err := n.g.RoutedLinks(dstHost, srcHost)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	params := n.params
+	if opts.Params != nil {
+		params = opts.Params.WithDefaults()
+	}
+	rtt := fluid.PathDelay(fwd) + fluid.PathDelay(rev)
+	p.Sleep(params.ConnectDelay(rtt, opts.TLS))
+	if l.closed { // listener vanished during the handshake
+		return nil, fmt.Errorf("%w: %s", ErrRefused, addrKey(dstHost, port))
+	}
+
+	client := &Conn{
+		net: n, local: srcHost, remote: dstHost, port: port, tls: opts.TLS,
+		params: params, rtt: rtt,
+		fwdLinks: fwd, fwdDelay: fluid.PathDelay(fwd),
+		sendCwnd: tcpmodel.NewCwnd(params),
+		inbox:    simproc.NewQueue[inboxItem](n.runner),
+	}
+	server := &Conn{
+		net: n, local: dstHost, remote: srcHost, port: port, tls: opts.TLS,
+		params: params, rtt: rtt,
+		fwdLinks: rev, fwdDelay: fluid.PathDelay(rev),
+		sendCwnd: tcpmodel.NewCwnd(params),
+		inbox:    simproc.NewQueue[inboxItem](n.runner),
+	}
+	client.peer = server
+	server.peer = client
+	l.backlog.Push(server)
+	return client, nil
+}
+
+// LocalHost returns this endpoint's host name.
+func (c *Conn) LocalHost() string { return c.local }
+
+// RemoteHost returns the peer's host name.
+func (c *Conn) RemoteHost() string { return c.remote }
+
+// RTT returns the connection's round-trip propagation delay in seconds.
+func (c *Conn) RTT() float64 { return c.rtt }
+
+// TLS reports whether the connection carried a TLS handshake.
+func (c *Conn) TLS() bool { return c.tls }
+
+// acquireSend serializes senders in this direction, FIFO.
+func (c *Conn) acquireSend(p *simproc.Proc) {
+	for c.sendBusy {
+		f := simproc.NewFuture[bool](c.net.runner)
+		c.sendWaiters = append(c.sendWaiters, f)
+		simproc.Await(p, f)
+	}
+	c.sendBusy = true
+}
+
+func (c *Conn) releaseSend() {
+	c.sendBusy = false
+	if len(c.sendWaiters) > 0 {
+		f := c.sendWaiters[0]
+		c.sendWaiters = c.sendWaiters[1:]
+		f.Set(true)
+	}
+}
+
+// Send transmits payload as size application bytes, blocking until the
+// last byte leaves the sender (wire time under the connection's window
+// and the path's fair share). The peer receives the message one-way
+// propagation later.
+func (c *Conn) Send(p *simproc.Proc, payload any, size float64) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if size < 0 {
+		return fmt.Errorf("transport: negative size %v", size)
+	}
+	c.acquireSend(p)
+	defer c.releaseSend()
+	if c.closed {
+		return ErrClosed
+	}
+	wire := size*c.net.OverheadFactor + minWireBytes
+	fl := c.net.g.Fluid()
+	done := simproc.NewFuture[bool](c.net.runner)
+	flow := fl.StartFlow(c.fwdLinks, wire, fluid.FlowOpts{
+		Label:      fmt.Sprintf("%s->%s:%d", c.local, c.remote, c.port),
+		OnComplete: func(*fluid.Flow) { done.Set(true) },
+	})
+	ramp := tcpmodel.StartRamp(fl, flow, c.sendCwnd, c.params, c.rtt)
+	simproc.Await(p, done)
+	ramp.Stop()
+	peer := c.peer
+	msg := Message{Payload: payload, Bytes: size}
+	c.net.runner.Engine().After(c.fwdDelay, func() {
+		if !peer.closed {
+			peer.inbox.Push(inboxItem{msg: msg})
+		}
+	})
+	return nil
+}
+
+// Recv blocks until a message (or close) arrives from the peer.
+func (c *Conn) Recv(p *simproc.Proc) (Message, error) {
+	if c.closed {
+		return Message{}, ErrClosed
+	}
+	it := c.inbox.Pop(p)
+	return it.msg, it.err
+}
+
+// TryRecv returns a queued message without blocking.
+func (c *Conn) TryRecv() (Message, bool) {
+	it, ok := c.inbox.TryPop()
+	if !ok || it.err != nil {
+		return Message{}, false
+	}
+	return it.msg, true
+}
+
+// Close shuts down both directions. The peer's pending and future Recvs
+// observe EOF after one-way propagation. Close is idempotent.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	peer := c.peer
+	c.net.runner.Engine().After(c.fwdDelay, func() {
+		if !peer.closed {
+			peer.inbox.Push(inboxItem{err: EOF})
+		}
+	})
+	// Unblock local receivers too.
+	c.inbox.Push(inboxItem{err: ErrClosed})
+}
+
+// Closed reports whether this end was closed locally.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Exchange is the common request/response idiom: send a message, then
+// block for the reply.
+func (c *Conn) Exchange(p *simproc.Proc, payload any, sendBytes float64) (Message, error) {
+	if err := c.Send(p, payload, sendBytes); err != nil {
+		return Message{}, err
+	}
+	return c.Recv(p)
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixed(t *testing.T) {
+	d := Fixed{Bytes: 42}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		if d.Sample(rng) != 42 {
+			t.Fatal("Fixed varied")
+		}
+	}
+}
+
+func TestLognormalShape(t *testing.T) {
+	d := Lognormal{MedianBytes: 1e6, Sigma: 1.5}
+	rng := rand.New(rand.NewSource(2))
+	var below, n int
+	var max float64
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(rng)
+		if x < 1 {
+			t.Fatalf("sample below 1 byte: %v", x)
+		}
+		if x < 1e6 {
+			below++
+		}
+		if x > max {
+			max = x
+		}
+		n++
+	}
+	// Median property: ~half below exp(mu).
+	frac := float64(below) / float64(n)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("median fraction = %v", frac)
+	}
+	// Heavy tail: the max of 10k samples should exceed 50x the median.
+	if max < 50e6 {
+		t.Fatalf("no heavy tail: max = %v", max)
+	}
+}
+
+func TestLognormalTruncation(t *testing.T) {
+	d := Lognormal{MedianBytes: 1e6, Sigma: 2.5, MaxBytes: 10e6}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		if x := d.Sample(rng); x > 10e6 {
+			t.Fatalf("truncation failed: %v", x)
+		}
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewEmpirical([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewEmpirical([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewEmpirical([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestEmpiricalProportions(t *testing.T) {
+	e, err := NewEmpirical([]float64{10, 20}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := map[float64]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[e.Sample(rng)]++
+	}
+	frac := float64(counts[10]) / float64(n)
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("weight-3 bucket fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestPersonalCloudMix(t *testing.T) {
+	d := PersonalCloud()
+	rng := rand.New(rand.NewSource(5))
+	var small, large int
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(rng)
+		if x <= 300e3 {
+			small++
+		}
+		if x >= 30e6 {
+			large++
+		}
+	}
+	// Counts dominated by small files, but a real large-file tail exists.
+	if small < 5500 || large < 500 {
+		t.Fatalf("mix off: small=%d large=%d", small, large)
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := Poisson{RatePerSec: 0.5}
+	rng := rand.New(rand.NewSource(6))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(rng)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += g
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.0) > 0.1 {
+		t.Fatalf("mean gap = %v, want ~2", mean)
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	jobs := Generate(50, Fixed{Bytes: 1e6}, Periodic{GapSec: 10}, rng)
+	if len(jobs) != 50 {
+		t.Fatalf("len = %d", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.At != float64(i+1)*10 {
+			t.Fatalf("job %d at %v", i, j.At)
+		}
+		if j.Size != 1e6 || j.Name == "" {
+			t.Fatalf("job = %+v", j)
+		}
+	}
+	if TotalBytes(jobs) != 50e6 {
+		t.Fatalf("TotalBytes = %v", TotalBytes(jobs))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() []Job {
+		return Generate(20, PersonalCloud(), Poisson{RatePerSec: 0.1}, rand.New(rand.NewSource(8)))
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestPropertyArrivalsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := Generate(30, PersonalCloud(), Poisson{RatePerSec: 1}, rng)
+		for i := 1; i < len(jobs); i++ {
+			if jobs[i].At < jobs[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package xtraffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"detournet/internal/fluid"
+	"detournet/internal/simclock"
+)
+
+func setup() (*simclock.Engine, *fluid.Network, *fluid.Link) {
+	eng := simclock.NewEngine()
+	fl := fluid.New(eng)
+	l := fl.AddLink("l", 100, 0.001)
+	return eng, fl, l
+}
+
+func TestLoadStaysInBounds(t *testing.T) {
+	eng, fl, l := setup()
+	p := Attach(fl, l, Config{MeanLoad: 0.5, Burstiness: 1}, rand.New(rand.NewSource(1)))
+	for i := 0; i < 200; i++ {
+		eng.Advance(5)
+		if p.Load() < 0 || p.Load() > 0.95 {
+			t.Fatalf("load out of bounds: %v", p.Load())
+		}
+		if l.Load() != p.Load() {
+			t.Fatalf("link load %v != process load %v", l.Load(), p.Load())
+		}
+	}
+	p.Stop()
+}
+
+func TestMeanLoadApproximatelyHeld(t *testing.T) {
+	eng, fl, l := setup()
+	p := Attach(fl, l, Config{MeanLoad: 0.4, Burstiness: 0.5, Interval: 1}, rand.New(rand.NewSource(7)))
+	var sum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		eng.Advance(1)
+		sum += p.Load()
+	}
+	avg := sum / float64(n)
+	if avg < 0.3 || avg > 0.5 {
+		t.Fatalf("long-run average load = %v, want ~0.4", avg)
+	}
+	p.Stop()
+}
+
+func TestZeroBurstinessIsConstant(t *testing.T) {
+	eng, fl, l := setup()
+	p := Attach(fl, l, Config{MeanLoad: 0.3, Burstiness: 0}, rand.New(rand.NewSource(2)))
+	for i := 0; i < 50; i++ {
+		eng.Advance(5)
+		if p.Load() != 0.3 {
+			t.Fatalf("burstiness 0 load = %v, want exactly 0.3", p.Load())
+		}
+	}
+	p.Stop()
+	if l.Load() != 0 {
+		t.Fatal("Stop did not clear link load")
+	}
+}
+
+func TestStopHaltsResampling(t *testing.T) {
+	eng, fl, l := setup()
+	p := Attach(fl, l, Config{MeanLoad: 0.5, Burstiness: 1}, rand.New(rand.NewSource(3)))
+	p.Stop()
+	p.Stop() // idempotent
+	if eng.Pending() != 0 {
+		t.Fatalf("events still pending after Stop: %d", eng.Pending())
+	}
+	_ = l
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	trace := func(seed int64) []float64 {
+		eng, fl, l := setup()
+		p := Attach(fl, l, Config{MeanLoad: 0.5, Burstiness: 0.8}, rand.New(rand.NewSource(seed)))
+		var out []float64
+		for i := 0; i < 30; i++ {
+			eng.Advance(5)
+			out = append(out, p.Load())
+		}
+		p.Stop()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestAutocorrelationPersists(t *testing.T) {
+	// With high alpha, consecutive samples should be closer than samples
+	// far apart, on average.
+	eng, fl, l := setup()
+	p := Attach(fl, l, Config{MeanLoad: 0.5, Burstiness: 1, Interval: 1, Alpha: 0.9}, rand.New(rand.NewSource(11)))
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		eng.Advance(1)
+		xs = append(xs, p.Load())
+	}
+	p.Stop()
+	var d1, d10 float64
+	for i := 0; i+10 < len(xs); i++ {
+		d1 += abs(xs[i+1] - xs[i])
+		d10 += abs(xs[i+10] - xs[i])
+	}
+	if d1 >= d10 {
+		t.Fatalf("no autocorrelation: adjacent diffs %v >= lag-10 diffs %v", d1, d10)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestControllerStopAll(t *testing.T) {
+	eng, fl, _ := setup()
+	c := NewController()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 4; i++ {
+		l := fl.AddLink("x", 100, 0)
+		c.Attach(fl, l, Config{MeanLoad: 0.5, Burstiness: 0.5}, rng)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	eng.Advance(20)
+	c.StopAll()
+	if eng.Pending() != 0 {
+		t.Fatalf("pending events after StopAll: %d", eng.Pending())
+	}
+}
+
+func TestCrossTrafficSlowsForegroundFlow(t *testing.T) {
+	eng, fl, l := setup()
+	Attach(fl, l, Config{MeanLoad: 0.5, Burstiness: 0}, rand.New(rand.NewSource(9)))
+	f := fl.StartFlow([]*fluid.Link{l}, 1000, fluid.FlowOpts{})
+	// Link capacity 100, half loaded -> rate 50 -> 20s.
+	eng.RunUntil(25)
+	if f.State() != fluid.FlowDone {
+		t.Fatal("flow not done by t=25")
+	}
+	got := float64(f.FinishedAt())
+	if got < 19.9 || got > 20.1 {
+		t.Fatalf("finish at %v, want 20", got)
+	}
+}
+
+func TestConfigClamping(t *testing.T) {
+	c := Config{MeanLoad: 2, Burstiness: -1, Alpha: 1.5}.withDefaults()
+	if c.MeanLoad != 0.95 || c.Burstiness != 0 || c.Alpha >= 1 {
+		t.Fatalf("clamping wrong: %+v", c)
+	}
+	if c.Interval != 5 {
+		t.Fatalf("default interval = %v", c.Interval)
+	}
+}
