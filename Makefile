@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race bench check fleet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fleet:
+	$(GO) run ./examples/fleet
+
+# The gate PRs must pass: everything compiles, vets clean, and the full
+# test suite (including the really-concurrent scheduler) is race-clean.
+check:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...

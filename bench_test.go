@@ -11,6 +11,7 @@ package detournet
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -24,12 +25,14 @@ import (
 	"detournet/internal/overlay"
 	"detournet/internal/rsyncx"
 	"detournet/internal/scenario"
+	"detournet/internal/sched"
 	"detournet/internal/sdk"
 	"detournet/internal/simclock"
 	"detournet/internal/simproc"
 	"detournet/internal/tcpmodel"
 	"detournet/internal/topology"
 	"detournet/internal/transport"
+	"detournet/internal/workload"
 )
 
 var printed sync.Map
@@ -518,4 +521,95 @@ func BenchmarkExtensionProviderPOP(b *testing.B) {
 		"Extension: UBC->GoogleDrive 100MB — direct %.1f s, UAlberta detour %.1f s, Vancouver POP %.1f s",
 		direct, detour, viaPOP))
 	b.ReportMetric(direct/viaPOP, "pop-speedup")
+}
+
+// --- Scheduler control plane (internal/sched) ---
+
+// schedBenchTrace is a fixed 512-job fleet trace shared by the drain
+// benchmarks, generated once so trace synthesis stays off the clock.
+var schedBenchTrace = func() []workload.FleetJob {
+	trace, err := workload.GenerateFleet(workload.FleetSpec{
+		Jobs:    512,
+		Clients: []string{scenario.UBC, scenario.Purdue, scenario.UCLA},
+		Providers: []string{
+			scenario.GoogleDrive, scenario.Dropbox, scenario.OneDrive,
+		},
+	}, rand.New(rand.NewSource(42)))
+	if err != nil {
+		panic(err)
+	}
+	return trace
+}()
+
+// benchSchedulerDrain measures control-plane throughput — queue, caps,
+// cache, and bookkeeping — with an executor that completes instantly,
+// so jobs/s reflects scheduler overhead rather than transfer time.
+func benchSchedulerDrain(b *testing.B, workers int) {
+	b.Helper()
+	exec := sched.ExecutorFunc(func(j sched.Job, r core.Route) (float64, error) {
+		return j.Size / 10e6, nil
+	})
+	plan := sched.PlannerFunc(func(client, provider string, size float64) (core.Route, []core.Route, error) {
+		return core.ViaRoute(scenario.UAlberta), scenario.Routes(), nil
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sched.New(sched.Config{
+			Workers: workers, Executor: exec, Planner: plan,
+			ProviderCap: -1, DTNCap: -1,
+		})
+		s.Start()
+		for _, fj := range schedBenchTrace {
+			if err := s.Submit(sched.Job{
+				Tenant: fj.Tenant, Client: fj.Client, Provider: fj.Provider,
+				Name: fj.Name, Size: fj.Size, Priority: fj.Priority,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Drain()
+		s.Close()
+		if st := s.Stats(); st.Done != int64(len(schedBenchTrace)) {
+			b.Fatalf("done=%d, want %d", st.Done, len(schedBenchTrace))
+		}
+	}
+	jobs := float64(b.N) * float64(len(schedBenchTrace))
+	b.ReportMetric(jobs/b.Elapsed().Seconds(), "jobs/s")
+}
+
+func BenchmarkSchedulerDrain1Worker(b *testing.B)   { benchSchedulerDrain(b, 1) }
+func BenchmarkSchedulerDrain8Workers(b *testing.B)  { benchSchedulerDrain(b, 8) }
+func BenchmarkSchedulerDrain64Workers(b *testing.B) { benchSchedulerDrain(b, 64) }
+
+// BenchmarkSchedulerRouteCacheHit measures the steady-state fast path:
+// repeated traffic on an already-decided (client, provider, bucket) key.
+func BenchmarkSchedulerRouteCacheHit(b *testing.B) {
+	clock := 0.0
+	c := sched.NewRouteCache(1e9, 1e9, func() float64 { return clock }, rand.New(rand.NewSource(1)))
+	k := sched.KeyFor(scenario.UBC, scenario.GoogleDrive, 100*fileutil.MB)
+	c.Insert(k, core.ViaRoute(scenario.UAlberta), scenario.Routes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(k); !ok {
+			b.Fatal("unexpected miss")
+		}
+	}
+	b.ReportMetric(c.HitRate(), "hit-rate")
+}
+
+// BenchmarkSchedulerRouteCacheMiss measures the miss path a first-seen
+// key pays before probing even starts: the failed lookup plus the
+// insert that builds the per-key bandit over the candidate routes.
+func BenchmarkSchedulerRouteCacheMiss(b *testing.B) {
+	clock := 0.0
+	c := sched.NewRouteCache(1e9, 1e9, func() float64 { return clock }, rand.New(rand.NewSource(1)))
+	routes := scenario.Routes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := sched.KeyFor(fmt.Sprintf("client-%d", i), scenario.GoogleDrive, 100*fileutil.MB)
+		if _, ok := c.Lookup(k); ok {
+			b.Fatal("unexpected hit")
+		}
+		c.Insert(k, core.ViaRoute(scenario.UAlberta), routes)
+	}
 }

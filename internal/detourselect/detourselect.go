@@ -130,15 +130,29 @@ type Bandit struct {
 	alpha float64
 }
 
-// NewBandit returns a selector over the given routes.
+// NewBandit returns a selector over the given routes with its own
+// rng derived from seed — the historical default.
 func NewBandit(routes []core.Route, seed int64) *Bandit {
+	return NewBanditRand(routes, rand.New(rand.NewSource(seed)))
+}
+
+// NewBanditRand returns a selector over the given routes that draws
+// exploration from the injected rng. Callers that drive many bandits
+// (the scheduler's route cache keeps one per cache key) share a single
+// seeded source so whole runs replay bit-for-bit. The rng must not be
+// used concurrently with the bandit's methods; the bandit itself adds
+// no locking.
+func NewBanditRand(routes []core.Route, rng *rand.Rand) *Bandit {
 	if len(routes) == 0 {
 		panic("detourselect: bandit needs routes")
+	}
+	if rng == nil {
+		panic("detourselect: bandit needs an rng")
 	}
 	return &Bandit{
 		Epsilon: 0.1,
 		routes:  append([]core.Route(nil), routes...),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rng,
 		ewma:    make(map[core.Route]float64),
 		seen:    make(map[core.Route]int),
 		alpha:   0.3,

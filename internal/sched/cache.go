@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+
+	"detournet/internal/core"
+	"detournet/internal/detourselect"
+)
+
+// CacheKey identifies one route decision. Size enters through a coarse
+// bucket because the best route depends on file size (the paper's
+// central size-dependence result), but caching per exact byte count
+// would never hit.
+type CacheKey struct {
+	Client   string
+	Provider string
+	// SizeBucket is a base-4 magnitude bucket of the file size (see
+	// SizeBucket).
+	SizeBucket int
+}
+
+// SizeBucket buckets a byte count: 0 for sub-megabyte files, then one
+// bucket per 4x of size (1–4 MB, 4–16 MB, 16–64 MB, ...), capped at 8.
+// Within a bucket the ranking of routes is stable even though absolute
+// times differ.
+func SizeBucket(bytes float64) int {
+	mb := bytes / 1e6
+	b := 0
+	for mb >= 1 && b < 8 {
+		mb /= 4
+		b++
+	}
+	return b
+}
+
+// KeyFor builds the cache key for one transfer.
+func KeyFor(client, provider string, size float64) CacheKey {
+	return CacheKey{Client: client, Provider: provider, SizeBucket: SizeBucket(size)}
+}
+
+// entry is one cached decision plus the online state that refines it.
+type entry struct {
+	route      core.Route
+	expires    float64
+	candidates []core.Route
+	// bandit keeps per-route throughput estimates from completed
+	// transfers, so repeated traffic refreshes the decision without
+	// re-probing.
+	bandit *detourselect.Bandit
+	// quarantined benches failed detours until the given clock time.
+	quarantined map[core.Route]float64
+}
+
+// RouteCache caches route decisions with TTL expiry, failure-driven
+// invalidation, and bandit-driven refresh. It is safe for concurrent
+// use.
+type RouteCache struct {
+	mu          sync.Mutex
+	ttl         float64
+	quarantine  float64
+	now         func() float64
+	rng         *rand.Rand
+	entries     map[CacheKey]*entry
+	hits        int64
+	misses      int64
+	invalidates int64
+}
+
+// NewRouteCache builds a cache. ttl and quarantineTTL are in the
+// clock's seconds; now is the clock; rng feeds the bandits.
+func NewRouteCache(ttl, quarantineTTL float64, now func() float64, rng *rand.Rand) *RouteCache {
+	if ttl <= 0 {
+		panic("sched: non-positive cache TTL")
+	}
+	if now == nil {
+		panic("sched: RouteCache needs a clock")
+	}
+	if quarantineTTL <= 0 {
+		quarantineTTL = ttl
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &RouteCache{
+		ttl: ttl, quarantine: quarantineTTL, now: now, rng: rng,
+		entries: make(map[CacheKey]*entry),
+	}
+}
+
+// Lookup returns the cached route for a key. A hit means the caller
+// skips probing entirely — including when the cached detour is
+// quarantined, in which case the entry has already been switched to
+// direct.
+func (c *RouteCache) Lookup(k CacheKey) (core.Route, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok || c.now() >= e.expires {
+		if ok {
+			delete(c.entries, k)
+		}
+		c.misses++
+		return core.Route{}, false
+	}
+	c.hits++
+	return e.route, true
+}
+
+// Insert stores a fresh decision for the TTL. candidates (may be nil)
+// are the routes the planner considered; they seed the bandit that
+// refines the decision from live traffic.
+func (c *RouteCache) Insert(k CacheKey, route core.Route, candidates []core.Route) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := &entry{
+		route:       route,
+		expires:     c.now() + c.ttl,
+		candidates:  append([]core.Route(nil), candidates...),
+		quarantined: make(map[core.Route]float64),
+	}
+	if len(e.candidates) > 0 {
+		e.bandit = detourselect.NewBanditRand(e.candidates, c.rng)
+	}
+	c.entries[k] = e
+}
+
+// Observe feeds a completed transfer back into the key's bandit and
+// lets the observed throughputs re-elect the cached route — repeated
+// traffic keeps the decision fresh without new probes.
+func (c *RouteCache) Observe(k CacheKey, route core.Route, sizeBytes, seconds float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok || e.bandit == nil {
+		return
+	}
+	e.bandit.Observe(route, sizeBytes, seconds)
+	now := c.now()
+	best, bestT := e.route, -1.0
+	for _, r := range e.candidates {
+		if until, q := e.quarantined[r]; q && now < until {
+			continue
+		}
+		if t := e.bandit.Throughput(r); t > bestT {
+			best, bestT = r, t
+		}
+	}
+	if bestT > 0 {
+		e.route = best
+	}
+}
+
+// Invalidate benches a failed route for the quarantine TTL. If it was
+// the cached decision, the entry switches to direct immediately — the
+// fleet stops sending traffic into a dead DTN without waiting for
+// expiry. Invalidating a direct route drops the whole entry (the next
+// job re-plans).
+func (c *RouteCache) Invalidate(k CacheKey, failed core.Route) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return
+	}
+	c.invalidates++
+	if failed.Kind == core.Direct {
+		delete(c.entries, k)
+		return
+	}
+	e.quarantined[failed] = c.now() + c.quarantine
+	if e.route == failed {
+		e.route = core.DirectRoute
+	}
+}
+
+// Len reports live (possibly expired-but-unswept) entries.
+func (c *RouteCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Counters returns lifetime hits, misses, and invalidations.
+func (c *RouteCache) Counters() (hits, misses, invalidations int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidates
+}
+
+// HitRate is hits/(hits+misses), 0 before any lookup.
+func (c *RouteCache) HitRate() float64 {
+	h, m, _ := c.Counters()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

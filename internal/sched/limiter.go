@@ -1,0 +1,130 @@
+package sched
+
+import "sync"
+
+// tenantBuckets is the admission control: one token bucket per tenant,
+// refilled at rate tokens/sec up to burst. rate <= 0 admits everything.
+type tenantBuckets struct {
+	mu    sync.Mutex
+	rate  float64
+	burst float64
+	now   func() float64
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   float64
+}
+
+func newTenantBuckets(rate, burst float64, now func() float64) *tenantBuckets {
+	return &tenantBuckets{rate: rate, burst: burst, now: now, m: make(map[string]*bucket)}
+}
+
+// allow consumes one token from the tenant's bucket if available.
+func (t *tenantBuckets) allow(tenant string) bool {
+	if t.rate <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.now()
+	b, ok := t.m[tenant]
+	if !ok {
+		b = &bucket{tokens: t.burst, last: n}
+		t.m[tenant] = b
+	}
+	b.tokens += (n - b.last) * t.rate
+	if b.tokens > t.burst {
+		b.tokens = t.burst
+	}
+	b.last = n
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// capTable enforces the per-provider and per-DTN concurrency caps with
+// counting semaphores under one lock, acquired atomically so a worker
+// never holds a provider slot while starving for a DTN slot.
+type capTable struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	providerCap int // <= 0 means unlimited
+	dtnCap      int // <= 0 means unlimited
+	prov, dtn   map[string]int
+	provPeak    map[string]int
+	dtnPeak     map[string]int
+	closed      bool
+}
+
+func newCapTable(providerCap, dtnCap int) *capTable {
+	c := &capTable{
+		providerCap: providerCap, dtnCap: dtnCap,
+		prov: make(map[string]int), dtn: make(map[string]int),
+		provPeak: make(map[string]int), dtnPeak: make(map[string]int),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// acquire blocks until both a provider slot and (for detours, dtn != "")
+// a DTN slot are free, then takes both. It returns ErrClosed if the
+// table is closed before slots free up.
+func (c *capTable) acquire(provider, dtn string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.closed && ((c.providerCap > 0 && c.prov[provider] >= c.providerCap) ||
+		(dtn != "" && c.dtnCap > 0 && c.dtn[dtn] >= c.dtnCap)) {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return ErrClosed
+	}
+	c.prov[provider]++
+	if c.prov[provider] > c.provPeak[provider] {
+		c.provPeak[provider] = c.prov[provider]
+	}
+	if dtn != "" {
+		c.dtn[dtn]++
+		if c.dtn[dtn] > c.dtnPeak[dtn] {
+			c.dtnPeak[dtn] = c.dtn[dtn]
+		}
+	}
+	return nil
+}
+
+// release frees the slots taken by the matching acquire.
+func (c *capTable) release(provider, dtn string) {
+	c.mu.Lock()
+	c.prov[provider]--
+	if dtn != "" {
+		c.dtn[dtn]--
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// close wakes every blocked acquire; they observe ErrClosed.
+func (c *capTable) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// snapshot copies the in-use and high-water maps.
+func (c *capTable) snapshot() (provInUse, provPeak, dtnInUse, dtnPeak map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := func(m map[string]int) map[string]int {
+		out := make(map[string]int, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
+	}
+	return cp(c.prov), cp(c.provPeak), cp(c.dtn), cp(c.dtnPeak)
+}

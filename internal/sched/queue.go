@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobQueue is the blocking priority queue between Submit and the worker
+// pool: higher priority first, earlier deadline next (no deadline sorts
+// last), FIFO within ties.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	h      jobHeap
+	seq    int64
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job; it never blocks.
+func (q *jobQueue) push(j Job) {
+	q.mu.Lock()
+	q.seq++
+	heap.Push(&q.h, queued{job: j, seq: q.seq})
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// pop dequeues the highest-priority job, blocking while the queue is
+// empty. It returns ok=false once the queue is closed.
+func (q *jobQueue) pop() (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.h.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return Job{}, false
+	}
+	return heap.Pop(&q.h).(queued).job, true
+}
+
+// tryPop dequeues without blocking (used to fail leftovers after close).
+func (q *jobQueue) tryPop() (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.h.Len() == 0 {
+		return Job{}, false
+	}
+	return heap.Pop(&q.h).(queued).job, true
+}
+
+// length reports how many jobs wait in the queue.
+func (q *jobQueue) length() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.h.Len()
+}
+
+// close wakes all blocked receivers; they observe ok=false.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+type queued struct {
+	job Job
+	seq int64
+}
+
+// before is the queue's strict ordering.
+func (a queued) before(b queued) bool {
+	if a.job.Priority != b.job.Priority {
+		return a.job.Priority > b.job.Priority
+	}
+	ad, bd := a.job.Deadline, b.job.Deadline
+	if ad != bd {
+		// 0 = no deadline = least urgent.
+		if ad == 0 {
+			return false
+		}
+		if bd == 0 {
+			return true
+		}
+		return ad < bd
+	}
+	return a.seq < b.seq
+}
+
+type jobHeap []queued
+
+func (h jobHeap) Len() int            { return len(h) }
+func (h jobHeap) Less(i, j int) bool  { return h[i].before(h[j]) }
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)         { *h = append(*h, x.(queued)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

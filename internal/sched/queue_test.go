@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	q := newJobQueue()
+	// Same priority: FIFO.
+	q.push(Job{Name: "a", Priority: 1})
+	q.push(Job{Name: "b", Priority: 1})
+	// Higher priority jumps ahead.
+	q.push(Job{Name: "c", Priority: 5})
+	// Deadlines break priority ties: earlier first, none last.
+	q.push(Job{Name: "d", Priority: 1, Deadline: 10})
+	q.push(Job{Name: "e", Priority: 1, Deadline: 5})
+
+	want := []string{"c", "e", "d", "a", "b"}
+	for i, w := range want {
+		j, ok := q.pop()
+		if !ok || j.Name != w {
+			t.Fatalf("pop[%d] = %q ok=%v, want %q", i, j.Name, ok, w)
+		}
+	}
+	if q.length() != 0 {
+		t.Fatalf("queue not empty: %d", q.length())
+	}
+}
+
+func TestQueueFIFOWithinLevel(t *testing.T) {
+	q := newJobQueue()
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.push(Job{Name: fmt.Sprintf("j%03d", i), Priority: 2})
+	}
+	for i := 0; i < n; i++ {
+		j, _ := q.pop()
+		if want := fmt.Sprintf("j%03d", i); j.Name != want {
+			t.Fatalf("pop[%d] = %s, want %s", i, j.Name, want)
+		}
+	}
+}
+
+func TestQueueCloseWakesReceivers(t *testing.T) {
+	q := newJobQueue()
+	done := make(chan bool)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, ok := q.pop()
+			done <- ok
+		}()
+	}
+	q.close()
+	for i := 0; i < 4; i++ {
+		if ok := <-done; ok {
+			t.Fatal("pop returned ok=true after close")
+		}
+	}
+	// tryPop still drains anything left behind.
+	if _, ok := q.tryPop(); ok {
+		t.Fatal("tryPop on empty closed queue returned a job")
+	}
+}

@@ -1,0 +1,538 @@
+// Package sched is the multi-tenant transfer-scheduler control plane:
+// the long-lived layer the paper's one-shot detours lack. It accepts
+// many concurrent upload jobs (tenant, provider, size, priority,
+// deadline), admits them through per-tenant rate limits, queues them by
+// priority, and drains them with a bounded worker pool that enforces
+// per-provider and per-DTN concurrency caps so detour nodes don't
+// self-congest.
+//
+// Route decisions come from a route cache keyed by (client, provider,
+// size bucket) with TTL expiry and failure-driven invalidation,
+// populated lazily from the probe selector and refreshed by the bandit
+// on repeated traffic — the expensive probing the paper leaves as open
+// work is paid once per key and amortized across the fleet. Failed hops
+// retry with capped, jittered exponential backoff and fall back from
+// detour to direct after repeated DTN failures.
+//
+// Unlike the simulation packages, the scheduler is really concurrent:
+// workers are goroutines and all shared state is lock-guarded, so it
+// runs (and is tested) under the race detector. The simulation plugs in
+// behind the Executor/Planner seams (see SimExecutor).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"detournet/internal/core"
+)
+
+// Job is one upload request submitted to the control plane.
+type Job struct {
+	// Tenant is the rate-limiting principal (a user, a site, an app).
+	Tenant string
+	// Client is the origin host the transfer leaves from.
+	Client string
+	// Provider is the destination cloud-storage service.
+	Provider string
+	// Name is the object name; it should be unique per provider.
+	Name string
+	// Size is the file size in bytes.
+	Size float64
+	// Priority orders the queue: higher drains sooner.
+	Priority int
+	// Deadline, when positive, is the scheduler-clock time after which
+	// the job is dropped instead of run. Zero means no deadline.
+	Deadline float64
+}
+
+// Result is the terminal outcome of one job.
+type Result struct {
+	Job   Job
+	Route core.Route
+	// Seconds is the successful transfer's duration (virtual seconds
+	// under the simulation executor).
+	Seconds float64
+	// Attempts counts executions, including the successful one.
+	Attempts int
+	// CacheHit reports whether the job rode a cached route decision
+	// (including decisions it coalesced onto) rather than paying a probe.
+	CacheHit bool
+	// Err is nil on success.
+	Err error
+}
+
+// Executor runs one transfer over a chosen route. Implementations must
+// be safe for concurrent use; Execute blocks until the transfer ends.
+type Executor interface {
+	Execute(job Job, route core.Route) (seconds float64, err error)
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(Job, core.Route) (float64, error)
+
+// Execute implements Executor.
+func (f ExecutorFunc) Execute(j Job, r core.Route) (float64, error) { return f(j, r) }
+
+// Planner makes the expensive route decision for a cache miss —
+// typically by probing every candidate path (detourselect.Selector).
+// It returns the chosen route plus the full candidate set the cache's
+// bandit keeps refining. Implementations must be concurrency-safe.
+type Planner interface {
+	Plan(client, provider string, size float64) (route core.Route, candidates []core.Route, err error)
+}
+
+// PlannerFunc adapts a function to the Planner interface.
+type PlannerFunc func(string, string, float64) (core.Route, []core.Route, error)
+
+// Plan implements Planner.
+func (f PlannerFunc) Plan(c, p string, s float64) (core.Route, []core.Route, error) { return f(c, p, s) }
+
+// Sentinel errors surfaced through Submit and Result.Err.
+var (
+	// ErrClosed reports a scheduler that has been shut down.
+	ErrClosed = errors.New("sched: scheduler closed")
+	// ErrRateLimited reports a Submit rejected by the tenant's bucket.
+	ErrRateLimited = errors.New("sched: tenant rate limited")
+	// ErrDeadline reports a job dropped because its deadline passed
+	// before a worker reached it.
+	ErrDeadline = errors.New("sched: deadline exceeded")
+)
+
+// Config tunes a Scheduler. Executor and Planner are required;
+// everything else has serviceable defaults.
+type Config struct {
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// Executor runs transfers; required.
+	Executor Executor
+	// Planner makes route decisions on cache misses; required.
+	Planner Planner
+
+	// ProviderCap bounds concurrent transfers per provider (default 4;
+	// <= -1 means unlimited).
+	ProviderCap int
+	// DTNCap bounds concurrent detour transfers per DTN (default 2;
+	// <= -1 means unlimited) — the knob that keeps detour nodes from
+	// self-congesting under fleet load.
+	DTNCap int
+
+	// MaxAttempts bounds executions per job, first try included
+	// (default 3).
+	MaxAttempts int
+	// DetourFailLimit is how many detour failures a job tolerates
+	// before the cached detour is invalidated and the job falls back to
+	// direct (default 2).
+	DetourFailLimit int
+
+	// TenantRate admits jobs per tenant at this sustained rate in
+	// jobs/sec (0 = unlimited). TenantBurst is the bucket depth
+	// (default max(1, TenantRate)).
+	TenantRate  float64
+	TenantBurst float64
+
+	// CacheTTL is the route-cache entry lifetime in scheduler-clock
+	// seconds (default 300). QuarantineTTL is how long a failed detour
+	// stays benched (default CacheTTL).
+	CacheTTL      float64
+	QuarantineTTL float64
+
+	// Backoff shapes the retry delays.
+	Backoff Backoff
+	// Rand seeds backoff jitter and the cache's bandit (default a
+	// fixed-seed source, so runs are reproducible).
+	Rand *rand.Rand
+	// Now is the scheduler clock in seconds (default: monotonic wall
+	// time since New). Tests inject fake clocks here.
+	Now func() float64
+	// Sleep pauses a worker for backoff (default time.Sleep). Tests
+	// inject no-ops or recorders here.
+	Sleep func(seconds float64)
+	// OnResult, when set, receives every terminal Result. It is called
+	// from worker goroutines, outside scheduler locks.
+	OnResult func(Result)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Executor == nil || c.Planner == nil {
+		panic("sched: Config needs an Executor and a Planner")
+	}
+	if c.ProviderCap == 0 {
+		c.ProviderCap = 4
+	}
+	if c.DTNCap == 0 {
+		c.DTNCap = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.DetourFailLimit <= 0 {
+		c.DetourFailLimit = 2
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 300
+	}
+	if c.QuarantineTTL <= 0 {
+		c.QuarantineTTL = c.CacheTTL
+	}
+	c.Backoff = c.Backoff.withDefaults()
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	if c.Now == nil {
+		start := time.Now()
+		c.Now = func() float64 { return time.Since(start).Seconds() }
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(sec float64) { time.Sleep(time.Duration(sec * float64(time.Second))) }
+	}
+	return c
+}
+
+// planCall coalesces concurrent cache misses on one key so a probe is
+// paid once per key, not once per in-flight job.
+type planCall struct {
+	done  chan struct{}
+	route core.Route
+}
+
+// Scheduler is the control plane. Create with New, arm with Start,
+// feed with Submit, and wait with Drain; Close shuts the pool down.
+type Scheduler struct {
+	cfg     Config
+	q       *jobQueue
+	cache   *RouteCache
+	caps    *capTable
+	buckets *tenantBuckets
+	wg      sync.WaitGroup
+
+	planMu   sync.Mutex
+	planning map[CacheKey]*planCall
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	// Counters (all guarded by mu).
+	submitted, rateLimited int64
+	pending, running       int64
+	done, failed, expired  int64
+	retries, fallbacks     int64
+	cacheHits, cacheMiss   int64
+	perRoute               map[string]*RouteStats
+	jitterRng              *rand.Rand
+}
+
+// New builds a scheduler; call Start before submitting.
+func New(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:      cfg,
+		q:        newJobQueue(),
+		caps:     newCapTable(cfg.ProviderCap, cfg.DTNCap),
+		buckets:  newTenantBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
+		planning: make(map[CacheKey]*planCall),
+		perRoute: make(map[string]*RouteStats),
+		// The cache's bandit and the backoff jitter draw from separate
+		// streams so their consumption patterns can't perturb each other.
+		jitterRng: rand.New(rand.NewSource(cfg.Rand.Int63())),
+	}
+	s.cache = NewRouteCache(cfg.CacheTTL, cfg.QuarantineTTL, cfg.Now, rand.New(rand.NewSource(cfg.Rand.Int63())))
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Cache exposes the scheduler's route cache (read-mostly; for
+// inspection and tests).
+func (s *Scheduler) Cache() *RouteCache { return s.cache }
+
+// Start launches the worker pool. It may be called once.
+func (s *Scheduler) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Submit admits one job. It returns ErrRateLimited if the tenant's
+// bucket is empty, ErrClosed after Close, and a validation error for
+// malformed jobs; otherwise the job is queued and will produce exactly
+// one Result.
+func (s *Scheduler) Submit(j Job) error {
+	if j.Tenant == "" || j.Client == "" || j.Provider == "" || j.Name == "" {
+		return fmt.Errorf("sched: job needs tenant, client, provider, and name: %+v", j)
+	}
+	if j.Size <= 0 {
+		return fmt.Errorf("sched: job %q has non-positive size", j.Name)
+	}
+	allowed := s.buckets.allow(j.Tenant)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if !allowed {
+		s.rateLimited++
+		s.mu.Unlock()
+		return ErrRateLimited
+	}
+	s.submitted++
+	s.pending++
+	s.mu.Unlock()
+	s.q.push(j)
+	return nil
+}
+
+// Drain blocks until every admitted job has reached a terminal state.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	for s.pending > 0 && !s.closed {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the pool: workers finish their current job and exit, and
+// jobs still queued fail with ErrClosed. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.q.close()
+	s.caps.close()
+	s.wg.Wait()
+	// Fail whatever never reached a worker.
+	for {
+		j, ok := s.q.tryPop()
+		if !ok {
+			break
+		}
+		s.finish(Result{Job: j, Err: ErrClosed})
+	}
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+		s.finish(s.runJob(j))
+	}
+}
+
+// finish records a terminal result and notifies Drain and OnResult.
+func (s *Scheduler) finish(res Result) {
+	s.mu.Lock()
+	s.pending--
+	if s.running > 0 {
+		s.running--
+	}
+	switch {
+	case res.Err == nil:
+		s.done++
+		rs := s.perRoute[res.Route.String()]
+		if rs == nil {
+			rs = &RouteStats{}
+			s.perRoute[res.Route.String()] = rs
+		}
+		rs.Jobs++
+		rs.Bytes += res.Job.Size
+		rs.Seconds += res.Seconds
+	case errors.Is(res.Err, ErrDeadline):
+		s.expired++
+	default:
+		s.failed++
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(res)
+	}
+}
+
+// runJob is a worker's whole handling of one job: route decision,
+// capped execution, retry with backoff, detour→direct fallback.
+func (s *Scheduler) runJob(j Job) Result {
+	if j.Deadline > 0 && s.cfg.Now() > j.Deadline {
+		return Result{Job: j, Err: ErrDeadline}
+	}
+	key := KeyFor(j.Client, j.Provider, j.Size)
+	route, hit := s.routeFor(key, j)
+
+	var lastErr error
+	attempts, detourFails := 0, 0
+	for {
+		attempts++
+		if err := s.caps.acquire(j.Provider, route.Via); err != nil {
+			return Result{Job: j, Route: route, Attempts: attempts - 1, CacheHit: hit, Err: err}
+		}
+		sec, err := s.cfg.Executor.Execute(j, route)
+		s.caps.release(j.Provider, route.Via)
+		if err == nil {
+			s.cache.Observe(key, route, j.Size, sec)
+			return Result{Job: j, Route: route, Seconds: sec, Attempts: attempts, CacheHit: hit}
+		}
+		lastErr = err
+		if route.Kind == core.Detour {
+			detourFails++
+			if detourFails >= s.cfg.DetourFailLimit {
+				// Repeated DTN failures: bench the detour for every
+				// follower of this key and fall back to direct ourselves.
+				s.cache.Invalidate(key, route)
+				route = core.DirectRoute
+				s.mu.Lock()
+				s.fallbacks++
+				s.mu.Unlock()
+			}
+		}
+		if attempts >= s.cfg.MaxAttempts {
+			return Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Err: lastErr}
+		}
+		s.mu.Lock()
+		s.retries++
+		u := s.jitterRng.Float64()
+		s.mu.Unlock()
+		s.cfg.Sleep(s.cfg.Backoff.Delay(attempts, u))
+	}
+}
+
+// routeFor resolves the job's route: cached decision, coalesced onto an
+// in-flight probe, or a fresh plan. The bool reports whether the job
+// avoided paying a probe.
+func (s *Scheduler) routeFor(key CacheKey, j Job) (core.Route, bool) {
+	if r, ok := s.cache.Lookup(key); ok {
+		s.noteCache(true)
+		return r, true
+	}
+	s.planMu.Lock()
+	if call, ok := s.planning[key]; ok {
+		s.planMu.Unlock()
+		<-call.done
+		s.noteCache(true)
+		return call.route, true
+	}
+	// Re-check under planMu: the planner that just finished may have
+	// inserted between our Lookup and the lock.
+	if r, ok := s.cache.Lookup(key); ok {
+		s.planMu.Unlock()
+		s.noteCache(true)
+		return r, true
+	}
+	call := &planCall{done: make(chan struct{})}
+	s.planning[key] = call
+	s.planMu.Unlock()
+
+	route, cands, err := s.cfg.Planner.Plan(j.Client, j.Provider, j.Size)
+	if err != nil {
+		// A failed probe is not fatal: direct always exists. The entry
+		// still caches so the fleet doesn't hammer a broken prober.
+		route, cands = core.DirectRoute, nil
+	}
+	s.cache.Insert(key, route, cands)
+	call.route = route
+	close(call.done)
+
+	s.planMu.Lock()
+	delete(s.planning, key)
+	s.planMu.Unlock()
+	s.noteCache(false)
+	return route, false
+}
+
+func (s *Scheduler) noteCache(hit bool) {
+	s.mu.Lock()
+	if hit {
+		s.cacheHits++
+	} else {
+		s.cacheMiss++
+	}
+	s.mu.Unlock()
+}
+
+// RouteStats aggregates completed transfers over one route.
+type RouteStats struct {
+	Jobs    int64
+	Bytes   float64
+	Seconds float64
+}
+
+// Throughput is the route's aggregate bytes/sec (0 before any job).
+func (r RouteStats) Throughput() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return r.Bytes / r.Seconds
+}
+
+// Stats is a consistent snapshot of the control plane.
+type Stats struct {
+	Submitted, RateLimited        int64
+	Queued, Running               int64
+	Done, Failed, Expired         int64
+	Retries, Fallbacks            int64
+	CacheHits, CacheMisses        int64
+	CacheInvalidations            int64
+	PerRoute                      map[string]RouteStats
+	ProviderPeak, DTNPeak         map[string]int
+	ProviderInUse, DTNInUse       map[string]int
+}
+
+// CacheHitRate is hits/(hits+misses), 0 before any lookup.
+func (st Stats) CacheHitRate() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(total)
+}
+
+// String renders the one-line form the detourd daemon logs.
+func (st Stats) String() string {
+	return fmt.Sprintf("queued=%d running=%d done=%d failed=%d expired=%d retries=%d fallbacks=%d rate-limited=%d cache=%.0f%%",
+		st.Queued, st.Running, st.Done, st.Failed, st.Expired, st.Retries, st.Fallbacks, st.RateLimited, st.CacheHitRate()*100)
+}
+
+// Stats returns a snapshot of counters, per-route aggregates, and the
+// concurrency high-water marks the caps enforce.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Submitted: s.submitted, RateLimited: s.rateLimited,
+		Running: s.running,
+		Done:    s.done, Failed: s.failed, Expired: s.expired,
+		Retries: s.retries, Fallbacks: s.fallbacks,
+		CacheHits: s.cacheHits, CacheMisses: s.cacheMiss,
+		PerRoute: make(map[string]RouteStats, len(s.perRoute)),
+	}
+	st.Queued = s.pending - s.running
+	for k, v := range s.perRoute {
+		st.PerRoute[k] = *v
+	}
+	s.mu.Unlock()
+	_, _, st.CacheInvalidations = s.cache.Counters()
+	st.ProviderInUse, st.ProviderPeak, st.DTNInUse, st.DTNPeak = s.caps.snapshot()
+	return st
+}

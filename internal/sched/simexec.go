@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"detournet/internal/core"
+	"detournet/internal/detourselect"
+	"detournet/internal/scenario"
+	"detournet/internal/sdk"
+	"detournet/internal/simproc"
+)
+
+// SimExecutor is the bridge between the really-concurrent control plane
+// and the cooperatively-scheduled simulation: it is both the Executor
+// (transfers run on the simulated topology) and the Planner (cache
+// misses probe with the detourselect selector).
+//
+// The simulation admits one driver at a time, so every call serializes
+// behind a mutex; scheduler workers overlap in real time on queueing,
+// caps, and retries while their transfers execute back-to-back in
+// virtual time. SDK and detour clients are built once per (client,
+// provider/DTN) pair and reused — this is a long-lived daemon, not the
+// paper's per-invocation measurement programs.
+type SimExecutor struct {
+	mu      sync.Mutex
+	w       *scenario.World
+	sel     *detourselect.Selector
+	directs map[[2]string]sdk.Client          // (client, provider)
+	detours map[[2]string]*core.DetourClient  // (client, dtn)
+	// Transfers counts completed Execute calls, for reporting.
+	Transfers int64
+}
+
+// NewSimExecutor wraps a built world.
+func NewSimExecutor(w *scenario.World) *SimExecutor {
+	return &SimExecutor{
+		w:       w,
+		sel:     detourselect.NewSelector(),
+		directs: make(map[[2]string]sdk.Client),
+		detours: make(map[[2]string]*core.DetourClient),
+	}
+}
+
+// direct returns the cached SDK client for (client, provider). Callers
+// hold e.mu.
+func (e *SimExecutor) direct(client, provider string) sdk.Client {
+	k := [2]string{client, provider}
+	c, ok := e.directs[k]
+	if !ok {
+		c = e.w.NewSDKClient(client, provider)
+		e.directs[k] = c
+	}
+	return c
+}
+
+// detourClients returns the cached detour clients from client to every
+// DTN. Callers hold e.mu.
+func (e *SimExecutor) detourClients(client string) map[string]*core.DetourClient {
+	out := make(map[string]*core.DetourClient, len(scenario.DTNs))
+	for _, dtn := range scenario.DTNs {
+		k := [2]string{client, dtn}
+		dc, ok := e.detours[k]
+		if !ok {
+			dc = e.w.NewDetourClient(client, dtn)
+			e.detours[k] = dc
+		}
+		out[dtn] = dc
+	}
+	return out
+}
+
+// Execute implements Executor: it runs the transfer as one simulation
+// workload and returns the virtual seconds it took.
+func (e *SimExecutor) Execute(job Job, route core.Route) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var rep core.Report
+	var err error
+	e.w.RunWorkload("sched:"+job.Name, func(p *simproc.Proc) {
+		switch route.Kind {
+		case core.Direct:
+			rep, err = core.DirectUpload(p, e.direct(job.Client, job.Provider), job.Name, job.Size, "")
+		default:
+			dc, ok := e.detours[[2]string{job.Client, route.Via}]
+			if !ok {
+				dc = e.w.NewDetourClient(job.Client, route.Via)
+				e.detours[[2]string{job.Client, route.Via}] = dc
+			}
+			rep, err = dc.Upload(p, job.Provider, job.Name, job.Size, "")
+		}
+	})
+	if err != nil {
+		return 0, fmt.Errorf("sched: execute %s via %s: %w", job.Name, route, err)
+	}
+	e.Transfers++
+	return rep.Total, nil
+}
+
+// Plan implements Planner: it probes direct and every DTN with the
+// selector and returns the predicted-fastest route plus all candidates.
+func (e *SimExecutor) Plan(client, provider string, size float64) (core.Route, []core.Route, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var chosen core.Route
+	var preds []detourselect.Prediction
+	var err error
+	e.w.RunWorkload(fmt.Sprintf("sched-plan:%s->%s", client, provider), func(p *simproc.Proc) {
+		chosen, preds, err = e.sel.Choose(p, e.direct(client, provider), e.detourClients(client), provider, size)
+	})
+	if err != nil {
+		return core.Route{}, nil, err
+	}
+	cands := make([]core.Route, 0, len(preds))
+	for _, pr := range preds {
+		cands = append(cands, pr.Route)
+	}
+	return chosen, cands, nil
+}
+
+// VirtualNow returns the simulation clock, i.e. the total virtual
+// seconds all transfers and probes have consumed.
+func (e *SimExecutor) VirtualNow() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return float64(e.w.Eng.Now())
+}
+
+// Close releases the cached SDK clients' connections.
+func (e *SimExecutor) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, c := range e.directs {
+		c.Close()
+	}
+}

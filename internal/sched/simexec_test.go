@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"detournet/internal/scenario"
+	"detournet/internal/workload"
+)
+
+// TestSimExecutorFleet runs a real multi-client fleet trace through the
+// control plane on the simulated topology: concurrent workers, cached
+// probe decisions, transfers in virtual time. This is the miniature of
+// examples/fleet that CI (and the race detector) always runs.
+func TestSimExecutorFleet(t *testing.T) {
+	w := scenario.Build(7)
+	exec := NewSimExecutor(w)
+	defer exec.Close()
+	s := New(Config{
+		Workers: 6, Executor: exec, Planner: exec,
+		ProviderCap: 2, DTNCap: 2,
+	})
+	s.Start()
+	defer s.Close()
+
+	trace, err := workload.GenerateFleet(workload.FleetSpec{
+		Jobs:    36,
+		Clients: []string{scenario.UBC, scenario.Purdue, scenario.UCLA},
+		Providers: []string{
+			scenario.GoogleDrive, scenario.Dropbox, scenario.OneDrive,
+		},
+		Sizes: workload.Fixed{Bytes: 2e6},
+	}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fj := range trace {
+		err := s.Submit(Job{
+			Tenant: fj.Tenant, Client: fj.Client, Provider: fj.Provider,
+			Name: fj.Name, Size: fj.Size, Priority: fj.Priority,
+		})
+		if err != nil {
+			t.Fatalf("submit %s: %v", fj.Name, err)
+		}
+	}
+	s.Drain()
+
+	st := s.Stats()
+	if st.Done != int64(len(trace)) || st.Failed != 0 {
+		t.Fatalf("done=%d failed=%d, want %d/0 (stats: %s)", st.Done, st.Failed, len(trace), st)
+	}
+	if exec.Transfers != int64(len(trace)) {
+		t.Errorf("sim transfers = %d, want %d", exec.Transfers, len(trace))
+	}
+	if exec.VirtualNow() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+	// Fixed 2 MB sizes land in one bucket per (client, provider): at
+	// most 9 probes for 36 jobs, so the fleet amortizes to >= 50% even
+	// in the worst coalescing order; typically far higher.
+	if hr := st.CacheHitRate(); hr < 0.5 {
+		t.Errorf("cache hit rate = %.2f, want >= 0.5", hr)
+	}
+	for prov, peak := range st.ProviderPeak {
+		if peak > 2 {
+			t.Errorf("provider %s peak %d exceeds cap 2", prov, peak)
+		}
+	}
+	// Every transfer must have gone somewhere we can account for.
+	var jobs int64
+	for _, rs := range st.PerRoute {
+		jobs += rs.Jobs
+	}
+	if jobs != st.Done {
+		t.Errorf("per-route jobs = %d, want %d", jobs, st.Done)
+	}
+}

@@ -175,3 +175,86 @@ func TotalBytes(jobs []Job) float64 {
 	}
 	return s
 }
+
+// FleetJob is one job of a multi-tenant, multi-site trace: a Job plus
+// who submits it, from where, and to which provider — the input shape
+// of the transfer-scheduler control plane (package sched).
+type FleetJob struct {
+	Job
+	Tenant   string
+	Client   string
+	Provider string
+	// Priority is a small non-negative queueing priority; higher drains
+	// sooner.
+	Priority int
+}
+
+// FleetSpec describes a fleet trace.
+type FleetSpec struct {
+	// Jobs is the trace length.
+	Jobs int
+	// Clients and Providers are sampled uniformly per job.
+	Clients   []string
+	Providers []string
+	// Tenants defaults to Clients (per-site tenancy) when nil.
+	Tenants []string
+	// Sizes and Arrivals are the per-job models (defaults:
+	// PersonalCloud sizes, Poisson 1 job/sec).
+	Sizes    SizeDist
+	Arrivals Arrival
+	// PriorityLevels spreads jobs over priorities 0..n-1 (default 3).
+	PriorityLevels int
+}
+
+// GenerateFleet produces a fleet trace deterministically from the rng:
+// every job gets a client, provider, tenant, priority, size, and
+// arrival offset.
+func GenerateFleet(spec FleetSpec, rng *rand.Rand) ([]FleetJob, error) {
+	if spec.Jobs <= 0 {
+		return nil, fmt.Errorf("workload: non-positive fleet size")
+	}
+	if len(spec.Clients) == 0 || len(spec.Providers) == 0 {
+		return nil, fmt.Errorf("workload: fleet needs clients and providers")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: fleet needs an rng")
+	}
+	tenants := spec.Tenants
+	if len(tenants) == 0 {
+		tenants = spec.Clients
+	}
+	sizes := spec.Sizes
+	if sizes == nil {
+		sizes = PersonalCloud()
+	}
+	arrivals := spec.Arrivals
+	if arrivals == nil {
+		arrivals = Poisson{RatePerSec: 1}
+	}
+	levels := spec.PriorityLevels
+	if levels <= 0 {
+		levels = 3
+	}
+	jobs := make([]FleetJob, spec.Jobs)
+	t := 0.0
+	for i := range jobs {
+		t += arrivals.NextGap(rng)
+		ci := rng.Intn(len(spec.Clients))
+		tenant := spec.Clients[ci]
+		if len(spec.Tenants) > 0 {
+			tenant = tenants[rng.Intn(len(tenants))]
+		}
+		jobs[i] = FleetJob{
+			Job: Job{
+				Name: fmt.Sprintf("fleet-%05d.bin", i),
+				At:   t,
+				Size: sizes.Sample(rng),
+			},
+			Tenant:   tenant,
+			Client:   spec.Clients[ci],
+			Provider: spec.Providers[rng.Intn(len(spec.Providers))],
+			Priority: rng.Intn(levels),
+		}
+	}
+	return jobs, nil
+}

@@ -171,3 +171,92 @@ func TestPropertyArrivalsMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGenerateFleetShape(t *testing.T) {
+	clients := []string{"ubc-pl", "purdue-pl", "ucla-pl"}
+	providers := []string{"GoogleDrive", "Dropbox", "OneDrive"}
+	jobs, err := GenerateFleet(FleetSpec{
+		Jobs: 600, Clients: clients, Providers: providers,
+	}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 600 {
+		t.Fatalf("jobs = %d, want 600", len(jobs))
+	}
+	seenClient, seenProv, seenPrio := map[string]int{}, map[string]int{}, map[int]int{}
+	last := 0.0
+	for _, j := range jobs {
+		seenClient[j.Client]++
+		seenProv[j.Provider]++
+		seenPrio[j.Priority]++
+		if j.Tenant != j.Client {
+			t.Fatalf("default tenancy should be per-site: %+v", j)
+		}
+		if j.Size <= 0 || j.Name == "" {
+			t.Fatalf("malformed job: %+v", j)
+		}
+		if j.At < last {
+			t.Fatalf("arrivals not monotone: %v < %v", j.At, last)
+		}
+		last = j.At
+	}
+	if len(seenClient) != 3 || len(seenProv) != 3 {
+		t.Fatalf("trace misses sites or providers: clients=%v providers=%v", seenClient, seenProv)
+	}
+	if len(seenPrio) != 3 {
+		t.Fatalf("default 3 priority levels, saw %v", seenPrio)
+	}
+	// Uniform sampling: no cell starves (600 jobs over 3 choices).
+	for c, n := range seenClient {
+		if n < 100 {
+			t.Errorf("client %s got only %d jobs", c, n)
+		}
+	}
+}
+
+func TestGenerateFleetTenantsAndDeterminism(t *testing.T) {
+	spec := FleetSpec{
+		Jobs: 50, Clients: []string{"a", "b"}, Providers: []string{"P"},
+		Tenants: []string{"t1", "t2", "t3"},
+		Sizes:   Fixed{Bytes: 1e6},
+	}
+	gen := func() []FleetJob {
+		jobs, err := GenerateFleet(spec, rand.New(rand.NewSource(12)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fleet trace not deterministic")
+		}
+	}
+	tenants := map[string]bool{}
+	for _, j := range a {
+		tenants[j.Tenant] = true
+	}
+	for _, want := range spec.Tenants {
+		if !tenants[want] {
+			t.Errorf("tenant %s never sampled", want)
+		}
+	}
+}
+
+func TestGenerateFleetValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateFleet(FleetSpec{Jobs: 0, Clients: []string{"a"}, Providers: []string{"p"}}, rng); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	if _, err := GenerateFleet(FleetSpec{Jobs: 1, Providers: []string{"p"}}, rng); err == nil {
+		t.Error("no clients accepted")
+	}
+	if _, err := GenerateFleet(FleetSpec{Jobs: 1, Clients: []string{"a"}}, rng); err == nil {
+		t.Error("no providers accepted")
+	}
+	if _, err := GenerateFleet(FleetSpec{Jobs: 1, Clients: []string{"a"}, Providers: []string{"p"}}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
