@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet
+.PHONY: build test vet race bench check fleet chaos
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,15 @@ bench:
 fleet:
 	$(GO) run ./examples/fleet
 
-# The gate PRs must pass: everything compiles, vets clean, and the full
-# test suite (including the really-concurrent scheduler) is race-clean.
+# Chaos: the fault-injection tests race-clean, then the fleet trace
+# replayed under the canned fault schedule.
+chaos:
+	$(GO) test -race ./internal/faults/ ./internal/sched/
+	$(GO) run ./examples/chaos
+
+# The gate PRs must pass: everything compiles, vets clean, the full
+# test suite (including the really-concurrent scheduler) is race-clean,
+# and the chaos replay completes.
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(GO) run ./examples/chaos >/dev/null

@@ -10,7 +10,15 @@
 //
 //	detourd [-jobs 600] [-workers 8] [-seed 2015]
 //	        [-provider-cap 4] [-dtn-cap 2] [-tenant-rate 0]
-//	        [-stats 2s]
+//	        [-stats 2s] [-chaos]
+//
+// With -chaos, the canned fault schedule (see internal/faults) plays
+// against the world while the trace drains: links flap and degrade,
+// providers throw outages and error bursts, a DTN crashes. The
+// scheduler runs with checkpointed resume and circuit breakers, retry
+// backoff spends virtual time, and the final report adds recovery
+// accounting. Failed jobs are expected under chaos and do not fail the
+// process.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"detournet/internal/faults"
 	"detournet/internal/scenario"
 	"detournet/internal/sched"
 	"detournet/internal/workload"
@@ -35,6 +44,7 @@ func main() {
 		dtnCap      = flag.Int("dtn-cap", 2, "max concurrent detour transfers per DTN (-1 = unlimited)")
 		tenantRate  = flag.Float64("tenant-rate", 0, "admitted jobs/sec per tenant (0 = unlimited)")
 		statsEvery  = flag.Duration("stats", 2*time.Second, "status-line interval (0 = quiet)")
+		chaos       = flag.Bool("chaos", false, "replay the canned fault schedule while draining")
 	)
 	flag.Parse()
 
@@ -53,11 +63,20 @@ func main() {
 	w := scenario.Build(*seed)
 	exec := sched.NewSimExecutor(w)
 	defer exec.Close()
-	s := sched.New(sched.Config{
+	cfg := sched.Config{
 		Workers: *workers, Executor: exec, Planner: exec,
 		ProviderCap: *providerCap, DTNCap: *dtnCap,
 		TenantRate: *tenantRate,
-	})
+	}
+	var inj *faults.Injector
+	if *chaos {
+		inj = faults.NewInjector(w, *seed, faults.CannedSchedule()...)
+		// Backoff must spend virtual time so retries interact with the
+		// fault windows; a few extra attempts ride out outage windows.
+		cfg.Now, cfg.Sleep = exec.VirtualNow, exec.SleepVirtual
+		cfg.MaxAttempts = 5
+	}
+	s := sched.New(cfg)
 	s.Start()
 	defer s.Close()
 
@@ -109,6 +128,12 @@ func main() {
 	fmt.Printf("  admitted %d of %d; %d retries, %d detour->direct fallbacks, %d cache invalidations\n",
 		admitted, len(trace), st.Retries, st.Fallbacks, st.CacheInvalidations)
 	fmt.Printf("  virtual time: %.1f s of simulated transfer activity\n", exec.VirtualNow())
+	if inj != nil {
+		fmt.Printf("  chaos: %d fault transitions; %d failovers, %d breaker diversions, %d breaker transitions\n",
+			inj.Injected, st.Failovers, st.BreakerSkips, st.BreakerTransitions)
+		fmt.Printf("  recovery: %.1f MB resumed from checkpoints, %.1f MB rewritten\n",
+			st.BytesResumed/1e6, st.BytesRewritten/1e6)
+	}
 
 	routes := make([]string, 0, len(st.PerRoute))
 	for r := range st.PerRoute {
@@ -138,7 +163,7 @@ func main() {
 	for _, d := range dtns {
 		fmt.Printf("    dtn      %-12s peak %d\n", d, st.DTNPeak[d])
 	}
-	if st.Failed > 0 {
+	if st.Failed > 0 && !*chaos {
 		os.Exit(1)
 	}
 }

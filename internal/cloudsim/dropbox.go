@@ -82,12 +82,16 @@ func (s *Service) dbxAppend(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respo
 	if a.Cursor == nil {
 		return errResp(httpsim.StatusBadRequest, "missing cursor")
 	}
-	sess, ok := s.sessions[a.Cursor.SessionID]
+	sess, ok := s.session(a.Cursor.SessionID)
 	if !ok || sess.done {
 		return errResp(httpsim.StatusNotFound, "unknown session")
 	}
 	if a.Cursor.Offset != sess.received {
-		return errResp(httpsim.StatusConflict, "incorrect_offset")
+		// The real API reports the server's offset so clients can
+		// self-correct after an interruption.
+		return jsonResp(httpsim.StatusConflict, map[string]any{
+			"error": "incorrect_offset", "correct_offset": sess.received,
+		})
 	}
 	sess.received += req.ContentLength()
 	return &httpsim.Response{Status: httpsim.StatusOK}
@@ -101,12 +105,16 @@ func (s *Service) dbxFinish(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respo
 	if a.Cursor == nil || a.Commit == nil || a.Commit.Path == "" {
 		return errResp(httpsim.StatusBadRequest, "missing cursor or commit")
 	}
-	sess, ok := s.sessions[a.Cursor.SessionID]
+	sess, ok := s.session(a.Cursor.SessionID)
 	if !ok || sess.done {
 		return errResp(httpsim.StatusNotFound, "unknown session")
 	}
 	if a.Cursor.Offset != sess.received {
-		return errResp(httpsim.StatusConflict, "incorrect_offset")
+		// The real API reports the server's offset so clients can
+		// self-correct after an interruption.
+		return jsonResp(httpsim.StatusConflict, map[string]any{
+			"error": "incorrect_offset", "correct_offset": sess.received,
+		})
 	}
 	sess.received += req.ContentLength()
 	sess.done = true

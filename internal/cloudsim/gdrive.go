@@ -67,7 +67,7 @@ func (s *Service) gdInitiate(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Resp
 
 func (s *Service) gdUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
 	id := strings.TrimPrefix(req.Path, "/upload/drive/v3/sessions/")
-	sess, ok := s.sessions[id]
+	sess, ok := s.session(id)
 	if !ok || sess.done {
 		return errResp(httpsim.StatusNotFound, "unknown session")
 	}

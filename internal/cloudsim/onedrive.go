@@ -49,7 +49,7 @@ func (s *Service) odCreateSession(_ *httpsim.Ctx, req *httpsim.Request) *httpsim
 
 func (s *Service) odUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
 	id := strings.TrimPrefix(req.Path, "/v1.0/upload/")
-	sess, ok := s.sessions[id]
+	sess, ok := s.session(id)
 	if !ok || sess.done {
 		return errResp(httpsim.StatusNotFound, "unknown upload session")
 	}

@@ -3,6 +3,7 @@ package cloudsim
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 
 	"detournet/internal/httpsim"
 	"detournet/internal/oauthsim"
@@ -79,6 +80,31 @@ type Service struct {
 	RateLimit  int
 	RateWindow float64
 
+	// Fault-injection knobs, driven by internal/faults.
+	//
+	// Down, when true, makes every protected endpoint answer 503 — a
+	// provider-PoP outage. ErrorRate and ThrottleRate inject seeded
+	// transient 500s/429s on protected requests with the given
+	// probability (both require FaultRand; the sim serializes requests,
+	// so a seeded source keeps runs deterministic). FailNext fails the
+	// next N protected requests with FailStatus (500 when zero) — the
+	// surgical interruption hook for resume tests.
+	Down         bool
+	ErrorRate    float64
+	ThrottleRate float64
+	FaultRand    *rand.Rand
+	FailNext     int
+	FailStatus   int
+
+	// SessionTTL, when positive, expires upload sessions idle for longer
+	// than that many virtual seconds; touching an expired session
+	// returns 404, as the real providers garbage-collect stale resumable
+	// uploads.
+	SessionTTL float64
+
+	// InjectedFaults counts requests failed by the knobs above.
+	InjectedFaults int
+
 	windowStart simclock.Time
 	windowCount int
 }
@@ -89,6 +115,7 @@ type uploadSession struct {
 	total    float64 // declared size; 0 when unknown (Dropbox)
 	received float64
 	done     bool
+	lastUsed simclock.Time
 }
 
 // NewService builds a provider and mounts its routes. Call Start to bind
@@ -128,13 +155,30 @@ func (s *Service) Start(tn *transport.Net) *transport.Listener {
 
 func (s *Service) newSession(name string, total float64) *uploadSession {
 	sess := &uploadSession{
-		id:    fmt.Sprintf("sess-%d", s.nextSess),
-		name:  name,
-		total: total,
+		id:       fmt.Sprintf("sess-%d", s.nextSess),
+		name:     name,
+		total:    total,
+		lastUsed: s.eng.Now(),
 	}
 	s.nextSess++
 	s.sessions[sess.id] = sess
 	return sess
+}
+
+// session looks up an upload session, enforcing SessionTTL: an expired
+// session is deleted and reported absent, so clients see the same 404
+// an unknown session gets.
+func (s *Service) session(id string) (*uploadSession, bool) {
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	if s.SessionTTL > 0 && float64(s.eng.Now()-sess.lastUsed) > s.SessionTTL {
+		delete(s.sessions, id)
+		return nil, false
+	}
+	sess.lastUsed = s.eng.Now()
+	return sess, true
 }
 
 // protect wraps a handler with OAuth, rate limiting, and request
@@ -142,12 +186,48 @@ func (s *Service) newSession(name string, total float64) *uploadSession {
 func (s *Service) protect(fn httpsim.HandlerFunc) httpsim.HandlerFunc {
 	inner := s.Auth.Protect(fn)
 	return func(ctx *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+		if resp := s.injectFault(); resp != nil {
+			return resp
+		}
 		if resp := s.throttle(); resp != nil {
 			return resp
 		}
 		s.Requests++
 		return inner(ctx, req)
 	}
+}
+
+// injectFault applies the fault-injection knobs; nil means the request
+// proceeds normally.
+func (s *Service) injectFault() *httpsim.Response {
+	if s.Down {
+		s.InjectedFaults++
+		return errResp(httpsim.StatusServiceUnavailable, "service unavailable")
+	}
+	if s.FailNext > 0 {
+		s.FailNext--
+		s.InjectedFaults++
+		status := s.FailStatus
+		if status == 0 {
+			status = httpsim.StatusInternalServerError
+		}
+		return errResp(status, "injected fault")
+	}
+	if s.FaultRand != nil {
+		if s.ThrottleRate > 0 && s.FaultRand.Float64() < s.ThrottleRate {
+			s.InjectedFaults++
+			return &httpsim.Response{
+				Status: httpsim.StatusTooManyRequests,
+				Header: map[string]string{"Retry-After": "1.000"},
+				Body:   []byte("injected throttle"),
+			}
+		}
+		if s.ErrorRate > 0 && s.FaultRand.Float64() < s.ErrorRate {
+			s.InjectedFaults++
+			return errResp(httpsim.StatusInternalServerError, "injected error")
+		}
+	}
+	return nil
 }
 
 // throttle enforces the request rate limit; nil means admitted.

@@ -93,6 +93,9 @@ type Agent struct {
 	Relayed int
 	// Trace, when set, receives agent-side events.
 	Trace *tracelog.Log
+
+	l     *transport.Listener
+	conns map[*transport.Conn]struct{}
 }
 
 // NewAgent returns an agent for the DTN host, sharing the rsync daemon's
@@ -101,7 +104,26 @@ func NewAgent(tn *transport.Net, host string, daemon *rsyncx.Daemon) *Agent {
 	if tn == nil || daemon == nil {
 		panic("core: nil transport or daemon")
 	}
-	return &Agent{tn: tn, host: host, daemon: daemon, clients: make(map[string]sdk.SessionClient)}
+	return &Agent{tn: tn, host: host, daemon: daemon,
+		clients: make(map[string]sdk.SessionClient),
+		conns:   make(map[*transport.Conn]struct{}),
+	}
+}
+
+// Crash models the agent process dying: the listener unbinds and every
+// active relay connection drops mid-flight. Provider upload sessions
+// survive server-side (their tokens live in client checkpoints), and
+// the shared staging area is the daemon's disk — so a restarted agent
+// resumes where the crashed one left off. Call Start again to restart.
+func (a *Agent) Crash() {
+	if a.l != nil {
+		a.l.Close()
+		a.l = nil
+	}
+	for c := range a.conns {
+		c.Close()
+	}
+	a.conns = make(map[*transport.Conn]struct{})
 }
 
 // RegisterProvider installs the SDK client the agent uses for a
@@ -125,6 +147,7 @@ func (a *Agent) Providers() []string {
 // Start binds the agent listener and serves until the listener closes.
 func (a *Agent) Start() *transport.Listener {
 	l := a.tn.MustListen(a.host, AgentPort)
+	a.l = l
 	r := a.tn.Runner()
 	r.Go("detourd:"+a.host, func(p *simproc.Proc) {
 		for {
@@ -133,7 +156,9 @@ func (a *Agent) Start() *transport.Listener {
 				return
 			}
 			c := conn
+			a.conns[c] = struct{}{}
 			r.Go("detourd-conn:"+c.RemoteHost(), func(hp *simproc.Proc) {
+				defer delete(a.conns, c)
 				a.serve(hp, c)
 			})
 		}
@@ -165,6 +190,23 @@ type relayResult struct {
 	Err     string
 	Info    sdk.FileInfo
 	Seconds float64 // DTN-side upload time
+
+	// Resumable-relay checkpoint fields (relayResume replies only).
+	HasToken    bool
+	Token       sdk.SessionToken // provider session at reply time
+	StartOffset float64          // session offset when this relay began
+	Written     float64          // session offset at reply time
+}
+
+// relayResume is the checkpoint-aware second hop: upload the staged
+// file through a provider session, reattaching to Token when possible,
+// and return the session token on failure so the caller can carry it —
+// across retries and even across routes.
+type relayResume struct {
+	Name     string
+	Provider string
+	HasToken bool
+	Token    sdk.SessionToken
 }
 
 type probeReq struct {
@@ -184,6 +226,8 @@ func (a *Agent) serve(p *simproc.Proc, c *transport.Conn) {
 		switch m := msg.Payload.(type) {
 		case relayUpload:
 			a.handleRelay(p, c, m)
+		case relayResume:
+			a.handleRelayResume(p, c, m)
 		case streamBegin:
 			a.handleStream(p, c, m)
 		case probeReq:

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"detournet/internal/sdk"
+	"detournet/internal/simproc"
+	"detournet/internal/transport"
+)
+
+// DefaultResumeChunk is the chunk size resumable transfers checkpoint
+// at when the caller does not specify one.
+const DefaultResumeChunk = 8 << 20
+
+// Checkpoint carries a transfer's durable progress across attempts —
+// and across routes: the hop-1 offset lives on a DTN's disk, the
+// provider session lives server-side, so a job that fails over from a
+// detour to direct (or to another detour) keeps whatever the provider
+// already confirmed.
+type Checkpoint struct {
+	// Hop1Via names the DTN whose disk holds first-hop progress; the
+	// offset itself is queried from the daemon (ground truth).
+	Hop1Via string
+	// Hop1High is the high-water mark of hop-1 bytes pushed, for
+	// rewrite accounting.
+	Hop1High float64
+
+	// HasSession marks Session as a live provider upload session.
+	HasSession bool
+	Session    sdk.SessionToken
+	// Hop2High is the high-water mark of provider-session bytes sent.
+	Hop2High float64
+
+	// BytesResumed counts bytes skipped thanks to checkpoints (work the
+	// transfer did NOT redo); BytesRewritten counts bytes sent more than
+	// once (work lost to interruptions).
+	BytesResumed   float64
+	BytesRewritten float64
+}
+
+// observeHop1 charges accounting for a hop-1 attempt starting at offset.
+func (ck *Checkpoint) observeHop1(offset float64) {
+	if offset < ck.Hop1High {
+		ck.BytesRewritten += ck.Hop1High - offset
+	}
+	ck.BytesResumed += offset
+}
+
+// abandonHop1 switches the checkpoint's first hop to via (empty for a
+// direct route). Progress sitting on a different DTN's disk cannot be
+// used from here, so it is charged as rewritten — the bytes must cross
+// the first hop again if the transfer ever returns to a detour.
+func (ck *Checkpoint) abandonHop1(via string) {
+	if ck.Hop1Via == via {
+		return
+	}
+	ck.BytesRewritten += ck.Hop1High
+	ck.Hop1Via, ck.Hop1High = via, 0
+}
+
+// observeHop2 charges accounting for a provider-session attempt that
+// began at start and reached written.
+func (ck *Checkpoint) observeHop2(start, written float64) {
+	if start < ck.Hop2High {
+		ck.BytesRewritten += ck.Hop2High - start
+	}
+	ck.BytesResumed += start
+	if written > ck.Hop2High {
+		ck.Hop2High = written
+	}
+}
+
+// handleRelayResume is the checkpoint-aware store-and-forward second
+// hop: it reattaches to the provider session in the request's token
+// when possible (falling back to a fresh session), uploads the staged
+// file chunk by chunk, and always reports the session token and offsets
+// so the client's checkpoint stays current even through failures.
+func (a *Agent) handleRelayResume(p *simproc.Proc, c *transport.Conn, m relayResume) {
+	client, ok := a.clients[m.Provider]
+	if !ok {
+		_ = c.Send(p, relayResult{OK: false, Err: "unknown provider " + m.Provider}, ctrlBytes)
+		return
+	}
+	st, ok := a.daemon.Staged(m.Name)
+	if !ok {
+		_ = c.Send(p, relayResult{OK: false, Err: "not staged: " + m.Name}, ctrlBytes)
+		return
+	}
+	t0 := p.Now()
+	var sess sdk.UploadSession
+	if m.HasToken && m.Token.Provider == m.Provider {
+		if r, ok := client.(sdk.SessionResumer); ok {
+			// A failed resume (expired session, provider without resume)
+			// falls back to a fresh session below.
+			if s, err := r.Resume(p, m.Token); err == nil {
+				sess = s
+			}
+		}
+	}
+	if sess == nil {
+		s, err := client.BeginUpload(p, st.Name, st.Size, st.MD5)
+		if err != nil {
+			_ = c.Send(p, relayResult{OK: false, Err: err.Error()}, ctrlBytes)
+			return
+		}
+		sess = s
+	}
+	start := sess.Written()
+	reply := func(res relayResult) {
+		res.StartOffset = start
+		res.Written = sess.Written()
+		if ts, ok := sess.(sdk.TokenSession); ok {
+			res.Token, res.HasToken = ts.Token(), true
+		}
+		_ = c.Send(p, res, ctrlBytes)
+	}
+	var info sdk.FileInfo
+	for sess.Written() < st.Size {
+		n := min(float64(DefaultResumeChunk), st.Size-sess.Written())
+		last := sess.Written()+n >= st.Size
+		fi, err := sess.WriteChunk(p, n, last)
+		if err != nil {
+			reply(relayResult{OK: false, Err: err.Error()})
+			return
+		}
+		info = fi
+	}
+	a.Relayed++
+	a.Trace.Emit("agent.relay.resume", map[string]any{
+		"name": st.Name, "provider": m.Provider, "bytes": st.Size,
+		"resumed_from": start, "seconds": float64(p.Now() - t0),
+	})
+	reply(relayResult{OK: true, Info: info, Seconds: float64(p.Now() - t0)})
+}
+
+// DirectUploadResumable is DirectUpload with checkpointed resume: it
+// uploads through a provider session, reattaches to the checkpoint's
+// session when one is live, and records the session token in the
+// checkpoint after every chunk so an interruption loses at most one
+// chunk. Clients without session support fall back to DirectUpload.
+func DirectUploadResumable(p *simproc.Proc, client sdk.Client, name string, size float64, md5 string, ck *Checkpoint) (Report, error) {
+	sc, ok := client.(sdk.SessionClient)
+	if !ok || size <= 0 {
+		return DirectUpload(p, client, name, size, md5)
+	}
+	t0 := p.Now()
+	ck.abandonHop1("")
+	var sess sdk.UploadSession
+	if ck.HasSession && ck.Session.Provider == client.ProviderName() {
+		if r, ok := client.(sdk.SessionResumer); ok {
+			if s, err := r.Resume(p, ck.Session); err == nil {
+				sess = s
+			}
+		}
+	}
+	if sess == nil {
+		s, err := sc.BeginUpload(p, name, size, md5)
+		if err != nil {
+			return Report{}, fmt.Errorf("core: direct begin: %w", err)
+		}
+		sess = s
+	}
+	start := sess.Written()
+	checkpoint := func() {
+		if ts, ok := sess.(sdk.TokenSession); ok {
+			ck.Session, ck.HasSession = ts.Token(), true
+		}
+	}
+	checkpoint()
+	var info sdk.FileInfo
+	for sess.Written() < size {
+		n := min(float64(DefaultResumeChunk), size-sess.Written())
+		last := sess.Written()+n >= size
+		fi, err := sess.WriteChunk(p, n, last)
+		if err != nil {
+			checkpoint()
+			ck.observeHop2(start, sess.Written())
+			return Report{}, fmt.Errorf("core: direct upload at %.0f: %w", sess.Written(), err)
+		}
+		checkpoint()
+		info = fi
+	}
+	ck.observeHop2(start, sess.Written())
+	ck.HasSession = false // consumed: the upload committed
+	d := float64(p.Now() - t0)
+	return Report{Route: DirectRoute, Total: d, Hop2: d, Info: info}, nil
+}
+
+// UploadResumable is the checkpoint-aware store-and-forward detour. The
+// first hop resumes from the DTN daemon's confirmed partial offset (its
+// disk is ground truth) and skips entirely when an identical copy is
+// already staged; the second hop relays through a resumable provider
+// session whose token rides in the checkpoint. The checkpoint is
+// updated on both success and failure, so the next attempt — on this
+// route or another — continues rather than restarts.
+func (d *DetourClient) UploadResumable(p *simproc.Proc, provider, name string, size float64, md5 string, ck *Checkpoint) (Report, error) {
+	t0 := p.Now()
+
+	// Hop 1: client -> DTN over resumable rsync.
+	h0 := p.Now()
+	st, err := d.Rsync.Stat(p, name)
+	if err != nil {
+		return Report{}, fmt.Errorf("core: detour hop1 stat: %w", err)
+	}
+	switch {
+	case st.Staged && st.Size == size && st.MD5 == md5:
+		// An identical copy already landed (a previous attempt finished
+		// hop1 before dying in hop2): skip the hop.
+		if ck.Hop1Via == d.dtn {
+			ck.observeHop1(size)
+		} else {
+			ck.abandonHop1(d.dtn)
+		}
+		ck.Hop1High = size
+	default:
+		offset := st.Partial
+		ck.abandonHop1(d.dtn)
+		ck.observeHop1(offset)
+		sent, err := d.Rsync.PushSizedResumable(p, name, size, offset, DefaultResumeChunk, md5)
+		if high := offset + sent; high > ck.Hop1High {
+			ck.Hop1High = high
+		}
+		if err != nil {
+			return Report{}, fmt.Errorf("core: detour hop1: %w", err)
+		}
+	}
+	hop1 := float64(p.Now() - h0)
+
+	// Hop 2: DTN -> provider through a resumable session.
+	c, err := d.tn.Dial(p, d.from, d.dtn, AgentPort, transport.DialOpts{})
+	if err != nil {
+		return Report{}, fmt.Errorf("core: detour agent dial: %w", err)
+	}
+	defer c.Close()
+	req := relayResume{Name: name, Provider: provider}
+	if ck.HasSession && ck.Session.Provider == provider {
+		req.HasToken, req.Token = true, ck.Session
+	}
+	msg, err := c.Exchange(p, req, ctrlBytes)
+	if err != nil {
+		return Report{}, fmt.Errorf("core: detour agent: %w", err)
+	}
+	res, ok := msg.Payload.(relayResult)
+	if !ok {
+		return Report{}, fmt.Errorf("core: detour agent sent %T", msg.Payload)
+	}
+	if res.HasToken {
+		ck.Session, ck.HasSession = res.Token, true
+		ck.observeHop2(res.StartOffset, res.Written)
+	}
+	if !res.OK {
+		return Report{}, fmt.Errorf("core: detour hop2: %s", res.Err)
+	}
+	ck.HasSession = false // consumed: the upload committed
+	rep := Report{
+		Route: d.Route(),
+		Total: float64(p.Now() - t0),
+		Hop1:  hop1,
+		Hop2:  res.Seconds,
+		Info:  res.Info,
+	}
+	d.Trace.Emit("detour.upload.resumed", map[string]any{
+		"from": d.from, "via": d.dtn, "provider": provider, "name": name,
+		"bytes": size, "total": rep.Total, "hop1": rep.Hop1, "hop2": rep.Hop2,
+		"rewritten": ck.BytesRewritten, "resumed": ck.BytesResumed,
+	})
+	return rep, nil
+}

@@ -1,0 +1,348 @@
+// Package faults is a sim-clock-driven fault injector for the
+// detournet world: it replays declarative, scripted fault schedules —
+// link flaps and degradations, provider outages and error bursts, DTN
+// crashes — against a scenario.World, deterministically.
+//
+// Each Spec describes one fault as a (possibly recurring) window on the
+// virtual clock. The injector registers as a world Pauser, so it obeys
+// the same contract as cross-traffic: transitions are scheduled as
+// engine events only while a workload is driving the clock, and the
+// pending event is cancelled between workloads so the runner can drain.
+// Fault *state* is real state and persists across workloads — a link
+// downed at t=100 stays down until its window ends, no matter how many
+// workloads run in between.
+//
+// Determinism: windows are pure functions of the virtual clock, and the
+// randomness behind injected provider errors draws from per-service
+// streams seeded from the injector's seed. The same seed and schedule
+// reproduce every transition and every injected error bit-for-bit (see
+// TestChaosDeterminism).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"detournet/internal/scenario"
+	"detournet/internal/simclock"
+)
+
+// Kind enumerates the fault families the injector can script.
+type Kind int
+
+const (
+	// LinkDown takes a topology edge down (both directions) for the
+	// window: routing loses the edge and in-flight flows are killed.
+	LinkDown Kind = iota
+	// LinkDegrade keeps the edge up but shrinks its capacity by
+	// CapacityFactor and/or imposes ExtraLoad for the window.
+	LinkDegrade
+	// ProviderOutage hard-downs a provider's API front end (every
+	// request answers 503) for the window.
+	ProviderOutage
+	// ProviderErrors makes a provider's front end flaky for the window:
+	// requests fail with 500s at ErrorRate and 429s at ThrottleRate.
+	ProviderErrors
+	// DTNCrash crashes a DTN's rsync daemon and relay agent at window
+	// start (in-flight relays die; staged files and partials survive on
+	// disk) and restarts them at window end.
+	DTNCrash
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkDegrade:
+		return "link-degrade"
+	case ProviderOutage:
+		return "provider-outage"
+	case ProviderErrors:
+		return "provider-errors"
+	case DTNCrash:
+		return "dtn-crash"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Spec declares one scripted fault.
+type Spec struct {
+	Kind Kind
+
+	// From and To name the edge for LinkDown and LinkDegrade.
+	From, To string
+	// Provider names the service for ProviderOutage and ProviderErrors.
+	Provider string
+	// DTN names the host for DTNCrash.
+	DTN string
+
+	// Start is the virtual time (seconds) the first window opens.
+	Start float64
+	// Duration is the window length in virtual seconds.
+	Duration float64
+	// Period, when positive, repeats the window every Period seconds
+	// (must exceed Duration). Zero means one-shot.
+	Period float64
+	// Repeat caps the number of windows when Period is set (0 = repeat
+	// for as long as the clock advances).
+	Repeat int
+
+	// CapacityFactor (LinkDegrade) multiplies the edge capacity during
+	// the window; in (0, 1) to degrade, 0 to leave capacity alone.
+	CapacityFactor float64
+	// ExtraLoad (LinkDegrade) is the cross-traffic fraction imposed on
+	// the edge during the window.
+	ExtraLoad float64
+	// ErrorRate and ThrottleRate (ProviderErrors) are the per-request
+	// probabilities of an injected 500 and 429 during the window.
+	ErrorRate    float64
+	ThrottleRate float64
+}
+
+// target renders the spec's subject for logs.
+func (s Spec) target() string {
+	switch s.Kind {
+	case LinkDown, LinkDegrade:
+		return s.From + "<->" + s.To
+	case DTNCrash:
+		return s.DTN
+	default:
+		return s.Provider
+	}
+}
+
+// state is a Spec plus its runtime position.
+type state struct {
+	Spec
+	active   bool
+	ev       *simclock.Event
+	savedCap map[[2]string]float64
+}
+
+// stateAt reports whether the fault is active at time t and when it
+// next transitions (+Inf when it never will again).
+func (sp *state) stateAt(t float64) (bool, float64) {
+	if t < sp.Start {
+		return false, sp.Start
+	}
+	if sp.Period <= 0 {
+		if t < sp.Start+sp.Duration {
+			return true, sp.Start + sp.Duration
+		}
+		return false, math.Inf(1)
+	}
+	k := math.Floor((t - sp.Start) / sp.Period)
+	if sp.Repeat > 0 && k >= float64(sp.Repeat) {
+		return false, math.Inf(1)
+	}
+	off := sp.Start + k*sp.Period
+	if t < off+sp.Duration {
+		return true, off + sp.Duration
+	}
+	if sp.Repeat > 0 && k+1 >= float64(sp.Repeat) {
+		return false, math.Inf(1)
+	}
+	return false, off + sp.Period
+}
+
+// Injector replays a fault schedule against one world. Create with
+// NewInjector; it wires itself in as a world Pauser.
+type Injector struct {
+	w       *scenario.World
+	eng     *simclock.Engine
+	specs   []*state
+	stopped bool
+
+	// Injected counts applied transitions (activations + recoveries).
+	Injected    int
+	transitions []string
+}
+
+// NewInjector validates the schedule, seeds the provider fault
+// randomness, and registers the injector with the world. It panics on
+// a malformed spec — a schedule is build-time configuration.
+func NewInjector(w *scenario.World, seed int64, specs ...Spec) *Injector {
+	inj := &Injector{w: w, eng: w.Eng, stopped: true}
+	for _, sp := range specs {
+		inj.validate(sp)
+		inj.specs = append(inj.specs, &state{Spec: sp})
+	}
+	// Per-service error streams, seeded in a fixed provider order so the
+	// same seed reproduces the same injected faults.
+	rng := rand.New(rand.NewSource(seed))
+	for _, name := range scenario.ProviderNames {
+		if svc := w.Services[name]; svc != nil && svc.FaultRand == nil {
+			svc.FaultRand = rand.New(rand.NewSource(rng.Int63()))
+		}
+	}
+	w.AddPauser(inj)
+	return inj
+}
+
+func (inj *Injector) validate(sp Spec) {
+	if sp.Duration <= 0 {
+		panic(fmt.Sprintf("faults: %s %s: non-positive duration", sp.Kind, sp.target()))
+	}
+	if sp.Period > 0 && sp.Period <= sp.Duration {
+		panic(fmt.Sprintf("faults: %s %s: period %.3g must exceed duration %.3g", sp.Kind, sp.target(), sp.Period, sp.Duration))
+	}
+	switch sp.Kind {
+	case LinkDown, LinkDegrade:
+		if _, ok := inj.w.Graph.Edge(sp.From, sp.To); !ok {
+			panic(fmt.Sprintf("faults: %s: no edge %s->%s", sp.Kind, sp.From, sp.To))
+		}
+	case ProviderOutage, ProviderErrors:
+		if inj.w.Services[sp.Provider] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown provider %q", sp.Kind, sp.Provider))
+		}
+	case DTNCrash:
+		if inj.w.Daemons[sp.DTN] == nil || inj.w.Agents[sp.DTN] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown DTN %q", sp.Kind, sp.DTN))
+		}
+	default:
+		panic(fmt.Sprintf("faults: unknown kind %d", int(sp.Kind)))
+	}
+	if sp.ErrorRate < 0 || sp.ErrorRate > 1 || sp.ThrottleRate < 0 || sp.ThrottleRate > 1 {
+		panic(fmt.Sprintf("faults: %s %s: rates must be in [0,1]", sp.Kind, sp.target()))
+	}
+	if sp.Kind == LinkDegrade && sp.CapacityFactor != 0 && (sp.CapacityFactor < 0 || sp.CapacityFactor >= 1) {
+		panic(fmt.Sprintf("faults: %s %s: capacity factor must be in (0,1) or 0", sp.Kind, sp.target()))
+	}
+}
+
+// Restart implements scenario.Pauser: it reconciles every spec with
+// the current clock (applying whatever state should hold now) and arms
+// the next transition event.
+func (inj *Injector) Restart() {
+	if !inj.stopped {
+		return
+	}
+	inj.stopped = false
+	for _, sp := range inj.specs {
+		inj.arm(sp)
+	}
+}
+
+// StopAll implements scenario.Pauser: pending transition events are
+// cancelled so the runner can drain. Applied fault state persists — a
+// downed link stays down between workloads.
+func (inj *Injector) StopAll() {
+	if inj.stopped {
+		return
+	}
+	inj.stopped = true
+	for _, sp := range inj.specs {
+		if sp.ev != nil {
+			inj.eng.Cancel(sp.ev)
+			sp.ev = nil
+		}
+	}
+}
+
+// arm reconciles one spec with the clock and schedules its next
+// transition; each transition event re-arms.
+func (inj *Injector) arm(sp *state) {
+	active, next := sp.stateAt(float64(inj.eng.Now()))
+	if active != sp.active {
+		inj.apply(sp, active)
+	}
+	if math.IsInf(next, 1) {
+		sp.ev = nil
+		return
+	}
+	sp.ev = inj.eng.Schedule(simclock.Time(next), func() {
+		sp.ev = nil
+		inj.arm(sp)
+	})
+}
+
+// apply flips one fault's state on the world.
+func (inj *Injector) apply(sp *state, active bool) {
+	sp.active = active
+	switch sp.Kind {
+	case LinkDown:
+		inj.w.Graph.SetLinkState(sp.From, sp.To, !active)
+		inj.w.Graph.SetLinkState(sp.To, sp.From, !active)
+	case LinkDegrade:
+		inj.applyDegrade(sp, active)
+	case ProviderOutage:
+		inj.w.Services[sp.Provider].Down = active
+	case ProviderErrors:
+		svc := inj.w.Services[sp.Provider]
+		if active {
+			svc.ErrorRate, svc.ThrottleRate = sp.ErrorRate, sp.ThrottleRate
+		} else {
+			svc.ErrorRate, svc.ThrottleRate = 0, 0
+		}
+	case DTNCrash:
+		if active {
+			inj.w.Daemons[sp.DTN].Crash()
+			inj.w.Agents[sp.DTN].Crash()
+		} else {
+			inj.w.Daemons[sp.DTN].Start()
+			inj.w.Agents[sp.DTN].Start()
+		}
+	}
+	inj.Injected++
+	inj.transitions = append(inj.transitions,
+		fmt.Sprintf("t=%.3f %s %s active=%v", float64(inj.eng.Now()), sp.Kind, sp.target(), active))
+	inj.w.Trace.Emit("fault."+sp.Kind.String(), map[string]any{
+		"target": sp.target(), "active": active,
+	})
+}
+
+// applyDegrade shrinks or restores both directions of the edge.
+func (inj *Injector) applyDegrade(sp *state, active bool) {
+	fl := inj.w.Graph.Fluid()
+	for _, dir := range [][2]string{{sp.From, sp.To}, {sp.To, sp.From}} {
+		e, ok := inj.w.Graph.Edge(dir[0], dir[1])
+		if !ok {
+			continue
+		}
+		if active {
+			if sp.savedCap == nil {
+				sp.savedCap = make(map[[2]string]float64)
+			}
+			sp.savedCap[dir] = e.Link.Capacity
+			if sp.CapacityFactor > 0 {
+				fl.SetLinkCapacity(e.Link, e.Link.Capacity*sp.CapacityFactor)
+			}
+			if sp.ExtraLoad > 0 {
+				fl.SetLinkLoad(e.Link, sp.ExtraLoad)
+			}
+		} else {
+			if c, ok := sp.savedCap[dir]; ok && sp.CapacityFactor > 0 {
+				fl.SetLinkCapacity(e.Link, c)
+			}
+			if sp.ExtraLoad > 0 {
+				fl.SetLinkLoad(e.Link, 0)
+			}
+		}
+	}
+}
+
+// Transitions returns the applied-transition log, one line per state
+// change, in order. The log is deterministic for a given seed and
+// schedule.
+func (inj *Injector) Transitions() []string {
+	out := make([]string, len(inj.transitions))
+	copy(out, inj.transitions)
+	return out
+}
+
+// CannedSchedule is the demo schedule the chaos example and
+// `detourd -chaos` replay: a recurring flap of the CANARIE
+// Vancouver–Edmonton leg (the UBC detour's first hop), a degradation
+// of the PacificWave hand-off, a Google Drive error burst, a Dropbox
+// outage, and one UAlberta DTN crash.
+func CannedSchedule() []Spec {
+	return []Spec{
+		{Kind: LinkDown, From: "vncv1", To: "edmn1", Start: 60, Duration: 20, Period: 300},
+		{Kind: LinkDegrade, From: "vncv1", To: "pacificwave", Start: 45, Duration: 60, Period: 240, CapacityFactor: 0.4},
+		{Kind: ProviderErrors, Provider: scenario.GoogleDrive, Start: 120, Duration: 45, Period: 400, ErrorRate: 0.25, ThrottleRate: 0.15},
+		{Kind: ProviderOutage, Provider: scenario.Dropbox, Start: 200, Duration: 30, Period: 600},
+		{Kind: DTNCrash, DTN: scenario.UAlberta, Start: 350, Duration: 40},
+	}
+}

@@ -59,6 +59,14 @@ func (l *Link) Load() float64 { return l.load }
 // NumFlows returns the number of foreground flows on the link.
 func (l *Link) NumFlows() int { return len(l.flows) }
 
+// Flows returns the active foreground flows on the link, in flow-id
+// order. The slice is a copy; mutating it does not affect the link.
+func (l *Link) Flows() []*Flow {
+	out := make([]*Flow, len(l.flows))
+	copy(out, l.flows)
+	return out
+}
+
 // FlowState describes where a flow is in its lifecycle.
 type FlowState int
 
@@ -86,6 +94,7 @@ type Flow struct {
 	finishedAt simclock.Time
 
 	onComplete func(*Flow)
+	onAbort    func(*Flow)
 	completion *simclock.Event
 
 	// progressive-filling scratch state
@@ -176,6 +185,11 @@ type FlowOpts struct {
 	// OnComplete runs (inside the simulation) when the last byte is
 	// delivered. It is not called for cancelled flows.
 	OnComplete func(*Flow)
+	// OnAbort runs (inside the simulation) when the flow is killed by
+	// KillFlow — a link failure tearing down the transfer underneath
+	// the endpoints. It is not called for CancelFlow (a deliberate
+	// local abort) or for completed flows.
+	OnAbort func(*Flow)
 }
 
 // StartFlow begins transferring bytes over path and returns the flow.
@@ -200,6 +214,7 @@ func (n *Network) StartFlow(path []*Link, bytes float64, opts FlowOpts) *Flow {
 		lastTouch:  n.eng.Now(),
 		startedAt:  n.eng.Now(),
 		onComplete: opts.OnComplete,
+		onAbort:    opts.OnAbort,
 	}
 	n.nextFlow++
 	n.flows = append(n.flows, f)
@@ -242,6 +257,46 @@ func (n *Network) CancelFlow(f *Flow) bool {
 	n.detach(f)
 	n.reallocate()
 	return true
+}
+
+// KillFlow forcibly aborts an active flow — the path failed underneath
+// it — and runs its OnAbort callback so the endpoints learn the
+// transfer died. It reports whether the flow was still active. Unlike
+// CancelFlow (a deliberate local abort that notifies nobody), KillFlow
+// models an external failure the sender did not ask for.
+func (n *Network) KillFlow(f *Flow) bool {
+	if f.state != FlowActive {
+		return false
+	}
+	f.settleProgress(n.eng.Now())
+	f.state = FlowCancelled
+	f.finishedAt = n.eng.Now()
+	if f.completion != nil {
+		n.eng.Cancel(f.completion)
+		f.completion = nil
+	}
+	n.detach(f)
+	n.reallocate()
+	if f.onAbort != nil {
+		f.onAbort(f)
+	}
+	return true
+}
+
+// SetLinkCapacity changes a link's capacity (bytes/second, must stay
+// positive) and reallocates — the degradation hook for fault injection:
+// a brownout halves capacity, recovery restores it.
+func (n *Network) SetLinkCapacity(l *Link, capacity float64) {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("fluid: link %q capacity %v", l.Name, capacity))
+	}
+	if capacity == l.Capacity {
+		return
+	}
+	l.Capacity = capacity
+	if len(l.flows) > 0 {
+		n.reallocate()
+	}
 }
 
 // Remaining returns the bytes a flow still has to deliver as of now.

@@ -33,6 +33,7 @@ const (
 	StatusPayloadTooLarge     = 413
 	StatusTooManyRequests     = 429
 	StatusInternalServerError = 500
+	StatusServiceUnavailable  = 503
 )
 
 // baseHeaderBytes approximates request/status line + mandatory headers.
@@ -93,12 +94,26 @@ func (r *Response) Size() float64 {
 // OK reports whether the status is 2xx.
 func (r *Response) OK() bool { return r.Status >= 200 && r.Status < 300 }
 
-// Error converts a non-2xx response into a Go error (nil for 2xx).
+// StatusError is the typed error for a non-2xx response, so callers can
+// branch on the status class (429 vs 5xx vs 4xx) with errors.As instead
+// of string matching.
+type StatusError struct {
+	Status int
+	Body   string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("httpsim: status %d: %s", e.Status, e.Body)
+}
+
+// Error converts a non-2xx response into a Go error (nil for 2xx). The
+// returned error is a *StatusError.
 func (r *Response) Error() error {
 	if r.OK() {
 		return nil
 	}
-	return fmt.Errorf("httpsim: status %d: %s", r.Status, strings.TrimSpace(string(r.Body)))
+	return &StatusError{Status: r.Status, Body: strings.TrimSpace(string(r.Body))}
 }
 
 // Ctx is passed to handlers.

@@ -2,6 +2,7 @@ package rsyncx
 
 import (
 	"fmt"
+	"math"
 
 	"detournet/internal/simproc"
 	"detournet/internal/transport"
@@ -26,8 +27,22 @@ type Daemon struct {
 	// BlockSize for signatures; DefaultBlockSize when zero.
 	BlockSize int
 	staging   map[string]*Staged
+	// partials holds in-progress chunked pushes keyed by name. Like the
+	// staging area this models the DTN's disk: a daemon crash loses
+	// connections but not partials, which is what makes resume work.
+	partials map[string]*partial
 	// Pushes counts completed receive operations, for tests.
 	Pushes int
+
+	l     *transport.Listener
+	conns map[*transport.Conn]struct{}
+}
+
+// partial is the on-disk state of an interrupted chunked push.
+type partial struct {
+	size     float64 // declared final size
+	received float64 // bytes confirmed on disk
+	md5      string
 }
 
 // NewDaemon returns a daemon for the given DTN host.
@@ -35,7 +50,35 @@ func NewDaemon(tn *transport.Net, host string) *Daemon {
 	if tn == nil {
 		panic("rsyncx: nil transport")
 	}
-	return &Daemon{tn: tn, host: host, staging: make(map[string]*Staged)}
+	return &Daemon{tn: tn, host: host,
+		staging:  make(map[string]*Staged),
+		partials: make(map[string]*partial),
+		conns:    make(map[*transport.Conn]struct{}),
+	}
+}
+
+// Crash models the daemon process dying: the listener unbinds and every
+// active connection drops, but the staging area and partials — the
+// DTN's disk — survive for the restarted daemon. Call Start again to
+// model the restart.
+func (d *Daemon) Crash() {
+	if d.l != nil {
+		d.l.Close()
+		d.l = nil
+	}
+	for c := range d.conns {
+		c.Close()
+	}
+	d.conns = make(map[*transport.Conn]struct{})
+}
+
+// PartialOffset returns the confirmed bytes of an in-progress chunked
+// push (zero when none) — exposed for tests and diagnostics.
+func (d *Daemon) PartialOffset(name string) float64 {
+	if pt, ok := d.partials[name]; ok {
+		return pt.received
+	}
+	return 0
 }
 
 // Staged returns a staged file by name.
@@ -66,6 +109,7 @@ func (d *Daemon) Remove(name string) bool {
 // Start binds the daemon listener and serves until the listener closes.
 func (d *Daemon) Start() *transport.Listener {
 	l := d.tn.MustListen(d.host, Port)
+	d.l = l
 	r := d.tn.Runner()
 	r.Go("rsyncd:"+d.host, func(p *simproc.Proc) {
 		for {
@@ -74,7 +118,9 @@ func (d *Daemon) Start() *transport.Listener {
 				return
 			}
 			c := conn
+			d.conns[c] = struct{}{}
 			r.Go("rsyncd-conn:"+c.RemoteHost(), func(hp *simproc.Proc) {
+				defer delete(d.conns, c)
 				d.serve(hp, c)
 			})
 		}
@@ -101,6 +147,31 @@ type deltaMsg struct {
 
 type deleteReq struct {
 	Name string
+}
+
+type statReq struct {
+	Name string
+}
+
+type statResp struct {
+	Staged  bool    // a complete copy is staged
+	Size    float64 // size of the staged copy
+	MD5     string
+	Partial float64 // confirmed bytes of an in-progress chunked push
+}
+
+// chunkedPushReq opens a resumable sized push: the payload follows as a
+// pushChunk stream, and Offset picks up where a previous push died.
+type chunkedPushReq struct {
+	Name   string
+	Size   float64
+	Offset float64 // must match the daemon's partial offset
+	MD5    string
+}
+
+type pushChunk struct {
+	Bytes float64
+	Last  bool
 }
 
 type fetchReq struct {
@@ -133,6 +204,14 @@ func (d *Daemon) serve(p *simproc.Proc, c *transport.Conn) {
 		switch m := msg.Payload.(type) {
 		case pushReq:
 			d.handlePush(p, c, m)
+		case chunkedPushReq:
+			d.handleChunkedPush(p, c, m)
+		case statReq:
+			resp := statResp{Partial: d.PartialOffset(m.Name)}
+			if st, ok := d.staging[m.Name]; ok {
+				resp.Staged, resp.Size, resp.MD5 = true, st.Size, st.MD5
+			}
+			_ = c.Send(p, resp, ctrlBytes)
 		case deleteReq:
 			ok := d.Remove(m.Name)
 			_ = c.Send(p, ack{OK: ok}, ctrlBytes)
@@ -202,6 +281,54 @@ func (d *Daemon) handlePush(p *simproc.Proc, c *transport.Conn, req pushReq) {
 	d.staging[req.Name] = st
 	d.Pushes++
 	_ = c.Send(p, ack{OK: true, MD5: st.MD5}, ctrlBytes)
+}
+
+// handleChunkedPush receives a resumable sized push. Confirmed chunks
+// accumulate in the partials map (the DTN's disk); if the connection
+// dies mid-stream the partial stays for the next resume, and the final
+// chunk promotes it to a fully staged file.
+func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunkedPushReq) {
+	pt := d.partials[req.Name]
+	cur := 0.0
+	if pt != nil && pt.size == req.Size {
+		cur = pt.received
+	}
+	if req.Offset != cur {
+		_ = c.Send(p, ack{OK: false, Err: fmt.Sprintf("bad resume offset %v, have %v", req.Offset, cur)}, ctrlBytes)
+		return
+	}
+	if pt == nil || pt.size != req.Size {
+		pt = &partial{size: req.Size, md5: req.MD5}
+		d.partials[req.Name] = pt
+	}
+	// Go-ahead: the offset was accepted, stream away.
+	if err := c.Send(p, ack{OK: true}, ctrlBytes); err != nil {
+		return
+	}
+	for {
+		msg, err := c.Recv(p)
+		if err != nil {
+			return // connection died; the partial stays for resume
+		}
+		ch, ok := msg.Payload.(pushChunk)
+		if !ok {
+			_ = c.Send(p, ack{OK: false, Err: "expected chunk"}, ctrlBytes)
+			return
+		}
+		pt.received += ch.Bytes
+		if !ch.Last {
+			continue
+		}
+		if math.Abs(pt.received-req.Size) > 1e-6 {
+			_ = c.Send(p, ack{OK: false, Err: fmt.Sprintf("short push: %v of %v", pt.received, req.Size)}, ctrlBytes)
+			return
+		}
+		delete(d.partials, req.Name)
+		d.staging[req.Name] = &Staged{Name: req.Name, Size: req.Size, MD5: req.MD5}
+		d.Pushes++
+		_ = c.Send(p, ack{OK: true, MD5: req.MD5}, ctrlBytes)
+		return
+	}
 }
 
 // Client pushes files from a host to a daemon.
@@ -279,6 +406,85 @@ func (cl *Client) PushSized(p *simproc.Proc, name string, size float64, md5 stri
 		return err
 	}
 	return recvAck(p, c)
+}
+
+// DefaultPushChunk is the chunk size of resumable sized pushes: the
+// granularity at which progress is checkpointed on the daemon's disk.
+const DefaultPushChunk = 8 << 20
+
+// StatInfo reports the daemon-side state of a name: any fully staged
+// copy, plus the confirmed offset of an in-progress chunked push.
+type StatInfo struct {
+	Staged  bool
+	Size    float64
+	MD5     string
+	Partial float64
+}
+
+// Stat queries the daemon for staged/partial state of name — the resume
+// handshake: the daemon's disk is ground truth for how many bytes an
+// interrupted push actually landed.
+func (cl *Client) Stat(p *simproc.Proc, name string) (StatInfo, error) {
+	c, err := cl.dial(p)
+	if err != nil {
+		return StatInfo{}, err
+	}
+	defer c.Close()
+	if err := c.Send(p, statReq{Name: name}, ctrlBytes); err != nil {
+		return StatInfo{}, err
+	}
+	msg, err := c.Recv(p)
+	if err != nil {
+		return StatInfo{}, err
+	}
+	sr, ok := msg.Payload.(statResp)
+	if !ok {
+		return StatInfo{}, fmt.Errorf("rsyncx: expected stat response, got %T", msg.Payload)
+	}
+	return StatInfo{Staged: sr.Staged, Size: sr.Size, MD5: sr.MD5, Partial: sr.Partial}, nil
+}
+
+// PushSizedResumable transfers size bytes under name in chunks of
+// chunkBytes (DefaultPushChunk if <= 0), starting at offset — which
+// must be the daemon's confirmed partial offset, normally learned from
+// Stat. It returns the payload bytes put on the wire by this call, so
+// callers can account rewritten vs. resumed bytes; on error, re-Stat to
+// learn where the daemon's partial actually stands.
+func (cl *Client) PushSizedResumable(p *simproc.Proc, name string, size, offset, chunkBytes float64, md5 string) (sent float64, err error) {
+	if size < 0 || offset < 0 || offset > size {
+		return 0, fmt.Errorf("rsyncx: bad size/offset %v/%v", size, offset)
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultPushChunk
+	}
+	c, err := cl.dial(p)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if err := c.Send(p, chunkedPushReq{Name: name, Size: size, Offset: offset, MD5: md5}, ctrlBytes); err != nil {
+		return 0, err
+	}
+	if err := recvAck(p, c); err != nil { // go-ahead: offset accepted
+		return 0, err
+	}
+	pos := offset
+	for {
+		n := chunkBytes
+		last := false
+		if pos+n >= size {
+			n = size - pos
+			last = true
+		}
+		if err := c.Send(p, pushChunk{Bytes: n, Last: last}, n+ctrlBytes); err != nil {
+			return sent, err
+		}
+		sent += n
+		pos += n
+		if last {
+			return sent, recvAck(p, c)
+		}
+	}
 }
 
 // Fetch pulls a staged file from the daemon (the reverse direction,

@@ -88,8 +88,23 @@ type World struct {
 	// NewDetourClient and from the DTN agents.
 	Trace *tracelog.Log
 
-	seed int64
+	pausers []Pauser
+	seed    int64
 }
+
+// Pauser is anything that injects scheduled background activity into
+// the world — cross-traffic, fault schedules — and must pause between
+// workloads so the event queue can drain. Restart arms it when a
+// workload starts; StopAll cancels its pending events when the
+// workload ends (see xtraffic.Controller for the pattern).
+type Pauser interface {
+	Restart()
+	StopAll()
+}
+
+// AddPauser registers extra background activity (e.g. a fault
+// injector) to start and stop around every workload.
+func (w *World) AddPauser(p Pauser) { w.pausers = append(w.pausers, p) }
 
 // Option adjusts world construction, for sensitivity studies.
 type Option func(*buildCfg)
@@ -512,9 +527,15 @@ func (w *World) NewDetourClient(from, via string) *core.DetourClient {
 // the same world and virtual clock.
 func (w *World) RunWorkload(name string, fn func(p *simproc.Proc)) {
 	w.Cross.Restart()
+	for _, pz := range w.pausers {
+		pz.Restart()
+	}
 	done := false
 	w.Runner.Go(name, func(p *simproc.Proc) {
 		fn(p)
+		for _, pz := range w.pausers {
+			pz.StopAll()
+		}
 		w.Cross.StopAll()
 		done = true
 	})

@@ -174,6 +174,27 @@ func (c *RouteCache) Invalidate(k CacheKey, failed core.Route) {
 	}
 }
 
+// Candidates returns the key's non-quarantined candidate routes (nil
+// when the key is absent) — the failover pool a job can switch to
+// mid-flight when its chosen route dies underneath it.
+func (c *RouteCache) Candidates(k CacheKey) []core.Route {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return nil
+	}
+	now := c.now()
+	out := make([]core.Route, 0, len(e.candidates))
+	for _, r := range e.candidates {
+		if until, q := e.quarantined[r]; q && now < until {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
 // Len reports live (possibly expired-but-unswept) entries.
 func (c *RouteCache) Len() int {
 	c.mu.Lock()

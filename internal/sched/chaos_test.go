@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+
+	"detournet/internal/core"
+	"detournet/internal/faults"
+	"detournet/internal/scenario"
+)
+
+// pinDetour is a planner that always picks the UAlberta detour, with
+// the full candidate set available for failover.
+func pinDetour() Planner {
+	return PlannerFunc(func(c, p string, s float64) (core.Route, []core.Route, error) {
+		return core.ViaRoute(scenario.UAlberta), scenario.Routes(), nil
+	})
+}
+
+// chaosRun executes one UBC → Google Drive job through the scheduler
+// while the given fault schedule plays, and returns its result and the
+// scheduler stats.
+func chaosRun(t *testing.T, disableRecovery bool, specs ...faults.Spec) (Result, Stats) {
+	t.Helper()
+	w := scenario.Build(3)
+	exec := NewSimExecutor(w)
+	faults.NewInjector(w, 3, specs...)
+	var res Result
+	s := New(Config{
+		Workers: 1, Executor: exec, Planner: pinDetour(),
+		MaxAttempts:     4,
+		Now:             exec.VirtualNow,
+		Sleep:           exec.SleepVirtual,
+		DisableRecovery: disableRecovery,
+		OnResult:        func(r Result) { res = r },
+	})
+	s.Start()
+	if err := s.Submit(Job{
+		Tenant: "chaos", Client: scenario.UBC, Provider: scenario.GoogleDrive,
+		Name: "chaos.bin", Size: 100e6,
+	}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s.Drain()
+	st := s.Stats()
+	s.Close()
+	return res, st
+}
+
+// TestChaosResumeAcrossLinkFlap is the PR's acceptance scenario: the
+// detour's first-hop link (CANARIE Vancouver–Edmonton) goes down in
+// the middle of hop 1. The transfer must complete by resuming from the
+// DTN's partial offset, rewriting less than 20% of the file.
+func TestChaosResumeAcrossLinkFlap(t *testing.T) {
+	flap := faults.Spec{
+		Kind: faults.LinkDown, From: "vncv1", To: "edmn1",
+		Start: 5, Duration: 8,
+	}
+
+	res, st := chaosRun(t, false, flap)
+	if res.Err != nil {
+		t.Fatalf("job did not survive the flap: %v", res.Err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("flap should have forced a retry, attempts = %d", res.Attempts)
+	}
+	if res.Resumed == 0 {
+		t.Fatal("checkpointed resume never engaged")
+	}
+	if limit := 0.2 * res.Job.Size; res.Rewritten >= limit {
+		t.Fatalf("rewrote %.0f bytes, want < %.0f (20%% of file)", res.Rewritten, limit)
+	}
+	if st.BytesResumed == 0 {
+		t.Fatal("scheduler stats recorded no resumed bytes")
+	}
+
+	// Negative control: same schedule with recovery disabled. The job
+	// must show no checkpoint accounting (it restarted from byte zero on
+	// every attempt) — and redoing the work costs it real transfer time.
+	nres, nst := chaosRun(t, true, flap)
+	if nres.Resumed != 0 || nres.Rewritten != 0 {
+		t.Fatalf("recovery disabled but checkpoint accounting ran: resumed=%.0f rewritten=%.0f",
+			nres.Resumed, nres.Rewritten)
+	}
+	if nst.BytesResumed != 0 {
+		t.Fatalf("recovery disabled but stats counted %.0f resumed bytes", nst.BytesResumed)
+	}
+	if nres.Err == nil && nres.Seconds <= res.Seconds {
+		t.Fatalf("restart-from-zero attempt (%.1fs) should be slower than the resumed one (%.1fs)",
+			nres.Seconds, res.Seconds)
+	}
+}
+
+// TestChaosFailoverToDirect crashes the detour's DTN for good: the
+// scheduler must classify the dead route, quarantine it, and finish
+// the job over the direct route.
+func TestChaosFailoverToDirect(t *testing.T) {
+	res, st := chaosRun(t, false, faults.Spec{
+		Kind: faults.DTNCrash, DTN: scenario.UAlberta,
+		Start: 5, Duration: 1e9,
+	})
+	if res.Err != nil {
+		t.Fatalf("job did not survive the DTN crash: %v", res.Err)
+	}
+	if res.Route != core.DirectRoute {
+		t.Fatalf("job finished on %s, want Direct after failover", res.Route)
+	}
+	if st.Failovers == 0 {
+		t.Fatal("stats recorded no failovers")
+	}
+	if inv := st.CacheInvalidations; inv == 0 {
+		t.Fatal("dead detour was never quarantined")
+	}
+}

@@ -1,0 +1,91 @@
+package sched
+
+import "errors"
+
+// Failure taxonomy: executors classify errors so the scheduler can
+// react per class instead of treating every failure alike —
+//
+//   - transient: the route is fine, the attempt was unlucky (a reset
+//     connection, an injected 5xx, throttling past the SDK's patience).
+//     Retry the same route with backoff; a checkpointed executor
+//     resumes instead of restarting.
+//   - route-down: the path itself is dead (dial refused, no route).
+//     Quarantine the route for the fleet and fail over immediately,
+//     carrying the checkpoint to the new route.
+//   - provider-down: the provider front-end is erroring (503). No
+//     route helps; wait it out with backoff and leave the route cache
+//     alone — quarantine is for route-level failures only.
+//
+// Untyped errors keep the legacy behavior (route-level counting with
+// DetourFailLimit fallback), so executors that don't classify are
+// unaffected.
+var (
+	// ErrTransient tags a retryable failure of a healthy route.
+	ErrTransient = errors.New("sched: transient failure")
+	// ErrRouteDown tags a failure of the route itself.
+	ErrRouteDown = errors.New("sched: route down")
+	// ErrProviderDown tags a provider-side outage affecting all routes.
+	ErrProviderDown = errors.New("sched: provider down")
+)
+
+// FailureClass is the scheduler-facing classification of an error.
+type FailureClass int
+
+const (
+	// FailUnknown is an untyped error (legacy handling).
+	FailUnknown FailureClass = iota
+	// FailTransient retries the same route.
+	FailTransient
+	// FailRouteDown quarantines the route and fails over.
+	FailRouteDown
+	// FailProviderDown waits out the outage without blaming the route.
+	FailProviderDown
+)
+
+func (c FailureClass) String() string {
+	switch c {
+	case FailTransient:
+		return "transient"
+	case FailRouteDown:
+		return "route-down"
+	case FailProviderDown:
+		return "provider-down"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify maps an error onto the taxonomy via errors.Is, so wrapped
+// chains classify correctly.
+func Classify(err error) FailureClass {
+	switch {
+	case errors.Is(err, ErrRouteDown):
+		return FailRouteDown
+	case errors.Is(err, ErrProviderDown):
+		return FailProviderDown
+	case errors.Is(err, ErrTransient):
+		return FailTransient
+	default:
+		return FailUnknown
+	}
+}
+
+// Transient tags err as a transient failure.
+func Transient(err error) error { return taggedError{tag: ErrTransient, err: err} }
+
+// RouteDown tags err as a route-level failure.
+func RouteDown(err error) error { return taggedError{tag: ErrRouteDown, err: err} }
+
+// ProviderDown tags err as a provider-side outage.
+func ProviderDown(err error) error { return taggedError{tag: ErrProviderDown, err: err} }
+
+// taggedError couples a taxonomy sentinel with the underlying cause;
+// errors.Is matches both.
+type taggedError struct {
+	tag error
+	err error
+}
+
+func (t taggedError) Error() string        { return t.tag.Error() + ": " + t.err.Error() }
+func (t taggedError) Is(target error) bool { return target == t.tag }
+func (t taggedError) Unwrap() error        { return t.err }

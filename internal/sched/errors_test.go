@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		err  error
+		want FailureClass
+	}{
+		{nil, FailUnknown},
+		{base, FailUnknown},
+		{Transient(base), FailTransient},
+		{RouteDown(base), FailRouteDown},
+		{ProviderDown(base), FailProviderDown},
+		{fmt.Errorf("wrapped: %w", RouteDown(base)), FailRouteDown},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// The underlying cause stays reachable through the tag.
+	if !errors.Is(Transient(base), base) {
+		t.Error("tagged error lost its cause")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := 0.0
+	b := newBreakerSet(3, 30, func() float64 { return now })
+	const k = "GoogleDrive|via ualberta"
+
+	if !b.allow(k) {
+		t.Fatal("fresh breaker must allow")
+	}
+	b.failure(k)
+	b.failure(k)
+	if !b.allow(k) {
+		t.Fatal("below threshold must still allow")
+	}
+	b.failure(k) // third consecutive failure opens
+	if b.allow(k) {
+		t.Fatal("open breaker must reject")
+	}
+
+	now = 10
+	if b.allow(k) {
+		t.Fatal("cooldown not elapsed, must still reject")
+	}
+	now = 31
+	if !b.allow(k) {
+		t.Fatal("post-cooldown must admit the half-open probe")
+	}
+	if b.allow(k) {
+		t.Fatal("only one probe may fly at a time")
+	}
+
+	// Failed probe re-opens; a fresh cooldown starts.
+	b.failure(k)
+	if b.allow(k) {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	now = 62
+	if !b.allow(k) {
+		t.Fatal("second cooldown must admit another probe")
+	}
+	b.success(k)
+	if !b.allow(k) || !b.allow(k) {
+		t.Fatal("closed breaker must allow freely")
+	}
+
+	states, transitions := b.snapshot()
+	if states[k] != "closed" {
+		t.Fatalf("state = %q, want closed", states[k])
+	}
+	// open, half-open, re-open, half-open, closed = 5 transitions.
+	if transitions != 5 {
+		t.Fatalf("transitions = %d, want 5", transitions)
+	}
+}

@@ -61,6 +61,11 @@ type Result struct {
 	// CacheHit reports whether the job rode a cached route decision
 	// (including decisions it coalesced onto) rather than paying a probe.
 	CacheHit bool
+	// Resumed and Rewritten are the job's checkpoint accounting when a
+	// ResumableExecutor ran it: bytes skipped thanks to checkpoints, and
+	// bytes sent more than once. Zero for plain executors.
+	Resumed   float64
+	Rewritten float64
 	// Err is nil on success.
 	Err error
 }
@@ -76,6 +81,16 @@ type ExecutorFunc func(Job, core.Route) (float64, error)
 
 // Execute implements Executor.
 func (f ExecutorFunc) Execute(j Job, r core.Route) (float64, error) { return f(j, r) }
+
+// ResumableExecutor is an Executor that can carry a checkpoint across
+// attempts — and across routes: the scheduler hands every attempt of a
+// job the same *core.Checkpoint, so a retry resumes from the DTN's
+// partial offset and a failover reattaches the provider session from
+// the previous route instead of restarting at byte zero.
+type ResumableExecutor interface {
+	Executor
+	ExecuteResumable(job Job, route core.Route, ck *core.Checkpoint) (seconds float64, err error)
+}
 
 // Planner makes the expensive route decision for a cache miss —
 // typically by probing every candidate path (detourselect.Selector).
@@ -140,6 +155,18 @@ type Config struct {
 	CacheTTL      float64
 	QuarantineTTL float64
 
+	// BreakerThreshold is how many consecutive route-level failures open
+	// a route's circuit breaker (default 3). BreakerCooldown is how many
+	// scheduler-clock seconds an open breaker rejects traffic before
+	// admitting a half-open probe (default 30).
+	BreakerThreshold int
+	BreakerCooldown  float64
+
+	// DisableRecovery turns off checkpointed resume even when the
+	// Executor supports it: every attempt restarts from byte zero. For
+	// ablations and negative tests.
+	DisableRecovery bool
+
 	// Backoff shapes the retry delays.
 	Backoff Backoff
 	// Rand seeds backoff jitter and the cache's bandit (default a
@@ -174,6 +201,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DetourFailLimit <= 0 {
 		c.DetourFailLimit = 2
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30
 	}
 	if c.TenantBurst <= 0 {
 		c.TenantBurst = c.TenantRate
@@ -211,12 +244,13 @@ type planCall struct {
 // Scheduler is the control plane. Create with New, arm with Start,
 // feed with Submit, and wait with Drain; Close shuts the pool down.
 type Scheduler struct {
-	cfg     Config
-	q       *jobQueue
-	cache   *RouteCache
-	caps    *capTable
-	buckets *tenantBuckets
-	wg      sync.WaitGroup
+	cfg      Config
+	q        *jobQueue
+	cache    *RouteCache
+	caps     *capTable
+	buckets  *tenantBuckets
+	breakers *breakerSet
+	wg       sync.WaitGroup
 
 	planMu   sync.Mutex
 	planning map[CacheKey]*planCall
@@ -229,6 +263,9 @@ type Scheduler struct {
 	pending, running       int64
 	done, failed, expired  int64
 	retries, fallbacks     int64
+	failovers, breakerSkip int64
+	bytesResumed           float64
+	bytesRewritten         float64
 	cacheHits, cacheMiss   int64
 	perRoute               map[string]*RouteStats
 	jitterRng              *rand.Rand
@@ -249,6 +286,7 @@ func New(cfg Config) *Scheduler {
 		jitterRng: rand.New(rand.NewSource(cfg.Rand.Int63())),
 	}
 	s.cache = NewRouteCache(cfg.CacheTTL, cfg.QuarantineTTL, cfg.Now, rand.New(rand.NewSource(cfg.Rand.Int63())))
+	s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -373,50 +411,181 @@ func (s *Scheduler) finish(res Result) {
 	}
 }
 
-// runJob is a worker's whole handling of one job: route decision,
-// capped execution, retry with backoff, detour→direct fallback.
+// runJob is a worker's whole handling of one job: route decision
+// (breaker-gated), capped execution, class-aware retry with backoff,
+// and failover that carries the job's checkpoint across routes.
 func (s *Scheduler) runJob(j Job) Result {
 	if j.Deadline > 0 && s.cfg.Now() > j.Deadline {
 		return Result{Job: j, Err: ErrDeadline}
 	}
 	key := KeyFor(j.Client, j.Provider, j.Size)
 	route, hit := s.routeFor(key, j)
+	route = s.gateRoute(key, j.Provider, route)
+
+	// One checkpoint for the job's whole life: every attempt, on any
+	// route, resumes from it.
+	var ck *core.Checkpoint
+	rex, resumable := s.cfg.Executor.(ResumableExecutor)
+	if resumable && !s.cfg.DisableRecovery {
+		ck = &core.Checkpoint{}
+	}
 
 	var lastErr error
 	attempts, detourFails := 0, 0
 	for {
 		attempts++
-		if err := s.caps.acquire(j.Provider, route.Via); err != nil {
-			return Result{Job: j, Route: route, Attempts: attempts - 1, CacheHit: hit, Err: err}
+		var sec float64
+		var err error
+		if !s.breakers.allow(providerKey(j.Provider)) {
+			// The provider itself is benched: don't burn a transfer on it,
+			// just wait out the cooldown like any other failed attempt.
+			err = ProviderDown(fmt.Errorf("breaker open for provider %s", j.Provider))
+		} else {
+			if cerr := s.caps.acquire(j.Provider, route.Via); cerr != nil {
+				res := Result{Job: j, Route: route, Attempts: attempts - 1, CacheHit: hit, Err: cerr}
+				s.noteRecovery(ck, &res)
+				return res
+			}
+			if ck != nil {
+				sec, err = rex.ExecuteResumable(j, route, ck)
+			} else {
+				sec, err = s.cfg.Executor.Execute(j, route)
+			}
+			s.caps.release(j.Provider, route.Via)
 		}
-		sec, err := s.cfg.Executor.Execute(j, route)
-		s.caps.release(j.Provider, route.Via)
 		if err == nil {
+			s.breakers.success(breakerKey(j.Provider, route))
+			s.breakers.success(providerKey(j.Provider))
 			s.cache.Observe(key, route, j.Size, sec)
-			return Result{Job: j, Route: route, Seconds: sec, Attempts: attempts, CacheHit: hit}
+			res := Result{Job: j, Route: route, Seconds: sec, Attempts: attempts, CacheHit: hit}
+			s.noteRecovery(ck, &res)
+			return res
 		}
 		lastErr = err
-		if route.Kind == core.Detour {
-			detourFails++
-			if detourFails >= s.cfg.DetourFailLimit {
-				// Repeated DTN failures: bench the detour for every
-				// follower of this key and fall back to direct ourselves.
-				s.cache.Invalidate(key, route)
-				route = core.DirectRoute
-				s.mu.Lock()
-				s.fallbacks++
-				s.mu.Unlock()
+
+		backoff := true
+		switch Classify(err) {
+		case FailProviderDown:
+			// No route helps a downed provider; record provider health,
+			// leave the route cache alone (quarantine is route-level only),
+			// and wait it out.
+			s.breakers.failure(providerKey(j.Provider))
+		case FailTransient:
+			// The route is fine; retry it. A checkpointed executor resumes
+			// from the DTN partial / provider session instead of restarting.
+		case FailRouteDown:
+			s.breakers.failure(breakerKey(j.Provider, route))
+			if next, ok := s.failover(key, j.Provider, route); ok {
+				route = next
+				// The new route is presumed healthy: no point sleeping.
+				backoff = false
+			}
+		default:
+			// Untyped error: the legacy route-level handling, so executors
+			// that don't classify see exactly the old behavior.
+			s.breakers.failure(breakerKey(j.Provider, route))
+			if route.Kind == core.Detour {
+				detourFails++
+				if detourFails >= s.cfg.DetourFailLimit {
+					// Repeated DTN failures: bench the detour for every
+					// follower of this key and fall back to direct ourselves.
+					s.cache.Invalidate(key, route)
+					route = core.DirectRoute
+					s.mu.Lock()
+					s.fallbacks++
+					s.mu.Unlock()
+				}
 			}
 		}
 		if attempts >= s.cfg.MaxAttempts {
-			return Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Err: lastErr}
+			res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Err: lastErr}
+			s.noteRecovery(ck, &res)
+			return res
 		}
-		s.mu.Lock()
-		s.retries++
-		u := s.jitterRng.Float64()
-		s.mu.Unlock()
-		s.cfg.Sleep(s.cfg.Backoff.Delay(attempts, u))
+		if backoff {
+			s.mu.Lock()
+			s.retries++
+			u := s.jitterRng.Float64()
+			s.mu.Unlock()
+			s.cfg.Sleep(s.cfg.Backoff.Delay(attempts, u))
+		} else {
+			s.mu.Lock()
+			s.retries++
+			s.mu.Unlock()
+		}
 	}
+}
+
+// gateRoute diverts a job whose chosen route has an open breaker to an
+// alternate whose breaker admits traffic. Breakers are advisory: when
+// every alternate is also benched, the original route runs anyway
+// rather than stranding the job.
+func (s *Scheduler) gateRoute(key CacheKey, provider string, route core.Route) core.Route {
+	if s.breakers.allow(breakerKey(provider, route)) {
+		return route
+	}
+	if route.Kind == core.Detour && s.breakers.allow(breakerKey(provider, core.DirectRoute)) {
+		s.mu.Lock()
+		s.breakerSkip++
+		s.mu.Unlock()
+		return core.DirectRoute
+	}
+	for _, cand := range s.cache.Candidates(key) {
+		if cand == route {
+			continue
+		}
+		if s.breakers.allow(breakerKey(provider, cand)) {
+			s.mu.Lock()
+			s.breakerSkip++
+			s.mu.Unlock()
+			return cand
+		}
+	}
+	return route
+}
+
+// failover picks the next route for a job whose current route is known
+// dead. A dead detour is quarantined fleet-wide and the job drops to
+// direct; a dead direct route tries an alternate, breaker-approved
+// detour from the key's candidate pool. The caller keeps the job's
+// checkpoint, so provider-session progress survives the switch.
+func (s *Scheduler) failover(key CacheKey, provider string, failed core.Route) (core.Route, bool) {
+	if failed.Kind == core.Detour {
+		s.cache.Invalidate(key, failed)
+		s.mu.Lock()
+		s.failovers++
+		s.fallbacks++
+		s.mu.Unlock()
+		// Direct is the route of last resort — take it even if its
+		// breaker objects.
+		s.breakers.allow(breakerKey(provider, core.DirectRoute))
+		return core.DirectRoute, true
+	}
+	for _, cand := range s.cache.Candidates(key) {
+		if cand.Kind != core.Detour || cand == failed {
+			continue
+		}
+		if s.breakers.allow(breakerKey(provider, cand)) {
+			s.mu.Lock()
+			s.failovers++
+			s.mu.Unlock()
+			return cand, true
+		}
+	}
+	return failed, false
+}
+
+// noteRecovery copies the job's checkpoint accounting into its result
+// and the scheduler-wide counters.
+func (s *Scheduler) noteRecovery(ck *core.Checkpoint, res *Result) {
+	if ck == nil {
+		return
+	}
+	res.Resumed, res.Rewritten = ck.BytesResumed, ck.BytesRewritten
+	s.mu.Lock()
+	s.bytesResumed += ck.BytesResumed
+	s.bytesRewritten += ck.BytesRewritten
+	s.mu.Unlock()
 }
 
 // routeFor resolves the job's route: cached decision, coalesced onto an
@@ -489,15 +658,27 @@ func (r RouteStats) Throughput() float64 {
 
 // Stats is a consistent snapshot of the control plane.
 type Stats struct {
-	Submitted, RateLimited        int64
-	Queued, Running               int64
-	Done, Failed, Expired         int64
-	Retries, Fallbacks            int64
-	CacheHits, CacheMisses        int64
-	CacheInvalidations            int64
-	PerRoute                      map[string]RouteStats
-	ProviderPeak, DTNPeak         map[string]int
-	ProviderInUse, DTNInUse       map[string]int
+	Submitted, RateLimited int64
+	Queued, Running        int64
+	Done, Failed, Expired  int64
+	Retries, Fallbacks     int64
+	// Failovers counts mid-job route switches driven by route-down
+	// classification; BreakerSkips counts jobs diverted before their
+	// first attempt because the chosen route's breaker was open.
+	Failovers, BreakerSkips int64
+	// BytesResumed and BytesRewritten aggregate checkpoint accounting
+	// across all jobs run by a ResumableExecutor.
+	BytesResumed   float64
+	BytesRewritten float64
+	// BreakerTransitions counts lifetime breaker state changes; Breakers
+	// is each breaker's current state by "provider|route" key.
+	BreakerTransitions      int64
+	Breakers                map[string]string
+	CacheHits, CacheMisses  int64
+	CacheInvalidations      int64
+	PerRoute                map[string]RouteStats
+	ProviderPeak, DTNPeak   map[string]int
+	ProviderInUse, DTNInUse map[string]int
 }
 
 // CacheHitRate is hits/(hits+misses), 0 before any lookup.
@@ -524,6 +705,8 @@ func (s *Scheduler) Stats() Stats {
 		Running: s.running,
 		Done:    s.done, Failed: s.failed, Expired: s.expired,
 		Retries: s.retries, Fallbacks: s.fallbacks,
+		Failovers: s.failovers, BreakerSkips: s.breakerSkip,
+		BytesResumed: s.bytesResumed, BytesRewritten: s.bytesRewritten,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMiss,
 		PerRoute: make(map[string]RouteStats, len(s.perRoute)),
 	}
@@ -532,6 +715,7 @@ func (s *Scheduler) Stats() Stats {
 		st.PerRoute[k] = *v
 	}
 	s.mu.Unlock()
+	st.Breakers, st.BreakerTransitions = s.breakers.snapshot()
 	_, _, st.CacheInvalidations = s.cache.Counters()
 	st.ProviderInUse, st.ProviderPeak, st.DTNInUse, st.DTNPeak = s.caps.snapshot()
 	return st

@@ -1,14 +1,19 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"detournet/internal/core"
 	"detournet/internal/detourselect"
+	"detournet/internal/httpsim"
 	"detournet/internal/scenario"
 	"detournet/internal/sdk"
+	"detournet/internal/simclock"
 	"detournet/internal/simproc"
+	"detournet/internal/transport"
 )
 
 // SimExecutor is the bridge between the really-concurrent control plane
@@ -91,10 +96,95 @@ func (e *SimExecutor) Execute(job Job, route core.Route) (float64, error) {
 		}
 	})
 	if err != nil {
-		return 0, fmt.Errorf("sched: execute %s via %s: %w", job.Name, route, err)
+		return 0, classifyExecErr(fmt.Errorf("sched: execute %s via %s: %w", job.Name, route, err))
 	}
 	e.Transfers++
 	return rep.Total, nil
+}
+
+// ExecuteResumable implements ResumableExecutor: like Execute, but the
+// transfer reads and updates the scheduler-owned checkpoint, so a retry
+// resumes from the DTN's partial offset and the provider session
+// instead of restarting at byte zero.
+func (e *SimExecutor) ExecuteResumable(job Job, route core.Route, ck *core.Checkpoint) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var rep core.Report
+	var err error
+	e.w.RunWorkload("sched:"+job.Name, func(p *simproc.Proc) {
+		switch route.Kind {
+		case core.Direct:
+			rep, err = core.DirectUploadResumable(p, e.direct(job.Client, job.Provider), job.Name, job.Size, "", ck)
+		default:
+			dc, ok := e.detours[[2]string{job.Client, route.Via}]
+			if !ok {
+				dc = e.w.NewDetourClient(job.Client, route.Via)
+				e.detours[[2]string{job.Client, route.Via}] = dc
+			}
+			rep, err = dc.UploadResumable(p, job.Provider, job.Name, job.Size, "", ck)
+		}
+	})
+	if err != nil {
+		return 0, classifyExecErr(fmt.Errorf("sched: execute %s via %s: %w", job.Name, route, err))
+	}
+	e.Transfers++
+	return rep.Total, nil
+}
+
+// SleepVirtual advances the simulation clock by sec without sending
+// traffic. Wired as Config.Sleep, it makes scheduler backoff spend
+// virtual time, so retry delays interact with fault windows the way
+// wall-clock delays would in a real deployment.
+func (e *SimExecutor) SleepVirtual(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.w.RunWorkload("sched:backoff", func(p *simproc.Proc) {
+		p.Sleep(simclock.Duration(sec))
+	})
+}
+
+// classifyExecErr maps simulation errors onto the scheduler's failure
+// taxonomy. Connection-level errors seen first-hand classify by
+// sentinel; errors from the DTN agent arrive flattened to strings by
+// the wire protocol, so those fall back to message matching.
+func classifyExecErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *httpsim.StatusError
+	switch {
+	case errors.Is(err, transport.ErrReset):
+		// A mid-stream reset: the path hiccuped but may already be back.
+		return Transient(err)
+	case errors.Is(err, transport.ErrRefused):
+		return RouteDown(err)
+	case errors.As(err, &se):
+		switch {
+		case se.Status == httpsim.StatusServiceUnavailable:
+			return ProviderDown(err)
+		case se.Status >= 500 || se.Status == httpsim.StatusTooManyRequests:
+			return Transient(err)
+		}
+		return err
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "no route"):
+		return RouteDown(err)
+	case strings.Contains(msg, "status 503"):
+		return ProviderDown(err)
+	case strings.Contains(msg, "connection refused"):
+		return RouteDown(err)
+	case strings.Contains(msg, "connection reset"),
+		strings.Contains(msg, "connection closed"),
+		strings.Contains(msg, "status 5"),
+		strings.Contains(msg, "status 429"):
+		return Transient(err)
+	}
+	return err
 }
 
 // Plan implements Planner: it probes direct and every DTN with the

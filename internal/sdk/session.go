@@ -2,6 +2,7 @@ package sdk
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"detournet/internal/httpsim"
@@ -27,6 +28,34 @@ type SessionClient interface {
 	// size. md5 optionally carries an end-to-end digest committed with
 	// the final chunk.
 	BeginUpload(p *simproc.Proc, name string, size float64, md5 string) (UploadSession, error)
+}
+
+// SessionToken is the serializable checkpoint of a provider upload
+// session: everything another client of the same provider — possibly on
+// a different host, after a crash or a route change — needs to reattach
+// and continue where the interrupted upload left off.
+type SessionToken struct {
+	Provider string
+	Ref      string // GDrive: session Location; Dropbox: session_id; OneDrive: uploadUrl
+	Name     string
+	Size     float64
+	Offset   float64 // last locally-known confirmed offset
+	MD5      string
+}
+
+// TokenSession is an UploadSession that can checkpoint itself.
+type TokenSession interface {
+	UploadSession
+	Token() SessionToken
+}
+
+// SessionResumer is a client that can reattach to an interrupted
+// session from its token. GoogleDrive queries the server for the
+// confirmed offset; Dropbox self-corrects via the 409 correct_offset
+// protocol. OneDrive's 2015-era community library had no resume, so
+// OneDrive uploads restart from zero.
+type SessionResumer interface {
+	Resume(p *simproc.Proc, tok SessionToken) (UploadSession, error)
 }
 
 // --- Google Drive ---
@@ -98,6 +127,20 @@ func (s *GDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (FileI
 // Location exposes the session URI so an interrupted upload can be
 // resumed later with ResumeUpload.
 func (s *GDriveSession) Location() string { return s.location }
+
+// Token implements TokenSession.
+func (s *GDriveSession) Token() SessionToken {
+	return SessionToken{
+		Provider: s.g.ProviderName(), Ref: s.location,
+		Size: s.size, Offset: s.sent, MD5: s.md5,
+	}
+}
+
+// Resume implements SessionResumer: the server's status query is ground
+// truth for the offset, so a stale token still resumes correctly.
+func (g *GoogleDrive) Resume(p *simproc.Proc, tok SessionToken) (UploadSession, error) {
+	return g.ResumeUpload(p, tok.Ref, tok.Size, tok.MD5)
+}
 
 // ResumeUpload reattaches to an existing Drive resumable session after
 // an interruption: it queries the server for the confirmed offset
@@ -182,6 +225,48 @@ func (s *DropboxSession) WriteChunk(p *simproc.Proc, n float64, last bool) (File
 	return FileInfo{}, nil
 }
 
+// Token implements TokenSession.
+func (s *DropboxSession) Token() SessionToken {
+	return SessionToken{
+		Provider: s.d.ProviderName(), Ref: s.sessionID,
+		Name: s.name, Offset: s.sent, MD5: s.md5,
+	}
+}
+
+// ResumeUpload reattaches to a Dropbox upload_session. Dropbox has no
+// offset-query endpoint; instead the client probes with a zero-byte
+// append at its believed offset and, on the 409 incorrect_offset
+// response, adopts the server's correct_offset — the self-correction
+// dance the real API documents.
+func (d *Dropbox) ResumeUpload(p *simproc.Proc, sessionID, name string, offset float64, md5 string) (UploadSession, error) {
+	if sessionID == "" {
+		return nil, fmt.Errorf("sdk: resume needs a session id")
+	}
+	if offset < 0 {
+		return nil, fmt.Errorf("sdk: negative resume offset")
+	}
+	arg := map[string]any{"cursor": dbxCursor{SessionID: sessionID, Offset: offset}}
+	_, err := d.apiCall(p, "/2/files/upload_session/append_v2", arg, 0, "")
+	if err != nil {
+		var se *httpsim.StatusError
+		if errors.As(err, &se) && se.Status == httpsim.StatusConflict {
+			var body struct {
+				CorrectOffset float64 `json:"correct_offset"`
+			}
+			if jerr := json.Unmarshal([]byte(se.Body), &body); jerr == nil {
+				return &DropboxSession{d: d, name: name, md5: md5, sessionID: sessionID, sent: body.CorrectOffset}, nil
+			}
+		}
+		return nil, fmt.Errorf("sdk: dropbox resume: %w", err)
+	}
+	return &DropboxSession{d: d, name: name, md5: md5, sessionID: sessionID, sent: offset}, nil
+}
+
+// Resume implements SessionResumer.
+func (d *Dropbox) Resume(p *simproc.Proc, tok SessionToken) (UploadSession, error) {
+	return d.ResumeUpload(p, tok.Ref, tok.Name, tok.Offset, tok.MD5)
+}
+
 // --- OneDrive ---
 
 // OneDriveSession is a Graph upload session in progress.
@@ -248,8 +333,22 @@ func (s *OneDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (Fil
 	}
 }
 
+// Token implements TokenSession. OneDrive cannot Resume (see
+// SessionResumer), but the token still records progress for accounting.
+func (s *OneDriveSession) Token() SessionToken {
+	return SessionToken{
+		Provider: s.o.ProviderName(), Ref: s.uploadURL,
+		Size: s.size, Offset: s.sent, MD5: s.md5,
+	}
+}
+
 var (
-	_ SessionClient = (*GoogleDrive)(nil)
-	_ SessionClient = (*Dropbox)(nil)
-	_ SessionClient = (*OneDrive)(nil)
+	_ SessionClient  = (*GoogleDrive)(nil)
+	_ SessionClient  = (*Dropbox)(nil)
+	_ SessionClient  = (*OneDrive)(nil)
+	_ TokenSession   = (*GDriveSession)(nil)
+	_ TokenSession   = (*DropboxSession)(nil)
+	_ TokenSession   = (*OneDriveSession)(nil)
+	_ SessionResumer = (*GoogleDrive)(nil)
+	_ SessionResumer = (*Dropbox)(nil)
 )

@@ -82,6 +82,11 @@ type Graph struct {
 	overrides map[pair][]string // explicit routed node paths
 
 	router PathFinder
+
+	// OnFlowKilled, when set, observes every in-flight fluid flow torn
+	// down by SetLinkState taking an edge down. It runs inside the
+	// simulation, after the flow's own OnAbort callback.
+	OnFlowKilled func(from, to string, f *fluid.Flow)
 }
 
 type pair struct{ src, dst string }
@@ -240,10 +245,14 @@ func (g *Graph) Edge(from, to string) (*Edge, bool) {
 }
 
 // SetLinkState marks one direction of an adjacency up or down. Down
-// edges are excluded from route computation, and their fluid link is
-// crushed to a trickle so in-flight flows stall rather than silently
-// completing — the failure-injection hook for resilience tests. It
-// reports whether the edge exists.
+// edges are excluded from route computation, their fluid link is
+// crushed to a trickle so any flow started before the teardown below
+// lands would stall rather than silently completing, and — the part a
+// routing change alone cannot express — every in-flight fluid flow
+// traversing the edge is killed, running each flow's OnAbort callback
+// and then the graph's OnFlowKilled hook. This is the primary
+// failure-injection entry point for resilience tests. It reports
+// whether the edge exists.
 func (g *Graph) SetLinkState(from, to string, up bool) bool {
 	e, ok := g.Edge(from, to)
 	if !ok {
@@ -252,8 +261,13 @@ func (g *Graph) SetLinkState(from, to string, up bool) bool {
 	e.down = !up
 	if up {
 		g.fl.SetLinkLoad(e.Link, 0)
-	} else {
-		g.fl.SetLinkLoad(e.Link, 1) // clamped to the max load internally
+		return true
+	}
+	g.fl.SetLinkLoad(e.Link, 1) // clamped to the max load internally
+	for _, f := range e.Link.Flows() {
+		if g.fl.KillFlow(f) && g.OnFlowKilled != nil {
+			g.OnFlowKilled(from, to, f)
+		}
 	}
 	return true
 }
@@ -296,7 +310,7 @@ func (g *Graph) Path(src, dst string) ([]*Node, error) {
 	if src == dst {
 		return []*Node{s}, nil
 	}
-	if hops, ok := g.overrides[pair{src, dst}]; ok {
+	if hops, ok := g.overrides[pair{src, dst}]; ok && g.overrideUsable(hops) {
 		out := make([]*Node, len(hops))
 		for i, h := range hops {
 			out[i] = g.nodes[h]
@@ -304,6 +318,18 @@ func (g *Graph) Path(src, dst string) ([]*Node, error) {
 		return out, nil
 	}
 	return g.router.Path(g, s, d)
+}
+
+// overrideUsable reports whether every edge of a pinned path is up; a
+// down edge makes the override fall through to the installed Router so
+// failover can route around the failure.
+func (g *Graph) overrideUsable(hops []string) bool {
+	for i := 0; i+1 < len(hops); i++ {
+		if e, ok := g.Edge(hops[i], hops[i+1]); !ok || e.down {
+			return false
+		}
+	}
+	return true
 }
 
 // LinkPath converts a routed node sequence into the fluid links it

@@ -29,6 +29,12 @@ var ErrRefused = errors.New("transport: connection refused")
 // EOF signals the peer closed the connection cleanly.
 var EOF = errors.New("transport: EOF")
 
+// ErrReset is returned by Send when the path fails underneath an
+// in-flight transfer (a link on the route went down and the fluid flow
+// was killed). The connection is dead afterwards: both ends observe a
+// close, like a TCP RST.
+var ErrReset = errors.New("transport: connection reset")
+
 // DefaultOverheadFactor inflates application bytes to wire bytes
 // (TCP/IP/TLS framing, ~3 %).
 const DefaultOverheadFactor = 1.03
@@ -275,10 +281,17 @@ func (c *Conn) Send(p *simproc.Proc, payload any, size float64) error {
 	flow := fl.StartFlow(c.fwdLinks, wire, fluid.FlowOpts{
 		Label:      fmt.Sprintf("%s->%s:%d", c.local, c.remote, c.port),
 		OnComplete: func(*fluid.Flow) { done.Set(true) },
+		OnAbort:    func(*fluid.Flow) { done.Set(false) },
 	})
 	ramp := tcpmodel.StartRamp(fl, flow, c.sendCwnd, c.params, c.rtt)
-	simproc.Await(p, done)
+	ok := simproc.Await(p, done)
 	ramp.Stop()
+	if !ok {
+		// The path died mid-transfer: tear the connection down so both
+		// ends (and any parked receivers) observe the failure.
+		c.Close()
+		return ErrReset
+	}
 	peer := c.peer
 	msg := Message{Payload: payload, Bytes: size}
 	c.net.runner.Engine().After(c.fwdDelay, func() {
