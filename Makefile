@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet chaos
+.PHONY: build test vet race bench check fleet chaos overload stress
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,23 @@ chaos:
 	$(GO) test -race ./internal/faults/ ./internal/sched/
 	$(GO) run ./examples/chaos
 
+# Overload: the flash-crowd trace replayed with and without the
+# overload-control stack (admission control, fair queuing, shedding,
+# hedging, brownout), comparing goodput and fairness.
+overload:
+	$(GO) run ./examples/overload
+
+# Stress: the scheduler suite repeated under the race detector to
+# shake out ordering-dependent bugs in the queue and overload layer.
+stress:
+	$(GO) test -race -count=5 ./internal/sched/
+
 # The gate PRs must pass: everything compiles, vets clean, the full
 # test suite (including the really-concurrent scheduler) is race-clean,
-# and the chaos replay completes.
+# the delta-encoding fuzzer holds up for a short smoke run, and the
+# chaos and overload replays complete.
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(GO) test -fuzz=FuzzDelta -fuzztime=10s ./internal/rsyncx
 	$(GO) run ./examples/chaos >/dev/null
+	$(GO) run ./examples/overload >/dev/null

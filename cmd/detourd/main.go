@@ -10,7 +10,7 @@
 //
 //	detourd [-jobs 600] [-workers 8] [-seed 2015]
 //	        [-provider-cap 4] [-dtn-cap 2] [-tenant-rate 0]
-//	        [-stats 2s] [-chaos]
+//	        [-stats 2s] [-chaos] [-overload]
 //
 // With -chaos, the canned fault schedule (see internal/faults) plays
 // against the world while the trace drains: links flap and degrade,
@@ -19,6 +19,15 @@
 // backoff spends virtual time, and the final report adds recovery
 // accounting. Failed jobs are expected under chaos and do not fail the
 // process.
+//
+// With -overload, the full overload-control stack arms: a bounded
+// queue with per-tenant quotas (the trace loop back-pressures through
+// SubmitWait instead of dropping), CoDel-style queue-delay shedding,
+// weighted DRR fair queuing, hedged transfers, and brownout
+// degradation. Every job gets a deadline of 60 virtual seconds from
+// admission, so queue-rotted work expires instead of burning capacity.
+// Shed and expired jobs are expected under overload and do not fail
+// the process.
 package main
 
 import (
@@ -45,6 +54,7 @@ func main() {
 		tenantRate  = flag.Float64("tenant-rate", 0, "admitted jobs/sec per tenant (0 = unlimited)")
 		statsEvery  = flag.Duration("stats", 2*time.Second, "status-line interval (0 = quiet)")
 		chaos       = flag.Bool("chaos", false, "replay the canned fault schedule while draining")
+		overload    = flag.Bool("overload", false, "arm admission control, fair queuing, shedding, hedging, and brownout")
 	)
 	flag.Parse()
 
@@ -75,6 +85,16 @@ func main() {
 		// fault windows; a few extra attempts ride out outage windows.
 		cfg.Now, cfg.Sleep = exec.VirtualNow, exec.SleepVirtual
 		cfg.MaxAttempts = 5
+	}
+	const deadlineSlack = 60.0 // virtual seconds from admission
+	if *overload {
+		cfg.Now, cfg.Sleep = exec.VirtualNow, exec.SleepVirtual
+		cfg.QueueLimit = 16 * *workers
+		cfg.TenantQueueLimit = 8 * *workers
+		cfg.FairQueue = true
+		cfg.CoDelTarget = 10
+		cfg.Hedge = true
+		cfg.BrownoutEnter = 0.8
 	}
 	s := sched.New(cfg)
 	s.Start()
@@ -109,7 +129,17 @@ func main() {
 		// A rate-limited tenant's job waits for its bucket to refill
 		// rather than being dropped: the daemon back-pressures the trace.
 		for {
-			err := s.Submit(j)
+			var err error
+			if *overload {
+				// The bounded queue back-pressures through SubmitWait:
+				// a full queue blocks the trace instead of dropping it.
+				// Deadlines run from admission, so work that rots in the
+				// queue expires instead of burning transfer capacity.
+				j.Deadline = exec.VirtualNow() + deadlineSlack
+				err = s.SubmitWait(j)
+			} else {
+				err = s.Submit(j)
+			}
 			if err == nil {
 				admitted++
 				break
@@ -133,6 +163,12 @@ func main() {
 			inj.Injected, st.Failovers, st.BreakerSkips, st.BreakerTransitions)
 		fmt.Printf("  recovery: %.1f MB resumed from checkpoints, %.1f MB rewritten\n",
 			st.BytesResumed/1e6, st.BytesRewritten/1e6)
+	}
+	if *overload {
+		fmt.Printf("  overload: %d shed, %d expired, %d late; queue delay p99 %.1fs\n",
+			st.Shed, st.Expired, st.Late, st.QueueDelayP99)
+		fmt.Printf("  hedging: %d launched, %d won; brownout %d enters / %d exits, %d direct serves, %d stale cache serves\n",
+			st.Hedges, st.HedgeWins, st.BrownoutEnters, st.BrownoutExits, st.BrownoutDirect, st.StaleServes)
 	}
 
 	routes := make([]string, 0, len(st.PerRoute))
@@ -163,7 +199,7 @@ func main() {
 	for _, d := range dtns {
 		fmt.Printf("    dtn      %-12s peak %d\n", d, st.DTNPeak[d])
 	}
-	if st.Failed > 0 && !*chaos {
+	if st.Failed > 0 && !*chaos && !*overload {
 		os.Exit(1)
 	}
 }

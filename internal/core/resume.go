@@ -1,12 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"detournet/internal/sdk"
 	"detournet/internal/simproc"
 	"detournet/internal/transport"
 )
+
+// ErrIntegrity reports a completed resumable upload whose provider-side
+// digest does not match the source file — the resumed session was stale
+// or its staged bytes were corrupted. The checkpoint's session has been
+// discarded, so a retry re-uploads through a fresh session instead of
+// re-committing the bad bytes.
+var ErrIntegrity = errors.New("core: provider digest mismatch on resumed upload")
 
 // DefaultResumeChunk is the chunk size resumable transfers checkpoint
 // at when the caller does not specify one.
@@ -68,6 +76,30 @@ func (ck *Checkpoint) observeHop2(start, written float64) {
 	if written > ck.Hop2High {
 		ck.Hop2High = written
 	}
+}
+
+// DiscardSession abandons the checkpoint's provider session: whatever
+// the provider confirmed through it is worthless (stale digest, corrupt
+// staging), so those bytes are charged as rewritten and the next
+// attempt begins a fresh session.
+func (ck *Checkpoint) DiscardSession() {
+	ck.BytesRewritten += ck.Hop2High
+	ck.HasSession = false
+	ck.Session = sdk.SessionToken{}
+	ck.Hop2High = 0
+}
+
+// verifyDigest is the end-to-end integrity gate at upload completion:
+// the provider's recorded digest must match the source file's
+// (rsyncx.Checksum-produced) digest. On mismatch the session is
+// discarded so the caller's retry starts clean. Either digest being
+// empty skips the check — not every caller threads checksums.
+func (ck *Checkpoint) verifyDigest(source, provider string) error {
+	if source == "" || provider == "" || source == provider {
+		return nil
+	}
+	ck.DiscardSession()
+	return fmt.Errorf("provider has %q, source is %q: %w", provider, source, ErrIntegrity)
 }
 
 // handleRelayResume is the checkpoint-aware store-and-forward second
@@ -181,6 +213,9 @@ func DirectUploadResumable(p *simproc.Proc, client sdk.Client, name string, size
 		info = fi
 	}
 	ck.observeHop2(start, sess.Written())
+	if err := ck.verifyDigest(md5, info.MD5); err != nil {
+		return Report{}, fmt.Errorf("core: direct upload %q: %w", name, err)
+	}
 	ck.HasSession = false // consumed: the upload committed
 	d := float64(p.Now() - t0)
 	return Report{Route: DirectRoute, Total: d, Hop2: d, Info: info}, nil
@@ -250,6 +285,9 @@ func (d *DetourClient) UploadResumable(p *simproc.Proc, provider, name string, s
 	}
 	if !res.OK {
 		return Report{}, fmt.Errorf("core: detour hop2: %s", res.Err)
+	}
+	if err := ck.verifyDigest(md5, res.Info.MD5); err != nil {
+		return Report{}, fmt.Errorf("core: detour upload %q: %w", name, err)
 	}
 	ck.HasSession = false // consumed: the upload committed
 	rep := Report{

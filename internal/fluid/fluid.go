@@ -283,6 +283,27 @@ func (n *Network) KillFlow(f *Flow) bool {
 	return true
 }
 
+// KillFlowsWhere kills every active flow the predicate accepts (nil
+// accepts all), running each victim's OnAbort, and reports how many
+// died. The victim set is snapshotted first, so aborts that start new
+// flows are not swept up. Hedged transfers use this to cancel the
+// losing side of a race by label.
+func (n *Network) KillFlowsWhere(pred func(*Flow) bool) int {
+	victims := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		if pred == nil || pred(f) {
+			victims = append(victims, f)
+		}
+	}
+	killed := 0
+	for _, f := range victims {
+		if n.KillFlow(f) {
+			killed++
+		}
+	}
+	return killed
+}
+
 // SetLinkCapacity changes a link's capacity (bytes/second, must stay
 // positive) and reallocates — the degradation hook for fault injection:
 // a brownout halves capacity, recovery restores it.

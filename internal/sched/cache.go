@@ -107,6 +107,22 @@ func (c *RouteCache) Lookup(k CacheKey) (core.Route, bool) {
 	return e.route, true
 }
 
+// LookupStale returns the cached route for a key even when the entry's
+// TTL has lapsed, without deleting it — brownout mode's degraded read:
+// a stale decision beats paying a probe while the scheduler is
+// overloaded. fresh reports whether the entry was still within TTL.
+// Hit/miss counters are untouched; the caller accounts for stale serves
+// itself.
+func (c *RouteCache) LookupStale(k CacheKey) (route core.Route, fresh, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, present := c.entries[k]
+	if !present {
+		return core.Route{}, false, false
+	}
+	return e.route, c.now() < e.expires, true
+}
+
 // Insert stores a fresh decision for the TTL. candidates (may be nil)
 // are the routes the planner considered; they seed the bandit that
 // refines the decision from live traffic.

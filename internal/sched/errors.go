@@ -1,6 +1,9 @@
 package sched
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Failure taxonomy: executors classify errors so the scheduler can
 // react per class instead of treating every failure alike —
@@ -69,6 +72,39 @@ func Classify(err error) FailureClass {
 		return FailUnknown
 	}
 }
+
+// Overload taxonomy: typed rejections from admission control and load
+// shedding, distinct from the failure taxonomy above — these mean "the
+// scheduler refused the work", not "the transfer failed".
+var (
+	// ErrQueueFull reports a Submit rejected because the bounded queue
+	// (or the tenant's quota, see ErrTenantQuota) is at capacity.
+	ErrQueueFull = errors.New("sched: queue full")
+	// ErrTenantQuota reports a Submit rejected because the tenant's
+	// share of the queue is exhausted; errors.Is also matches
+	// ErrQueueFull, so callers can treat both as backpressure.
+	ErrTenantQuota = errors.New("sched: tenant queue quota exceeded")
+	// ErrShed reports a job dropped by CoDel-style queue-delay shedding;
+	// the concrete error is a *ShedError carrying a retry-after hint.
+	ErrShed = errors.New("sched: shed by overload control")
+)
+
+// ShedError is the typed fail-fast outcome of a CoDel shed: the queue's
+// standing delay exceeded its target, so the job was dropped at dequeue
+// instead of running hopelessly late. errors.Is matches ErrShed.
+type ShedError struct {
+	// RetryAfter advises, in scheduler-clock seconds, how long the
+	// caller should wait before resubmitting — the queue's current
+	// smoothed delay, i.e. roughly when today's backlog will have
+	// drained.
+	RetryAfter float64
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("sched: shed by overload control (retry after %.1fs)", e.RetryAfter)
+}
+
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
 
 // Transient tags err as a transient failure.
 func Transient(err error) error { return taggedError{tag: ErrTransient, err: err} }

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+)
+
+// This file is the overload-control layer: CoDel-style queue-delay
+// shedding, the brownout state machine, and the per-route latency
+// percentile tracker that prices hedged transfers. The bounded,
+// fair-queued admission side lives in queue.go; the wiring through
+// Submit and the worker loop lives in sched.go.
+
+// codel sheds jobs at dequeue when the queue's *standing* delay exceeds
+// a target, CoDel-style: the signal is an EWMA of time-in-queue (sojourn
+// time), not instantaneous length, so short bursts pass through and only
+// persistent backlog triggers shedding. Hysteresis (exit at target/2)
+// keeps it from flapping at the boundary.
+type codel struct {
+	mu       sync.Mutex
+	target   float64 // standing-delay target in seconds
+	alpha    float64 // EWMA smoothing factor
+	ewma     float64
+	primed   bool
+	dropping bool
+}
+
+func newCodel(target, alpha float64) *codel {
+	if target <= 0 {
+		return nil
+	}
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &codel{target: target, alpha: alpha}
+}
+
+// onDequeue folds one observed queue delay into the EWMA and decides
+// whether to shed the job it belongs to. A job is shed only while the
+// smoothed delay exceeds the target AND its own delay does too — a
+// fresh job that raced through a draining queue is never shed.
+func (c *codel) onDequeue(delay float64) (shed bool, retryAfter float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.primed {
+		c.ewma, c.primed = delay, true
+	} else {
+		c.ewma = c.alpha*delay + (1-c.alpha)*c.ewma
+	}
+	switch {
+	case !c.dropping && c.ewma > c.target:
+		c.dropping = true
+	case c.dropping && c.ewma < c.target/2:
+		c.dropping = false
+	}
+	if c.dropping && delay > c.target {
+		return true, c.ewma
+	}
+	return false, 0
+}
+
+// smoothed returns the current EWMA of queue delay.
+func (c *codel) smoothed() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ewma
+}
+
+// brownout is the hysteretic degraded-service state machine: above the
+// enter threshold of queue utilization the scheduler sheds *optional*
+// work first — bandit exploration, probe-based cache refresh, detour
+// planning for small size-buckets, hedging — and restores it only once
+// utilization falls below the (lower) exit threshold. Guarded by the
+// scheduler's mu.
+type brownout struct {
+	enter, exit float64 // occupancy fractions of the queue limit
+	active      bool
+	enters      int64
+	exits       int64
+}
+
+func newBrownout(enter, exit float64) *brownout {
+	if enter <= 0 {
+		return nil
+	}
+	if exit <= 0 || exit >= enter {
+		exit = enter / 2
+	}
+	return &brownout{enter: enter, exit: exit}
+}
+
+// observe feeds the current utilization (queued / limit) through the
+// hysteresis and reports whether brownout is active.
+func (b *brownout) observe(util float64) bool {
+	switch {
+	case !b.active && util >= b.enter:
+		b.active = true
+		b.enters++
+	case b.active && util <= b.exit:
+		b.active = false
+		b.exits++
+	}
+	return b.active
+}
+
+// latencyTracker learns per-route service-time distributions from
+// completed transfers, normalized to seconds-per-byte so files of
+// different sizes share one distribution. It prices hedged transfers:
+// a detour attempt gets a time budget of pXX(route) × size, and a
+// direct hedge launches only once that budget is exceeded. Guarded by
+// the scheduler's mu.
+type latencyTracker struct {
+	window  int
+	samples map[string][]float64 // route → ring of sec/byte
+	next    map[string]int
+}
+
+func newLatencyTracker(window int) *latencyTracker {
+	if window <= 0 {
+		window = 64
+	}
+	return &latencyTracker{
+		window:  window,
+		samples: make(map[string][]float64),
+		next:    make(map[string]int),
+	}
+}
+
+// note records one completed transfer on a route.
+func (t *latencyTracker) note(route string, seconds, bytes float64) {
+	if seconds <= 0 || bytes <= 0 {
+		return
+	}
+	spb := seconds / bytes
+	s := t.samples[route]
+	if len(s) < t.window {
+		t.samples[route] = append(s, spb)
+		return
+	}
+	s[t.next[route]%t.window] = spb
+	t.next[route] = (t.next[route] + 1) % t.window
+}
+
+// count reports how many samples a route has accumulated.
+func (t *latencyTracker) count(route string) int { return len(t.samples[route]) }
+
+// percentile returns the route's pXX seconds-per-byte (q in (0,1]), or
+// false with no samples.
+func (t *latencyTracker) percentile(route string, q float64) (float64, bool) {
+	s := t.samples[route]
+	if len(s) == 0 {
+		return 0, false
+	}
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i], true
+}
+
+// delayRing keeps the last N queue delays of *admitted* jobs so Stats
+// can report a p99 without unbounded memory. Guarded by the scheduler's
+// mu.
+type delayRing struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func newDelayRing(n int) *delayRing {
+	if n <= 0 {
+		n = 1024
+	}
+	return &delayRing{buf: make([]float64, 0, n)}
+}
+
+func (r *delayRing) note(d float64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, d)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// percentile returns the q-th percentile (q in (0,1]) of the retained
+// window, 0 with no samples.
+func (r *delayRing) percentile(q float64) float64 {
+	if len(r.buf) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), r.buf...)
+	sort.Float64s(sorted)
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// JainIndex is Jain's fairness index over per-tenant allocations:
+// (Σx)² / (n·Σx²), 1.0 when perfectly equal, →1/n when one tenant
+// takes everything. Zero-valued inputs count; an empty input is 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

@@ -42,6 +42,11 @@ type Job struct {
 	Name string
 	// Size is the file size in bytes.
 	Size float64
+	// MD5 is the source file's digest (rsyncx.Checksum). When set, a
+	// resumable executor verifies the provider-side digest against it at
+	// completion, so a corrupted or stale resume is detected and retried
+	// instead of silently accepted. Empty skips verification.
+	MD5 string
 	// Priority orders the queue: higher drains sooner.
 	Priority int
 	// Deadline, when positive, is the scheduler-clock time after which
@@ -66,6 +71,18 @@ type Result struct {
 	// bytes sent more than once. Zero for plain executors.
 	Resumed   float64
 	Rewritten float64
+	// QueueDelay is how long the job waited between Submit and its
+	// terminal dequeue (or its in-queue expiry), in scheduler-clock
+	// seconds.
+	QueueDelay float64
+	// Late reports a job that completed successfully but after its
+	// deadline — it ran, but its bytes don't count as goodput.
+	Late bool
+	// Hedged reports that at least one attempt raced a direct-route
+	// hedge against the detour; HedgeWon reports the hedge finished
+	// first.
+	Hedged   bool
+	HedgeWon bool
 	// Err is nil on success.
 	Err error
 }
@@ -90,6 +107,20 @@ func (f ExecutorFunc) Execute(j Job, r core.Route) (float64, error) { return f(j
 type ResumableExecutor interface {
 	Executor
 	ExecuteResumable(job Job, route core.Route, ck *core.Checkpoint) (seconds float64, err error)
+}
+
+// HedgedExecutor is a ResumableExecutor that can race a direct-route
+// hedge against a slow detour attempt: run the job on primary, and if
+// it hasn't finished after budget seconds, launch a direct transfer and
+// let them race — first success wins, the loser is cancelled (its flows
+// killed, its partial bytes charged as rewritten in ck).
+//
+// It returns the winner's elapsed seconds and route, whether a hedge
+// was actually launched (a primary that beats the budget never pays for
+// one), and whether the hedge won.
+type HedgedExecutor interface {
+	ResumableExecutor
+	ExecuteHedged(job Job, primary core.Route, budget float64, ck *core.Checkpoint) (seconds float64, winner core.Route, hedgeLaunched, hedgeWon bool, err error)
 }
 
 // Planner makes the expensive route decision for a cache miss —
@@ -167,6 +198,55 @@ type Config struct {
 	// ablations and negative tests.
 	DisableRecovery bool
 
+	// --- Overload control (all off by default) ---
+
+	// QueueLimit bounds total queue occupancy: Submit rejects with
+	// ErrQueueFull (SubmitWait blocks) once this many jobs wait. 0 =
+	// unbounded, the PR-1 behavior.
+	QueueLimit int
+	// TenantQueueLimit bounds one tenant's share of the queue; a Submit
+	// past it rejects with ErrTenantQuota (which errors.Is-matches
+	// ErrQueueFull). 0 = unbounded.
+	TenantQueueLimit int
+	// FairQueue switches draining within each priority level from
+	// strict FIFO/deadline order to weighted deficit-round-robin across
+	// tenants, so a bursty tenant cannot starve its peers.
+	FairQueue bool
+	// TenantWeights are DRR weights (default 1 per tenant);
+	// DRRQuantumBytes is the per-visit deficit refill (default 32 MB).
+	TenantWeights   map[string]float64
+	DRRQuantumBytes float64
+	// CoDelTarget enables CoDel-style shedding: when the EWMA of
+	// time-in-queue exceeds this many seconds, jobs whose own delay also
+	// exceeds it are dropped at dequeue with a *ShedError (retry-after).
+	// 0 disables shedding. CoDelAlpha is the EWMA smoothing factor
+	// (default 0.3).
+	CoDelTarget float64
+	CoDelAlpha  float64
+	// Hedge enables hedged transfers when the Executor implements
+	// HedgedExecutor: a detour attempt that outlives its learned
+	// percentile budget races a direct-route hedge, loser cancelled.
+	Hedge bool
+	// HedgePercentile is the per-route latency percentile that prices
+	// the budget (default 0.95); HedgeMinSamples is how many completed
+	// transfers a route needs before hedging trusts its distribution
+	// (default 8); HedgeMaxFrac caps launched hedges as a fraction of
+	// submitted jobs so hedging cannot amplify overload (default 0.1).
+	HedgePercentile float64
+	HedgeMinSamples int
+	HedgeMaxFrac    float64
+	// BrownoutEnter, as a fraction of QueueLimit occupancy, turns on
+	// brownout mode: optional work — bandit exploration, probe-based
+	// cache refresh, detour planning for small size-buckets, hedging —
+	// is shed first. BrownoutExit (default Enter/2) restores it
+	// hysteretically. 0 disables brownout; requires QueueLimit > 0.
+	BrownoutEnter float64
+	BrownoutExit  float64
+	// BrownoutSmallBucket: during brownout, jobs in size buckets ≤ this
+	// skip detour planning entirely and go direct (default 1 ≈ files
+	// under ~4 MB, where detour gains are smallest; -1 = none).
+	BrownoutSmallBucket int
+
 	// Backoff shapes the retry delays.
 	Backoff Backoff
 	// Rand seeds backoff jitter and the cache's bandit (default a
@@ -220,6 +300,21 @@ func (c Config) withDefaults() Config {
 	if c.QuarantineTTL <= 0 {
 		c.QuarantineTTL = c.CacheTTL
 	}
+	if c.CoDelAlpha <= 0 || c.CoDelAlpha > 1 {
+		c.CoDelAlpha = 0.3
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile > 1 {
+		c.HedgePercentile = 0.95
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 8
+	}
+	if c.HedgeMaxFrac <= 0 || c.HedgeMaxFrac > 1 {
+		c.HedgeMaxFrac = 0.1
+	}
+	if c.BrownoutSmallBucket == 0 {
+		c.BrownoutSmallBucket = 1
+	}
 	c.Backoff = c.Backoff.withDefaults()
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(1))
@@ -250,6 +345,7 @@ type Scheduler struct {
 	caps     *capTable
 	buckets  *tenantBuckets
 	breakers *breakerSet
+	codel    *codel // nil when shedding is off
 	wg       sync.WaitGroup
 
 	planMu   sync.Mutex
@@ -260,14 +356,22 @@ type Scheduler struct {
 	closed bool
 	// Counters (all guarded by mu).
 	submitted, rateLimited int64
+	queueFullRej, quotaRej int64
 	pending, running       int64
 	done, failed, expired  int64
+	shed, late             int64
 	retries, fallbacks     int64
 	failovers, breakerSkip int64
+	hedges, hedgeWins      int64
+	brownDirect, staleHits int64
+	integrityRetries       int64
 	bytesResumed           float64
 	bytesRewritten         float64
 	cacheHits, cacheMiss   int64
 	perRoute               map[string]*RouteStats
+	brown                  *brownout // nil when brownout is off
+	lat                    *latencyTracker
+	delays                 *delayRing
 	jitterRng              *rand.Rand
 }
 
@@ -275,15 +379,28 @@ type Scheduler struct {
 func New(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
 	s := &Scheduler{
-		cfg:      cfg,
-		q:        newJobQueue(),
+		cfg: cfg,
+		q: newJobQueue(queueOpts{
+			limit:       cfg.QueueLimit,
+			tenantLimit: cfg.TenantQueueLimit,
+			fair:        cfg.FairQueue,
+			quantum:     cfg.DRRQuantumBytes,
+			weights:     cfg.TenantWeights,
+			now:         cfg.Now,
+		}),
 		caps:     newCapTable(cfg.ProviderCap, cfg.DTNCap),
 		buckets:  newTenantBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.Now),
+		codel:    newCodel(cfg.CoDelTarget, cfg.CoDelAlpha),
 		planning: make(map[CacheKey]*planCall),
 		perRoute: make(map[string]*RouteStats),
+		lat:      newLatencyTracker(0),
+		delays:   newDelayRing(0),
 		// The cache's bandit and the backoff jitter draw from separate
 		// streams so their consumption patterns can't perturb each other.
 		jitterRng: rand.New(rand.NewSource(cfg.Rand.Int63())),
+	}
+	if cfg.QueueLimit > 0 {
+		s.brown = newBrownout(cfg.BrownoutEnter, cfg.BrownoutExit)
 	}
 	s.cache = NewRouteCache(cfg.CacheTTL, cfg.QuarantineTTL, cfg.Now, rand.New(rand.NewSource(cfg.Rand.Int63())))
 	s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
@@ -303,11 +420,20 @@ func (s *Scheduler) Start() {
 	}
 }
 
-// Submit admits one job. It returns ErrRateLimited if the tenant's
-// bucket is empty, ErrClosed after Close, and a validation error for
-// malformed jobs; otherwise the job is queued and will produce exactly
-// one Result.
-func (s *Scheduler) Submit(j Job) error {
+// Submit admits one job without blocking. It returns ErrRateLimited if
+// the tenant's bucket is empty, ErrQueueFull / ErrTenantQuota when the
+// bounded queue is at capacity (backpressure — resubmit later), ErrClosed
+// after Close, and a validation error for malformed jobs; otherwise the
+// job is queued and will produce exactly one Result.
+func (s *Scheduler) Submit(j Job) error { return s.submit(j, false) }
+
+// SubmitWait is Submit with blocking backpressure: instead of rejecting
+// with ErrQueueFull it blocks the producer until queue space frees (or
+// the scheduler closes). Rate-limit and validation errors still return
+// immediately.
+func (s *Scheduler) SubmitWait(j Job) error { return s.submit(j, true) }
+
+func (s *Scheduler) submit(j Job, wait bool) error {
 	if j.Tenant == "" || j.Client == "" || j.Provider == "" || j.Name == "" {
 		return fmt.Errorf("sched: job needs tenant, client, provider, and name: %+v", j)
 	}
@@ -325,11 +451,70 @@ func (s *Scheduler) Submit(j Job) error {
 		s.mu.Unlock()
 		return ErrRateLimited
 	}
-	s.submitted++
 	s.pending++
 	s.mu.Unlock()
-	s.q.push(j)
-	return nil
+
+	// The push may sweep dead jobs out of a full queue to make room;
+	// those expirations are terminal results we must deliver.
+	var expired []queued
+	var err error
+	if wait {
+		expired, err = s.q.pushWait(j, s.cfg.Now)
+	} else {
+		expired, err = s.q.push(j, s.cfg.Now())
+	}
+	s.mu.Lock()
+	if err != nil {
+		s.pending--
+		switch {
+		case errors.Is(err, ErrTenantQuota):
+			s.quotaRej++
+		case errors.Is(err, ErrQueueFull):
+			s.queueFullRej++
+		}
+	} else {
+		s.submitted++
+	}
+	s.mu.Unlock()
+	s.expireQueued(expired)
+	s.noteQueueDepth()
+	return err
+}
+
+// expireQueued finishes jobs a queue sweep expired in place: their
+// deadline passed while they waited, so they terminate with ErrDeadline
+// without ever reaching a worker.
+func (s *Scheduler) expireQueued(items []queued) {
+	if len(items) == 0 {
+		return
+	}
+	now := s.cfg.Now()
+	for _, it := range items {
+		s.finish(Result{Job: it.job, QueueDelay: now - it.enq, Err: ErrDeadline})
+	}
+}
+
+// noteQueueDepth feeds queue utilization through the brownout state
+// machine.
+func (s *Scheduler) noteQueueDepth() {
+	if s.brown == nil || s.cfg.QueueLimit <= 0 {
+		return
+	}
+	util := float64(s.q.length()) / float64(s.cfg.QueueLimit)
+	s.mu.Lock()
+	s.brown.observe(util)
+	s.mu.Unlock()
+}
+
+// brownoutActive reports whether the scheduler is currently shedding
+// optional work.
+func (s *Scheduler) brownoutActive() bool {
+	if s.brown == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.brown.active
 }
 
 // Drain blocks until every admitted job has reached a terminal state.
@@ -370,19 +555,39 @@ func (s *Scheduler) Close() {
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
-		j, ok := s.q.pop()
+		it, expired, ok := s.q.pop()
+		s.expireQueued(expired)
 		if !ok {
 			return
 		}
+		if it == nil {
+			// The sweep emptied the queue; nothing runnable this round.
+			continue
+		}
+		delay := s.cfg.Now() - it.enq
+		if s.codel != nil {
+			if shed, after := s.codel.onDequeue(delay); shed {
+				s.finish(Result{Job: it.job, QueueDelay: delay, Err: &ShedError{RetryAfter: after}})
+				s.noteQueueDepth()
+				continue
+			}
+		}
 		s.mu.Lock()
 		s.running++
+		s.delays.note(delay)
 		s.mu.Unlock()
-		s.finish(s.runJob(j))
+		s.noteQueueDepth()
+		res := s.runJob(it.job)
+		res.QueueDelay = delay
+		s.finish(res)
 	}
 }
 
 // finish records a terminal result and notifies Drain and OnResult.
 func (s *Scheduler) finish(res Result) {
+	if res.Err == nil && res.Job.Deadline > 0 && s.cfg.Now() > res.Job.Deadline {
+		res.Late = true
+	}
 	s.mu.Lock()
 	s.pending--
 	if s.running > 0 {
@@ -391,6 +596,9 @@ func (s *Scheduler) finish(res Result) {
 	switch {
 	case res.Err == nil:
 		s.done++
+		if res.Late {
+			s.late++
+		}
 		rs := s.perRoute[res.Route.String()]
 		if rs == nil {
 			rs = &RouteStats{}
@@ -399,6 +607,9 @@ func (s *Scheduler) finish(res Result) {
 		rs.Jobs++
 		rs.Bytes += res.Job.Size
 		rs.Seconds += res.Seconds
+		s.lat.note(res.Route.String(), res.Seconds, res.Job.Size)
+	case errors.Is(res.Err, ErrShed):
+		s.shed++
 	case errors.Is(res.Err, ErrDeadline):
 		s.expired++
 	default:
@@ -432,6 +643,7 @@ func (s *Scheduler) runJob(j Job) Result {
 
 	var lastErr error
 	attempts, detourFails := 0, 0
+	jobHedged, jobHedgeWon := false, false
 	for {
 		attempts++
 		var sec float64
@@ -442,26 +654,61 @@ func (s *Scheduler) runJob(j Job) Result {
 			err = ProviderDown(fmt.Errorf("breaker open for provider %s", j.Provider))
 		} else {
 			if cerr := s.caps.acquire(j.Provider, route.Via); cerr != nil {
-				res := Result{Job: j, Route: route, Attempts: attempts - 1, CacheHit: hit, Err: cerr}
+				res := Result{Job: j, Route: route, Attempts: attempts - 1, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Err: cerr}
 				s.noteRecovery(ck, &res)
 				return res
 			}
-			if ck != nil {
-				sec, err = rex.ExecuteResumable(j, route, ck)
-			} else {
-				sec, err = s.cfg.Executor.Execute(j, route)
+			// A winning hedge swaps route below; release what was acquired.
+			acquiredVia := route.Via
+			ran := false
+			if hx, canHedge := s.cfg.Executor.(HedgedExecutor); canHedge && s.cfg.Hedge && route.Kind == core.Detour && ck != nil {
+				if budget, ok := s.hedgeBudget(route, j.Size); ok {
+					var winner core.Route
+					var launched, won bool
+					sec, winner, launched, won, err = hx.ExecuteHedged(j, route, budget, ck)
+					if launched {
+						jobHedged = true
+						s.mu.Lock()
+						s.hedges++
+						if won {
+							s.hedgeWins++
+						}
+						s.mu.Unlock()
+					}
+					if won {
+						jobHedgeWon = true
+						route = winner
+					}
+					ran = true
+				}
 			}
-			s.caps.release(j.Provider, route.Via)
+			if !ran {
+				if ck != nil {
+					sec, err = rex.ExecuteResumable(j, route, ck)
+				} else {
+					sec, err = s.cfg.Executor.Execute(j, route)
+				}
+			}
+			s.caps.release(j.Provider, acquiredVia)
 		}
 		if err == nil {
 			s.breakers.success(breakerKey(j.Provider, route))
 			s.breakers.success(providerKey(j.Provider))
-			s.cache.Observe(key, route, j.Size, sec)
-			res := Result{Job: j, Route: route, Seconds: sec, Attempts: attempts, CacheHit: hit}
+			if !s.brownoutActive() {
+				// Brownout sheds bandit refresh: live observations are
+				// optional work, the decision we have is good enough.
+				s.cache.Observe(key, route, j.Size, sec)
+			}
+			res := Result{Job: j, Route: route, Seconds: sec, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon}
 			s.noteRecovery(ck, &res)
 			return res
 		}
 		lastErr = err
+		if errors.Is(err, core.ErrIntegrity) {
+			s.mu.Lock()
+			s.integrityRetries++
+			s.mu.Unlock()
+		}
 
 		backoff := true
 		switch Classify(err) {
@@ -498,7 +745,7 @@ func (s *Scheduler) runJob(j Job) Result {
 			}
 		}
 		if attempts >= s.cfg.MaxAttempts {
-			res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Err: lastErr}
+			res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Err: lastErr}
 			s.noteRecovery(ck, &res)
 			return res
 		}
@@ -514,6 +761,37 @@ func (s *Scheduler) runJob(j Job) Result {
 			s.mu.Unlock()
 		}
 	}
+}
+
+// hedgeBudget prices a hedged attempt: the primary route's learned
+// pXX seconds-per-byte times the job size. It refuses (no hedge) when
+// the route's distribution is too thin to trust, when the hedge budget
+// cap is spent, or during brownout — hedging is optional work and must
+// not amplify overload.
+func (s *Scheduler) hedgeBudget(route core.Route, size float64) (float64, bool) {
+	s.mu.Lock()
+	if s.brown != nil && s.brown.active {
+		s.mu.Unlock()
+		return 0, false
+	}
+	submitted := s.submitted
+	hedges := s.hedges
+	if s.lat.count(route.String()) < s.cfg.HedgeMinSamples {
+		s.mu.Unlock()
+		return 0, false
+	}
+	spb, ok := s.lat.percentile(route.String(), s.cfg.HedgePercentile)
+	s.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	if submitted < 1 {
+		submitted = 1
+	}
+	if float64(hedges) >= s.cfg.HedgeMaxFrac*float64(submitted) {
+		return 0, false
+	}
+	return spb * size, true
 }
 
 // gateRoute diverts a job whose chosen route has an open breaker to an
@@ -592,6 +870,28 @@ func (s *Scheduler) noteRecovery(ck *core.Checkpoint, res *Result) {
 // in-flight probe, or a fresh plan. The bool reports whether the job
 // avoided paying a probe.
 func (s *Scheduler) routeFor(key CacheKey, j Job) (core.Route, bool) {
+	if s.brownoutActive() {
+		// Brownout: probes and detour planning are optional work. Small
+		// files go straight to direct (their detour gain is marginal);
+		// everything else rides a stale cache entry rather than paying a
+		// re-probe. Only a key with no decision at all still plans.
+		if s.cfg.BrownoutSmallBucket >= 0 && key.SizeBucket <= s.cfg.BrownoutSmallBucket {
+			s.mu.Lock()
+			s.brownDirect++
+			s.mu.Unlock()
+			return core.DirectRoute, true
+		}
+		if r, fresh, ok := s.cache.LookupStale(key); ok {
+			if fresh {
+				s.noteCache(true)
+			} else {
+				s.mu.Lock()
+				s.staleHits++
+				s.mu.Unlock()
+			}
+			return r, true
+		}
+	}
 	if r, ok := s.cache.Lookup(key); ok {
 		s.noteCache(true)
 		return r, true
@@ -661,6 +961,31 @@ type Stats struct {
 	Submitted, RateLimited int64
 	Queued, Running        int64
 	Done, Failed, Expired  int64
+	// Shed counts jobs dropped by CoDel queue-delay shedding (distinct
+	// from Expired, which counts deadline deaths); Late counts jobs that
+	// completed successfully but past their deadline.
+	Shed, Late int64
+	// QueueFullRejects and TenantQuotaRejects count Submits bounced by
+	// the bounded queue and by per-tenant quotas.
+	QueueFullRejects, TenantQuotaRejects int64
+	// Hedges counts launched direct-route hedges; HedgeWins counts races
+	// the hedge won.
+	Hedges, HedgeWins int64
+	// BrownoutActive is the current brownout state; Enters/Exits count
+	// transitions; BrownoutDirect counts small jobs sent direct without
+	// planning; StaleServes counts expired cache entries served in lieu
+	// of a re-probe.
+	BrownoutActive                 bool
+	BrownoutEnters, BrownoutExits  int64
+	BrownoutDirect, StaleServes    int64
+	// IntegrityRetries counts attempts failed by a provider-side digest
+	// mismatch (corrupted/stale resume detected and retried).
+	IntegrityRetries int64
+	// QueueDelayEWMA is the CoDel-smoothed time-in-queue;
+	// QueueDelayP99 is the 99th percentile over a trailing window of
+	// admitted jobs.
+	QueueDelayEWMA float64
+	QueueDelayP99  float64
 	Retries, Fallbacks     int64
 	// Failovers counts mid-job route switches driven by route-down
 	// classification; BreakerSkips counts jobs diverted before their
@@ -692,8 +1017,13 @@ func (st Stats) CacheHitRate() float64 {
 
 // String renders the one-line form the detourd daemon logs.
 func (st Stats) String() string {
-	return fmt.Sprintf("queued=%d running=%d done=%d failed=%d expired=%d retries=%d fallbacks=%d rate-limited=%d cache=%.0f%%",
+	line := fmt.Sprintf("queued=%d running=%d done=%d failed=%d expired=%d retries=%d fallbacks=%d rate-limited=%d cache=%.0f%%",
 		st.Queued, st.Running, st.Done, st.Failed, st.Expired, st.Retries, st.Fallbacks, st.RateLimited, st.CacheHitRate()*100)
+	if st.Shed+st.QueueFullRejects+st.TenantQuotaRejects+st.Hedges > 0 || st.BrownoutActive {
+		line += fmt.Sprintf(" shed=%d qfull=%d quota=%d hedges=%d/%d brownout=%v",
+			st.Shed, st.QueueFullRejects, st.TenantQuotaRejects, st.HedgeWins, st.Hedges, st.BrownoutActive)
+	}
+	return line
 }
 
 // Stats returns a snapshot of counters, per-route aggregates, and the
@@ -704,17 +1034,30 @@ func (s *Scheduler) Stats() Stats {
 		Submitted: s.submitted, RateLimited: s.rateLimited,
 		Running: s.running,
 		Done:    s.done, Failed: s.failed, Expired: s.expired,
-		Retries: s.retries, Fallbacks: s.fallbacks,
+		Shed: s.shed, Late: s.late,
+		QueueFullRejects: s.queueFullRej, TenantQuotaRejects: s.quotaRej,
+		Hedges: s.hedges, HedgeWins: s.hedgeWins,
+		BrownoutDirect: s.brownDirect, StaleServes: s.staleHits,
+		IntegrityRetries: s.integrityRetries,
+		QueueDelayP99:    s.delays.percentile(0.99),
+		Retries:          s.retries, Fallbacks: s.fallbacks,
 		Failovers: s.failovers, BreakerSkips: s.breakerSkip,
 		BytesResumed: s.bytesResumed, BytesRewritten: s.bytesRewritten,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMiss,
 		PerRoute: make(map[string]RouteStats, len(s.perRoute)),
+	}
+	if s.brown != nil {
+		st.BrownoutActive = s.brown.active
+		st.BrownoutEnters, st.BrownoutExits = s.brown.enters, s.brown.exits
 	}
 	st.Queued = s.pending - s.running
 	for k, v := range s.perRoute {
 		st.PerRoute[k] = *v
 	}
 	s.mu.Unlock()
+	if s.codel != nil {
+		st.QueueDelayEWMA = s.codel.smoothed()
+	}
 	st.Breakers, st.BreakerTransitions = s.breakers.snapshot()
 	_, _, st.CacheInvalidations = s.cache.Counters()
 	st.ProviderInUse, st.ProviderPeak, st.DTNInUse, st.DTNPeak = s.caps.snapshot()

@@ -59,6 +59,18 @@ func (e *SimExecutor) direct(client, provider string) sdk.Client {
 	return c
 }
 
+// detourFor returns the cached detour client for (client, dtn). Callers
+// hold e.mu.
+func (e *SimExecutor) detourFor(client, dtn string) *core.DetourClient {
+	k := [2]string{client, dtn}
+	dc, ok := e.detours[k]
+	if !ok {
+		dc = e.w.NewDetourClient(client, dtn)
+		e.detours[k] = dc
+	}
+	return dc
+}
+
 // detourClients returns the cached detour clients from client to every
 // DTN. Callers hold e.mu.
 func (e *SimExecutor) detourClients(client string) map[string]*core.DetourClient {
@@ -85,14 +97,9 @@ func (e *SimExecutor) Execute(job Job, route core.Route) (float64, error) {
 	e.w.RunWorkload("sched:"+job.Name, func(p *simproc.Proc) {
 		switch route.Kind {
 		case core.Direct:
-			rep, err = core.DirectUpload(p, e.direct(job.Client, job.Provider), job.Name, job.Size, "")
+			rep, err = core.DirectUpload(p, e.direct(job.Client, job.Provider), job.Name, job.Size, job.MD5)
 		default:
-			dc, ok := e.detours[[2]string{job.Client, route.Via}]
-			if !ok {
-				dc = e.w.NewDetourClient(job.Client, route.Via)
-				e.detours[[2]string{job.Client, route.Via}] = dc
-			}
-			rep, err = dc.Upload(p, job.Provider, job.Name, job.Size, "")
+			rep, err = e.detourFor(job.Client, route.Via).Upload(p, job.Provider, job.Name, job.Size, job.MD5)
 		}
 	})
 	if err != nil {
@@ -114,14 +121,9 @@ func (e *SimExecutor) ExecuteResumable(job Job, route core.Route, ck *core.Check
 	e.w.RunWorkload("sched:"+job.Name, func(p *simproc.Proc) {
 		switch route.Kind {
 		case core.Direct:
-			rep, err = core.DirectUploadResumable(p, e.direct(job.Client, job.Provider), job.Name, job.Size, "", ck)
+			rep, err = core.DirectUploadResumable(p, e.direct(job.Client, job.Provider), job.Name, job.Size, job.MD5, ck)
 		default:
-			dc, ok := e.detours[[2]string{job.Client, route.Via}]
-			if !ok {
-				dc = e.w.NewDetourClient(job.Client, route.Via)
-				e.detours[[2]string{job.Client, route.Via}] = dc
-			}
-			rep, err = dc.UploadResumable(p, job.Provider, job.Name, job.Size, "", ck)
+			rep, err = e.detourFor(job.Client, route.Via).UploadResumable(p, job.Provider, job.Name, job.Size, job.MD5, ck)
 		}
 	})
 	if err != nil {
@@ -129,6 +131,105 @@ func (e *SimExecutor) ExecuteResumable(job Job, route core.Route, ck *core.Check
 	}
 	e.Transfers++
 	return rep.Total, nil
+}
+
+// ExecuteHedged implements HedgedExecutor with a true in-simulation
+// race: the primary detour upload starts as one sub-process; if it
+// outlives the budget, a direct-route hedge starts as another, both
+// sharing the virtual network. First success wins; the loser's flows
+// are killed (its transfer aborts with transport.ErrReset) and its
+// partial bytes are charged to the checkpoint as rewritten — hedging
+// buys tail latency with redundant work, and the accounting shows it.
+func (e *SimExecutor) ExecuteHedged(job Job, primary core.Route, budget float64, ck *core.Checkpoint) (float64, core.Route, bool, bool, error) {
+	if primary.Kind != core.Detour || budget <= 0 {
+		sec, err := e.ExecuteResumable(job, primary, ck)
+		return sec, primary, false, false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dc := e.detourFor(job.Client, primary.Via)
+	direct := e.direct(job.Client, job.Provider)
+
+	type outcome struct {
+		err   error
+		route core.Route
+		at    float64
+	}
+	var win outcome
+	launched, won := false, false
+	// The hedge gets its own checkpoint: two live transfers must not
+	// share session state. The survivor's checkpoint is merged below.
+	var hedgeCk core.Checkpoint
+	e.w.RunWorkload("sched-hedge:"+job.Name, func(p *simproc.Proc) {
+		r := p.Runner()
+		start := float64(p.Now())
+		results := simproc.NewQueue[outcome](r)
+		primDone := simproc.NewFuture[bool](r)
+		hedgeDone := simproc.NewFuture[bool](r)
+		r.Go("hedge-primary:"+job.Name, func(pp *simproc.Proc) {
+			_, err := dc.UploadResumable(pp, job.Provider, job.Name, job.Size, job.MD5, ck)
+			results.Push(outcome{err, primary, float64(pp.Now())})
+			primDone.Set(err == nil)
+		})
+		// Wait out the budget in slices, so a primary that beats it
+		// doesn't leave the virtual clock running to the full budget.
+		slice := simclock.Duration(budget / 16)
+		for i := 0; i < 16 && !primDone.IsSet(); i++ {
+			p.Sleep(slice)
+		}
+		if primDone.IsSet() {
+			hedgeDone.Set(false) // nothing to race
+		} else {
+			launched = true
+			r.Go("hedge-direct:"+job.Name, func(pp *simproc.Proc) {
+				_, err := core.DirectUploadResumable(pp, direct, job.Name, job.Size, job.MD5, &hedgeCk)
+				results.Push(outcome{err, core.DirectRoute, float64(pp.Now())})
+				hedgeDone.Set(err == nil)
+			})
+		}
+		win = results.Pop(p)
+		if win.err != nil && launched {
+			// The first finisher failed on its own; the other side
+			// decides the job.
+			if second := results.Pop(p); second.err == nil {
+				win = second
+			}
+		}
+		won = launched && win.err == nil && win.route.Kind == core.Direct
+		// Cancel the loser: kill its flows until its process observes the
+		// abort and exits. A kill can land between two of the loser's
+		// chunk flows, so sweep repeatedly; only the racing transfers own
+		// flows here (the executor serializes workloads).
+		loser := hedgeDone
+		if won {
+			loser = primDone
+		}
+		fl := e.w.Graph.Fluid()
+		for i := 0; i < 10000 && !loser.IsSet(); i++ {
+			fl.KillFlowsWhere(nil)
+			p.Sleep(simclock.Duration(0.005))
+		}
+		win.at -= start
+	})
+	switch {
+	case won:
+		// The hedge's checkpoint is the live one; the primary's partial
+		// progress on both hops was wasted work.
+		wasted := ck.Hop1High + ck.Hop2High
+		rewritten := ck.BytesRewritten + hedgeCk.BytesRewritten + wasted
+		resumed := ck.BytesResumed + hedgeCk.BytesResumed
+		*ck = hedgeCk
+		ck.BytesRewritten, ck.BytesResumed = rewritten, resumed
+	case launched:
+		// The primary won (or both failed): whatever the dead hedge
+		// pushed through its own session is wasted.
+		ck.BytesRewritten += hedgeCk.Hop2High
+	}
+	if win.err != nil {
+		return 0, primary, launched, false, classifyExecErr(fmt.Errorf("sched: hedged execute %s via %s: %w", job.Name, primary, win.err))
+	}
+	e.Transfers++
+	return win.at, win.route, launched, won, nil
 }
 
 // SleepVirtual advances the simulation clock by sec without sending
@@ -161,6 +262,10 @@ func classifyExecErr(err error) error {
 		return Transient(err)
 	case errors.Is(err, transport.ErrRefused):
 		return RouteDown(err)
+	case errors.Is(err, core.ErrIntegrity):
+		// A poisoned resume: the session is already discarded, so a
+		// retry with a fresh session is the cure — the route is fine.
+		return Transient(err)
 	case errors.As(err, &se):
 		switch {
 		case se.Status == httpsim.StatusServiceUnavailable:

@@ -136,6 +136,80 @@ type Periodic struct {
 // NextGap implements Arrival.
 func (p Periodic) NextGap(*rand.Rand) float64 { return p.GapSec }
 
+// Phase is one constant-rate segment of a piecewise arrival process.
+type Phase struct {
+	// RatePerSec is the Poisson arrival rate during the phase.
+	RatePerSec float64
+	// Seconds is the phase duration; 0 on the final phase means it runs
+	// forever.
+	Seconds float64
+}
+
+// FlashCrowd is a piecewise-constant-rate Poisson arrival process — the
+// overload workload: a calm baseline, a burst phase at several times
+// the sustainable rate, then calm again. It is stateful (it tracks its
+// own position in the phase schedule), so use one value per generated
+// trace. Gaps crossing a phase boundary are re-drawn from the boundary,
+// which is exact for a Poisson process (memorylessness).
+type FlashCrowd struct {
+	Phases []Phase
+
+	t float64
+}
+
+// NewFlashCrowd validates the schedule: every phase needs a positive
+// rate, and only the final phase may be unbounded.
+func NewFlashCrowd(phases ...Phase) (*FlashCrowd, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: flash crowd needs phases")
+	}
+	for i, ph := range phases {
+		if ph.RatePerSec <= 0 {
+			return nil, fmt.Errorf("workload: phase %d has non-positive rate", i)
+		}
+		if ph.Seconds <= 0 && i != len(phases)-1 {
+			return nil, fmt.Errorf("workload: non-final phase %d has no duration", i)
+		}
+	}
+	return &FlashCrowd{Phases: phases}, nil
+}
+
+// NextGap implements Arrival.
+func (f *FlashCrowd) NextGap(rng *rand.Rand) float64 {
+	if len(f.Phases) == 0 {
+		panic("workload: flash crowd with no phases")
+	}
+	start := f.t
+	for {
+		i, phaseStart := f.phaseAt(f.t)
+		ph := f.Phases[i]
+		if ph.RatePerSec <= 0 {
+			panic("workload: non-positive flash-crowd rate")
+		}
+		gap := rng.ExpFloat64() / ph.RatePerSec
+		last := i == len(f.Phases)-1
+		if last || ph.Seconds <= 0 || f.t+gap <= phaseStart+ph.Seconds {
+			f.t += gap
+			return f.t - start
+		}
+		// The draw overshot the phase boundary: move to the boundary and
+		// re-draw at the next phase's rate.
+		f.t = phaseStart + ph.Seconds
+	}
+}
+
+// phaseAt locates the phase containing time t and the phase's start.
+func (f *FlashCrowd) phaseAt(t float64) (idx int, start float64) {
+	acc := 0.0
+	for i, ph := range f.Phases {
+		if i == len(f.Phases)-1 || ph.Seconds <= 0 || t < acc+ph.Seconds {
+			return i, acc
+		}
+		acc += ph.Seconds
+	}
+	return len(f.Phases) - 1, acc
+}
+
 // Job is one upload task.
 type Job struct {
 	Name string
@@ -187,6 +261,9 @@ type FleetJob struct {
 	// Priority is a small non-negative queueing priority; higher drains
 	// sooner.
 	Priority int
+	// Deadline, when positive, is the workload-clock time after which
+	// the job is worthless (FleetSpec.DeadlineSlack sets it).
+	Deadline float64
 }
 
 // FleetSpec describes a fleet trace.
@@ -204,6 +281,14 @@ type FleetSpec struct {
 	Arrivals Arrival
 	// PriorityLevels spreads jobs over priorities 0..n-1 (default 3).
 	PriorityLevels int
+	// Prefix names the jobs ("<prefix>-00042.bin", default "fleet") —
+	// set distinct prefixes when merging several traces so object names
+	// stay unique.
+	Prefix string
+	// DeadlineSlack, when positive, gives every job a deadline of its
+	// arrival time plus this many seconds — the overload traces use it
+	// so queue-rotted jobs can expire.
+	DeadlineSlack float64
 }
 
 // GenerateFleet produces a fleet trace deterministically from the rng:
@@ -235,6 +320,10 @@ func GenerateFleet(spec FleetSpec, rng *rand.Rand) ([]FleetJob, error) {
 	if levels <= 0 {
 		levels = 3
 	}
+	prefix := spec.Prefix
+	if prefix == "" {
+		prefix = "fleet"
+	}
 	jobs := make([]FleetJob, spec.Jobs)
 	t := 0.0
 	for i := range jobs {
@@ -246,7 +335,7 @@ func GenerateFleet(spec FleetSpec, rng *rand.Rand) ([]FleetJob, error) {
 		}
 		jobs[i] = FleetJob{
 			Job: Job{
-				Name: fmt.Sprintf("fleet-%05d.bin", i),
+				Name: fmt.Sprintf("%s-%05d.bin", prefix, i),
 				At:   t,
 				Size: sizes.Sample(rng),
 			},
@@ -255,6 +344,36 @@ func GenerateFleet(spec FleetSpec, rng *rand.Rand) ([]FleetJob, error) {
 			Provider: spec.Providers[rng.Intn(len(spec.Providers))],
 			Priority: rng.Intn(levels),
 		}
+		if spec.DeadlineSlack > 0 {
+			jobs[i].Deadline = t + spec.DeadlineSlack
+		}
 	}
 	return jobs, nil
+}
+
+// MergeFleet interleaves independently generated traces into one,
+// ordered by arrival time (ties resolve by trace order, then by
+// position — the merge is deterministic). Use it to overlay a
+// flash-crowd tenant onto a steady baseline fleet.
+func MergeFleet(traces ...[]FleetJob) []FleetJob {
+	var n int
+	for _, t := range traces {
+		n += len(t)
+	}
+	out := make([]FleetJob, 0, n)
+	idx := make([]int, len(traces))
+	for len(out) < n {
+		best := -1
+		for ti, t := range traces {
+			if idx[ti] >= len(t) {
+				continue
+			}
+			if best < 0 || t[idx[ti]].At < traces[best][idx[best]].At {
+				best = ti
+			}
+		}
+		out = append(out, traces[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -169,6 +170,112 @@ func TestPropertyArrivalsMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFlashCrowdValidation(t *testing.T) {
+	if _, err := NewFlashCrowd(); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewFlashCrowd(Phase{RatePerSec: 0, Seconds: 10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewFlashCrowd(Phase{RatePerSec: 1}, Phase{RatePerSec: 2}); err == nil {
+		t.Error("unbounded non-final phase accepted")
+	}
+	if _, err := NewFlashCrowd(Phase{RatePerSec: 1, Seconds: 10}, Phase{RatePerSec: 2}); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestFlashCrowdPhaseRates(t *testing.T) {
+	fc, err := NewFlashCrowd(
+		Phase{RatePerSec: 1, Seconds: 100},
+		Phase{RatePerSec: 10, Seconds: 100},
+		Phase{RatePerSec: 1, Seconds: 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	counts := [3]int{}
+	t0 := 0.0
+	for t0 < 300 {
+		t0 += fc.NextGap(rng)
+		switch {
+		case t0 < 100:
+			counts[0]++
+		case t0 < 200:
+			counts[1]++
+		case t0 < 300:
+			counts[2]++
+		}
+	}
+	// ~100 arrivals in the calm phases, ~1000 in the burst.
+	if counts[0] < 70 || counts[0] > 130 || counts[2] < 70 || counts[2] > 130 {
+		t.Fatalf("calm phases off Poisson(1): %v", counts)
+	}
+	if counts[1] < 900 || counts[1] > 1100 {
+		t.Fatalf("burst phase off Poisson(10): %v", counts)
+	}
+}
+
+func TestFlashCrowdGapsPositiveAndMonotone(t *testing.T) {
+	fc, _ := NewFlashCrowd(Phase{RatePerSec: 5, Seconds: 10}, Phase{RatePerSec: 50})
+	rng := rand.New(rand.NewSource(10))
+	total := 0.0
+	for i := 0; i < 1000; i++ {
+		g := fc.NextGap(rng)
+		if g <= 0 {
+			t.Fatalf("gap %d = %v", i, g)
+		}
+		total += g
+	}
+	if total < 10 {
+		t.Fatalf("1000 arrivals span only %.2fs", total)
+	}
+}
+
+func TestMergeFleet(t *testing.T) {
+	mk := func(prefix string, ats ...float64) []FleetJob {
+		out := make([]FleetJob, len(ats))
+		for i, at := range ats {
+			out[i] = FleetJob{Job: Job{Name: fmt.Sprintf("%s-%d", prefix, i), At: at, Size: 1}, Tenant: prefix}
+		}
+		return out
+	}
+	merged := MergeFleet(mk("a", 1, 4, 9), mk("b", 2, 3, 4), mk("c"))
+	if len(merged) != 6 {
+		t.Fatalf("merged %d jobs, want 6", len(merged))
+	}
+	last := 0.0
+	for i, j := range merged {
+		if j.At < last {
+			t.Fatalf("merge not time-ordered at %d: %v < %v", i, j.At, last)
+		}
+		last = j.At
+	}
+	// Tie at t=4 resolves to the earlier trace (a before b).
+	if merged[3].Tenant != "a" || merged[4].Tenant != "b" {
+		t.Fatalf("tie-break wrong: %v then %v", merged[3].Tenant, merged[4].Tenant)
+	}
+}
+
+func TestGenerateFleetPrefixAndDeadline(t *testing.T) {
+	jobs, err := GenerateFleet(FleetSpec{
+		Jobs: 10, Clients: []string{"a"}, Providers: []string{"P"},
+		Prefix: "burst", DeadlineSlack: 30,
+	}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Name[:5] != "burst" {
+			t.Fatalf("prefix not applied: %q", j.Name)
+		}
+		if j.Deadline != j.At+30 {
+			t.Fatalf("deadline = %v, want At+30 = %v", j.Deadline, j.At+30)
+		}
 	}
 }
 
