@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet chaos overload stress
+.PHONY: build test vet race bench check fleet chaos overload stress churn
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,13 @@ chaos:
 overload:
 	$(GO) run ./examples/overload
 
+# Churn: the routing-dynamics tests race-clean (staged convergence,
+# push invalidation, make-before-break reroute/reattach), then the BGP
+# reconvergence storm replayed with and without the churn stack.
+churn:
+	$(GO) test -race ./internal/bgppol/ ./internal/sched/ ./internal/core/
+	$(GO) run ./examples/churn
+
 # Stress: the scheduler suite repeated under the race detector to
 # shake out ordering-dependent bugs in the queue and overload layer.
 stress:
@@ -46,3 +53,7 @@ check:
 	$(GO) test -fuzz=FuzzDelta -fuzztime=10s ./internal/rsyncx
 	$(GO) run ./examples/chaos >/dev/null
 	$(GO) run ./examples/overload >/dev/null
+	$(GO) run ./examples/churn >.churn.a.tmp
+	$(GO) run ./examples/churn >.churn.b.tmp
+	cmp .churn.a.tmp .churn.b.tmp
+	rm -f .churn.a.tmp .churn.b.tmp

@@ -597,6 +597,61 @@ func BenchmarkSchedulerRouteCacheHit(b *testing.B) {
 	b.ReportMetric(c.HitRate(), "hit-rate")
 }
 
+// --- Routing dynamics (internal/bgppol) ---
+
+// BenchmarkBGPRoutesToMemoized measures the steady-state cost of a
+// RoutesTo query on the paper's Gao–Rexford policy: after the first
+// computation the per-destination result is memoized, so the fleet's
+// repeated route checks (every reroute candidate scan hits this) pay a
+// map lookup, not a BFS.
+func BenchmarkBGPRoutesToMemoized(b *testing.B) {
+	p := scenario.PaperPolicy()
+	if _, err := p.RoutesTo("Google"); err != nil { // warm the memo
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RoutesTo("Google"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBGPRoutesToCold measures the same query when every iteration
+// is preceded by a topology mutation (a peering flap), which invalidates
+// the memo — the price a churning control plane pays per event.
+func BenchmarkBGPRoutesToCold(b *testing.B) {
+	p := scenario.PaperPolicy()
+	for i := 0; i < b.N; i++ {
+		if err := p.RemovePeer("Google", "CENIC"); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.AddPeer("Google", "CENIC"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.RoutesTo("Google"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnReplay replays the full reconvergence storm (control +
+// stack runs, the examples/churn workload) once per iteration and
+// reports the stack's survival rate over storm-touched transfers.
+func BenchmarkChurnReplay(b *testing.B) {
+	var v sched.ChurnVerdict
+	for i := 0; i < b.N; i++ {
+		control := sched.RunChurn(sched.ChurnOptions{Seed: 2015, Stack: false})
+		stack := sched.RunChurn(sched.ChurnOptions{Seed: 2015, Stack: true})
+		v = sched.CompareChurn(control, stack)
+	}
+	printOnce("churn", fmt.Sprintf(
+		"Churn: storm touched %d transfers — control failed %.0f%%, stack survived %.0f%%, %.1f MB re-sent (budget %.1f MB)",
+		v.Affected, 100*v.ControlFailRate(), 100*v.StackSurvivalRate(),
+		v.ResentBytes/1e6, v.ResentBudget/1e6))
+	b.ReportMetric(v.StackSurvivalRate(), "churn-survival")
+}
+
 // BenchmarkSchedulerRouteCacheMiss measures the miss path a first-seen
 // key pays before probing even starts: the failed lookup plus the
 // insert that builds the per-key bandit over the candidate routes.

@@ -6,7 +6,14 @@
 //
 //	detourctl [-from ubc-pl] [-provider GoogleDrive|Dropbox|OneDrive]
 //	          [-size 100] [-via auto|direct|ualberta|umich-pl]
-//	          [-pipelined] [-seed N]
+//	          [-pipelined] [-seed N] [-drain dtn]
+//
+// With -drain, the named DTN's agent is put into drain before the
+// transfer plans: it refuses new relay work (an upload routed at it
+// fails fast with a "draining" error; the auto selector routes around
+// it) while transfers already holding a session there run to
+// completion — the operator workflow for taking a DTN out of service
+// during routing churn without stranding in-flight work.
 package main
 
 import (
@@ -30,6 +37,7 @@ func main() {
 		pipelined = flag.Bool("pipelined", false, "use the pipelined relay (detours only)")
 		seed      = flag.Int64("seed", 2015, "world seed")
 		traceOut  = flag.String("trace", "", "write the transfer trace as JSON lines to this file")
+		drain     = flag.String("drain", "", "put this DTN's agent into drain before planning")
 	)
 	flag.Parse()
 
@@ -38,6 +46,15 @@ func main() {
 		os.Exit(2)
 	}
 	w := scenario.Build(*seed)
+	if *drain != "" {
+		ag, ok := w.Agents[*drain]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "detourctl: unknown DTN %q (have %v)\n", *drain, scenario.DTNs)
+			os.Exit(2)
+		}
+		ag.Drain()
+		fmt.Printf("draining %s: new relay work refused, existing sessions run out\n", *drain)
+	}
 	file := fileutil.New("detourctl.bin", float64(*sizeMB)*fileutil.MB, *seed)
 
 	exit := 0
@@ -52,8 +69,16 @@ func main() {
 		route := core.DirectRoute
 		switch *via {
 		case "auto":
+			// The selector only probes DTNs in service: a draining agent
+			// refuses probes, so auto mode routes around it.
+			pool := map[string]*core.DetourClient{}
+			for dtn, c := range detours {
+				if dtn != *drain {
+					pool[dtn] = c
+				}
+			}
 			sel := detourselect.NewSelector()
-			chosen, preds, err := sel.Choose(p, direct, detours, *provider, file.Size)
+			chosen, preds, err := sel.Choose(p, direct, pool, *provider, file.Size)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "detourctl: selection: %v\n", err)
 				exit = 1

@@ -28,6 +28,15 @@
 // admission, so queue-rotted work expires instead of burning capacity.
 // Shed and expired jobs are expected under overload and do not fail
 // the process.
+//
+// With -churn, the daemon instead replays the BGP reconvergence storm
+// (see internal/faults.ChurnSchedule) twice over the same fleet and
+// seed — once as an ablated control and once with the full churn stack:
+// staged per-domain convergence with transient blackholes, push-based
+// route invalidation off the event bus, make-before-break rerouting of
+// in-flight transfers, parking on total route loss, and a DTN drain —
+// and prints the deterministic with/without report. Other scheduler
+// flags are ignored in this mode.
 package main
 
 import (
@@ -55,8 +64,16 @@ func main() {
 		statsEvery  = flag.Duration("stats", 2*time.Second, "status-line interval (0 = quiet)")
 		chaos       = flag.Bool("chaos", false, "replay the canned fault schedule while draining")
 		overload    = flag.Bool("overload", false, "arm admission control, fair queuing, shedding, hedging, and brownout")
+		churn       = flag.Bool("churn", false, "replay the BGP reconvergence storm, control vs full stack, and report")
 	)
 	flag.Parse()
+
+	if *churn {
+		control := sched.RunChurn(sched.ChurnOptions{Seed: *seed, Stack: false})
+		stack := sched.RunChurn(sched.ChurnOptions{Seed: *seed, Stack: true})
+		sched.WriteChurnReport(os.Stdout, control, stack)
+		return
+	}
 
 	trace, err := workload.GenerateFleet(workload.FleetSpec{
 		Jobs:    *jobs,

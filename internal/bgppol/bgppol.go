@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"detournet/internal/topology"
 )
@@ -58,6 +59,12 @@ type Policy struct {
 	providers map[string][]string // domain -> its providers (sorted)
 	customers map[string][]string // domain -> its customers (sorted)
 	peers     map[string][]string // domain -> its peers (sorted)
+
+	// RoutesTo is called per transfer on the hot path; the result only
+	// changes when a relationship does, so it is memoized per destination
+	// and invalidated by every mutator.
+	memoMu sync.Mutex
+	memo   map[string]map[string]Route
 }
 
 // NewPolicy returns an empty relationship graph.
@@ -70,6 +77,13 @@ func NewPolicy() *Policy {
 	}
 }
 
+// invalidate drops the memoized routing tables; every mutator calls it.
+func (p *Policy) invalidate() {
+	p.memoMu.Lock()
+	p.memo = nil
+	p.memoMu.Unlock()
+}
+
 // AddDomain registers a domain name. Adding twice is a no-op.
 func (p *Policy) AddDomain(name string) {
 	if name == "" {
@@ -78,6 +92,7 @@ func (p *Policy) AddDomain(name string) {
 	if !p.domains[name] {
 		p.domains[name] = true
 		p.order = append(p.order, name)
+		p.invalidate()
 	}
 }
 
@@ -93,6 +108,14 @@ func insertSorted(xs []string, s string) []string {
 	copy(xs[i+1:], xs[i:])
 	xs[i] = s
 	return xs
+}
+
+func removeSorted(xs []string, s string) []string {
+	i := sort.SearchStrings(xs, s)
+	if i >= len(xs) || xs[i] != s {
+		return xs
+	}
+	return append(xs[:i:i], xs[i+1:]...)
 }
 
 func contains(xs []string, s string) bool {
@@ -116,6 +139,19 @@ func (p *Policy) AddCustomerProvider(customer, provider string) error {
 	p.AddDomain(provider)
 	p.providers[customer] = insertSorted(p.providers[customer], provider)
 	p.customers[provider] = insertSorted(p.customers[provider], customer)
+	p.invalidate()
+	return nil
+}
+
+// RemoveCustomerProvider withdraws a transit relationship. The domains
+// stay registered; only the session between them disappears.
+func (p *Policy) RemoveCustomerProvider(customer, provider string) error {
+	if !contains(p.providers[customer], provider) {
+		return fmt.Errorf("bgppol: %s does not buy transit from %s", customer, provider)
+	}
+	p.providers[customer] = removeSorted(p.providers[customer], provider)
+	p.customers[provider] = removeSorted(p.customers[provider], customer)
+	p.invalidate()
 	return nil
 }
 
@@ -131,7 +167,72 @@ func (p *Policy) AddPeer(a, b string) error {
 	p.AddDomain(b)
 	p.peers[a] = insertSorted(p.peers[a], b)
 	p.peers[b] = insertSorted(p.peers[b], a)
+	p.invalidate()
 	return nil
+}
+
+// RemovePeer withdraws a peering session between a and b.
+func (p *Policy) RemovePeer(a, b string) error {
+	if !contains(p.peers[a], b) {
+		return fmt.Errorf("bgppol: %s and %s are not peers", a, b)
+	}
+	p.peers[a] = removeSorted(p.peers[a], b)
+	p.peers[b] = removeSorted(p.peers[b], a)
+	p.invalidate()
+	return nil
+}
+
+// Relationship describes how two domains are (or are not) connected.
+type Relationship int
+
+const (
+	// RelNone means no BGP session between the two domains.
+	RelNone Relationship = iota
+	// RelPeer is a settlement-free peering.
+	RelPeer
+	// RelCustomer means the first domain buys transit from the second.
+	RelCustomer
+	// RelProvider means the first domain sells transit to the second.
+	RelProvider
+)
+
+// Relationship reports how a relates to b.
+func (p *Policy) Relationship(a, b string) Relationship {
+	switch {
+	case contains(p.peers[a], b):
+		return RelPeer
+	case contains(p.providers[a], b):
+		return RelCustomer
+	case contains(p.customers[a], b):
+		return RelProvider
+	default:
+		return RelNone
+	}
+}
+
+// Clone returns an independent copy of the relationship graph with a
+// cold memo, for staged-convergence snapshots.
+func (p *Policy) Clone() *Policy {
+	np := &Policy{
+		domains:   make(map[string]bool, len(p.domains)),
+		order:     append([]string(nil), p.order...),
+		providers: make(map[string][]string, len(p.providers)),
+		customers: make(map[string][]string, len(p.customers)),
+		peers:     make(map[string][]string, len(p.peers)),
+	}
+	for d := range p.domains {
+		np.domains[d] = true
+	}
+	for d, xs := range p.providers {
+		np.providers[d] = append([]string(nil), xs...)
+	}
+	for d, xs := range p.customers {
+		np.customers[d] = append([]string(nil), xs...)
+	}
+	for d, xs := range p.peers {
+		np.peers[d] = append([]string(nil), xs...)
+	}
+	return np
 }
 
 // MustAddCustomerProvider panics on error; for static policy tables.
@@ -156,8 +257,29 @@ type Route struct {
 }
 
 // RoutesTo computes every domain's best route to dst under Gao–Rexford
-// export and preference rules, with deterministic tie-breaking.
+// export and preference rules, with deterministic tie-breaking. The
+// returned map is memoized and shared: callers must not mutate it.
 func (p *Policy) RoutesTo(dst string) (map[string]Route, error) {
+	p.memoMu.Lock()
+	if cached, ok := p.memo[dst]; ok {
+		p.memoMu.Unlock()
+		return cached, nil
+	}
+	p.memoMu.Unlock()
+	best, err := p.computeRoutesTo(dst)
+	if err != nil {
+		return nil, err
+	}
+	p.memoMu.Lock()
+	if p.memo == nil {
+		p.memo = make(map[string]map[string]Route)
+	}
+	p.memo[dst] = best
+	p.memoMu.Unlock()
+	return best, nil
+}
+
+func (p *Policy) computeRoutesTo(dst string) (map[string]Route, error) {
 	if !p.domains[dst] {
 		return nil, fmt.Errorf("bgppol: unknown destination domain %q", dst)
 	}
@@ -329,6 +451,13 @@ func (f Finder) Path(g *topology.Graph, src, dst *topology.Node) ([]*topology.No
 	if err != nil {
 		return nil, err
 	}
+	return expandDomainPath(g, src, dst, doms)
+}
+
+// expandDomainPath turns a domain-level AS path into node hops using
+// hot-potato routing inside each domain. Shared by the static Finder
+// and the staged-convergence DynamicFinder.
+func expandDomainPath(g *topology.Graph, src, dst *topology.Node, doms []string) ([]*topology.Node, error) {
 	full := []*topology.Node{src}
 	cur := src
 	for i := 0; i+1 < len(doms); i++ {

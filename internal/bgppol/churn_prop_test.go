@@ -1,0 +1,117 @@
+package bgppol
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Property: staged convergence never launders a valley path. Every
+// intermediate snapshot a domain can forward with — not just the base
+// and final policies — must export only valley-free routes, and the
+// mixed-version walk must always terminate in a path or a typed
+// anomaly, never spin.
+//
+// The test drives random Gao–Rexford policies through random
+// withdraw/announce churn and checks every snapshot in the version
+// chain against the ValleyFree oracle.
+
+// randPolicy builds a random valley-free economy: a provider DAG
+// (domain i buys transit from one or two earlier domains) plus a few
+// peerings where no transit relationship exists.
+func randPolicy(rng *rand.Rand, n int) *Policy {
+	p := NewPolicy()
+	name := func(i int) string { return string(rune('a' + i)) }
+	for i := 1; i < n; i++ {
+		for _, j := range rng.Perm(i)[:1+rng.Intn(min(i, 2))] {
+			// Ignore duplicates from the loop below re-rolling.
+			_ = p.AddCustomerProvider(name(i), name(j))
+		}
+	}
+	for tries := 0; tries < n; tries++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			_ = p.AddPeer(name(a), name(b)) // rejected over existing transit; fine
+		}
+	}
+	return p
+}
+
+// sessions lists every live relationship in p as domain pairs.
+func sessions(p *Policy) [][2]string {
+	var out [][2]string
+	doms := p.Domains()
+	for i, a := range doms {
+		for _, b := range doms[i+1:] {
+			if p.Relationship(a, b) != RelNone {
+				out = append(out, [2]string{a, b})
+			}
+		}
+	}
+	return out
+}
+
+func TestChurnNeverExportsValleyPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x76616c6c))
+	for trial := 0; trial < 40; trial++ {
+		base := randPolicy(rng, 5+rng.Intn(5))
+		now := 0.0
+		d := NewDynamic(base, func() float64 { return now }, rng, 2, 12)
+
+		withdrawn := make([][2]string, 0, 8)
+		for step := 0; step < 12; step++ {
+			now += rng.Float64() * 8
+			if len(withdrawn) > 0 && rng.Float64() < 0.4 {
+				i := rng.Intn(len(withdrawn))
+				s := withdrawn[i]
+				if err := d.AnnounceSession(s[0], s[1]); err != nil {
+					t.Fatalf("trial %d: announce %v: %v", trial, s, err)
+				}
+				withdrawn = append(withdrawn[:i], withdrawn[i+1:]...)
+			} else if live := sessions(d.Current()); len(live) > 0 {
+				s := live[rng.Intn(len(live))]
+				if err := d.WithdrawSession(s[0], s[1]); err != nil {
+					t.Fatalf("trial %d: withdraw %v: %v", trial, s, err)
+				}
+				withdrawn = append(withdrawn, s)
+			}
+
+			// The mixed-version walk terminates: a path or a typed
+			// anomaly for every pair, mid-window included.
+			doms := d.Current().Domains()
+			for _, src := range doms {
+				for _, dst := range doms {
+					if src == dst {
+						continue
+					}
+					_, err := d.DomainPathAt(src, dst)
+					if err != nil && !errors.Is(err, ErrNoRoute) &&
+						!errors.Is(err, ErrBlackhole) && !errors.Is(err, ErrLoop) {
+						t.Fatalf("trial %d step %d: %s->%s: untyped %v", trial, step, src, dst, err)
+					}
+				}
+			}
+		}
+
+		// Every intermediate RIB any domain ever forwarded with must be
+		// valley-free on its own terms.
+		for v, snap := range d.versions {
+			doms := snap.Domains()
+			for _, src := range doms {
+				for _, dst := range doms {
+					if src == dst {
+						continue
+					}
+					path, err := snap.DomainPath(src, dst)
+					if err != nil {
+						continue // no route in this snapshot: nothing exported
+					}
+					if !snap.ValleyFree(path) {
+						t.Fatalf("trial %d version %d: %s->%s exported valley path %v",
+							trial, v, src, dst, path)
+					}
+				}
+			}
+		}
+	}
+}

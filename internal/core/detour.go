@@ -94,8 +94,35 @@ type Agent struct {
 	// Trace, when set, receives agent-side events.
 	Trace *tracelog.Log
 
-	l     *transport.Listener
-	conns map[*transport.Conn]struct{}
+	l        *transport.Listener
+	conns    map[*transport.Conn]struct{}
+	draining bool
+	// DrainRejects counts requests refused while draining, for tests.
+	DrainRejects int
+}
+
+// Drain puts the agent in administrative drain: new detour work —
+// fresh relays, streams, probes — is refused with a typed "draining"
+// error, while requests already in flight and checkpoint continuations
+// carrying a provider session token run to completion. Staged files
+// and partials stay on disk throughout.
+func (a *Agent) Drain() { a.draining = true }
+
+// Undrain returns the agent to service.
+func (a *Agent) Undrain() { a.draining = false }
+
+// Draining reports the administrative drain state.
+func (a *Agent) Draining() bool { return a.draining }
+
+// rejectDraining answers a refused request; the error substring
+// "draining" is load-bearing — schedulers classify it as a route-level
+// failure and fail the job over with its checkpoint.
+func (a *Agent) rejectDraining(p *simproc.Proc, c *transport.Conn) {
+	a.DrainRejects++
+	a.Trace.Emit("agent.drain.reject", map[string]any{
+		"dtn": a.host, "client": c.RemoteHost(),
+	})
+	_ = c.Send(p, relayResult{OK: false, Err: "dtn draining: " + a.host}, ctrlBytes)
 }
 
 // NewAgent returns an agent for the DTN host, sharing the rsync daemon's
@@ -225,14 +252,36 @@ func (a *Agent) serve(p *simproc.Proc, c *transport.Conn) {
 		}
 		switch m := msg.Payload.(type) {
 		case relayUpload:
+			if a.draining {
+				a.rejectDraining(p, c)
+				continue
+			}
 			a.handleRelay(p, c, m)
 		case relayResume:
+			// A continuation carrying a provider session token is an
+			// existing job finishing its work; drain only refuses new ones.
+			if a.draining && !m.HasToken {
+				a.rejectDraining(p, c)
+				continue
+			}
 			a.handleRelayResume(p, c, m)
 		case streamBegin:
+			if a.draining {
+				a.rejectDraining(p, c)
+				continue
+			}
 			a.handleStream(p, c, m)
 		case probeReq:
+			if a.draining {
+				a.rejectDraining(p, c)
+				continue
+			}
 			a.handleProbe(p, c, m)
 		case relayDownload:
+			if a.draining {
+				a.rejectDraining(p, c)
+				continue
+			}
 			a.handleDownload(p, c, m)
 		default:
 			_ = c.Send(p, relayResult{OK: false, Err: "protocol error"}, ctrlBytes)

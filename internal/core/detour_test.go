@@ -22,6 +22,7 @@ import (
 type testbed struct {
 	eng   *simclock.Engine
 	r     *simproc.Runner
+	g     *topology.Graph
 	tn    *transport.Net
 	svc   *cloudsim.Service
 	agent *Agent
@@ -50,7 +51,13 @@ func newTestbed(t *testing.T) *testbed {
 	agent.RegisterProvider(sdk.NewGoogleDrive(eng, tn, "dtn", "provider-dc", creds, sdk.Options{}))
 	agent.Start()
 
-	return &testbed{eng: eng, r: r, tn: tn, svc: svc, agent: agent}
+	return &testbed{eng: eng, r: r, g: g, tn: tn, svc: svc, agent: agent}
+}
+
+// linkState raises or drops both directions of an adjacency.
+func (tb *testbed) linkState(a, b string, up bool) {
+	tb.g.SetLinkState(a, b, up)
+	tb.g.SetLinkState(b, a, up)
 }
 
 func (tb *testbed) directClient() sdk.SessionClient {

@@ -1,0 +1,52 @@
+// Make-before-break rerouting support: when routing churn withdraws an
+// in-flight transfer's path, the transfer establishes the best
+// surviving route, reattaches its checkpoint (resume.go machinery),
+// and only then abandons the old flows. The ranking below is what
+// bounds the damage: a reroute that keeps the checkpoint's DTN re-sends
+// at most the one chunk that was in flight when the path died.
+package core
+
+import "errors"
+
+// ErrNoRoute is the typed parking error: no usable route to the
+// provider exists right now — neither direct nor via any DTN. A parked
+// transfer holds its checkpoint and resumes when a route is
+// re-announced. (The substring "no route" is load-bearing for
+// classification across the agent wire protocol.)
+var ErrNoRoute = errors.New("core: no route to provider")
+
+// RerouteOrder ranks the routes a rerouting transfer should try, most
+// progress-preserving first:
+//
+//  1. the current route — if it is usable again, no reroute at all;
+//  2. the DTN already holding the checkpoint's hop-1 bytes — staged
+//     progress is disk-local to that DTN, so any other choice forfeits
+//     it;
+//  3. direct — the checkpoint's provider session token is server-side
+//     state, portable across any path to the provider;
+//  4. the remaining candidates in the given order.
+//
+// Duplicates and empty detours are dropped; the caller filters for
+// usability.
+func RerouteOrder(ck *Checkpoint, current Route, candidates []Route) []Route {
+	seen := make(map[Route]bool, len(candidates)+3)
+	out := make([]Route, 0, len(candidates)+3)
+	add := func(r Route) {
+		if r.Kind == Detour && r.Via == "" {
+			return
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	add(current)
+	if ck != nil && ck.Hop1Via != "" && ck.Hop1High > 0 {
+		add(ViaRoute(ck.Hop1Via))
+	}
+	add(DirectRoute)
+	for _, r := range candidates {
+		add(r)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/rsyncx"
+	"detournet/internal/simclock"
+	"detournet/internal/simproc"
+)
+
+func TestRerouteOrder(t *testing.T) {
+	ck := &Checkpoint{Hop1Via: "dtn-a", Hop1High: 9e6}
+	cur := ViaRoute("dtn-b")
+	got := RerouteOrder(ck, cur, []Route{ViaRoute("dtn-a"), ViaRoute("dtn-b"), DirectRoute, ViaRoute("dtn-c")})
+	want := []Route{cur, ViaRoute("dtn-a"), DirectRoute, ViaRoute("dtn-c")}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// No staged hop-1 bytes: the checkpoint's DTN earns no preference.
+	got = RerouteOrder(&Checkpoint{Hop1Via: "dtn-a"}, DirectRoute, nil)
+	if len(got) != 1 || got[0] != DirectRoute {
+		t.Fatalf("order without progress = %v, want just direct", got)
+	}
+}
+
+// TestCheckpointReattachAcrossReroute is the make-before-break
+// satellite's core proof: a detour transfer killed mid-chunk on its
+// second hop (the withdraw) carries its provider session token to a
+// different path entirely and resumes at exactly the committed offset —
+// the object completes intact, and the only re-sent bytes are the
+// forfeited hop-1 staging, not provider-session progress.
+func TestCheckpointReattachAcrossReroute(t *testing.T) {
+	tb := newTestbed(t)
+	dc := NewDetourClient(tb.tn, "user", "dtn")
+	direct := tb.directClient()
+	good := rsyncx.Checksum([]byte("the rerouted file"))
+	const size = 40e6
+
+	ck := &Checkpoint{}
+	tb.run(t, func(p *simproc.Proc) {
+		// The detour upload runs as its own process; the main process
+		// plays the routing plane and withdraws the DTN's provider path
+		// mid-relay.
+		det := simproc.NewFuture[error](p.Runner())
+		p.Runner().Go("detour-upload", func(pp *simproc.Proc) {
+			_, err := dc.UploadResumable(pp, "GoogleDrive", "r.bin", size, good, ck)
+			det.Set(err)
+		})
+		// Hop 1 (8 MB/s, 40 MB) takes ~5 s; by 7 s the relay is a chunk or
+		// two into hop 2.
+		p.Sleep(simclock.Duration(7))
+		if det.IsSet() {
+			t.Error("upload finished before the withdraw; slow the schedule down")
+			return
+		}
+		// The withdraw: every edge into the provider goes down, killing
+		// the in-flight hop-2 flow. Both must drop — the HTTP layer
+		// redials killed connections, and with only the DTN edge down the
+		// triangle self-heals via user.
+		tb.linkState("dtn", "provider-dc", false)
+		tb.linkState("user", "provider-dc", false)
+		err := simproc.Await(p, det)
+		if err == nil || !strings.Contains(err.Error(), "hop2") {
+			t.Errorf("detour upload err = %v, want a hop-2 failure", err)
+			return
+		}
+
+		// The agent's failure reply carried the session token and the
+		// committed offset: the checkpoint holds real, partial progress.
+		if !ck.HasSession {
+			t.Error("checkpoint lost the provider session across the kill")
+			return
+		}
+		offset := ck.Hop2High
+		if offset <= 0 || offset >= size {
+			t.Errorf("committed offset = %.0f, want mid-transfer", offset)
+			return
+		}
+		resumedBefore := ck.BytesResumed
+
+		// Reconvergence: the direct edge comes back; the DTN's provider
+		// edge stays withdrawn, so the old path is truly gone.
+		tb.linkState("user", "provider-dc", true)
+
+		// Reroute: same checkpoint, entirely different path. The session
+		// token is server-side state, so the direct path must reattach at
+		// the committed offset, not byte zero.
+		rep, err := DirectUploadResumable(p, direct, "r.bin", size, good, ck)
+		if err != nil {
+			t.Errorf("rerouted resume failed: %v", err)
+			return
+		}
+		if rep.Info.MD5 != good {
+			t.Errorf("rerouted digest = %q, want %q", rep.Info.MD5, good)
+		}
+		if got := ck.BytesResumed - resumedBefore; got != offset {
+			t.Errorf("reattached at %.0f, want the committed offset %.0f", got, offset)
+		}
+		// The staged hop-1 copy is forfeited by leaving the DTN — that,
+		// and nothing of the provider session, is the re-send cost.
+		if ck.BytesRewritten != size {
+			t.Errorf("rewritten = %.0f, want exactly the %0.f staged hop-1 bytes", ck.BytesRewritten, float64(size))
+		}
+		if o, ok := tb.svc.Store.Get("r.bin"); !ok || o.Size != size || o.MD5 != good {
+			t.Errorf("stored object = %+v, want complete %.0f-byte file", o, float64(size))
+		}
+	})
+}
+
+// TestAgentDrainRefusesNewWork: a draining DTN bounces new uploads with
+// the load-bearing "draining" error but still completes transfers whose
+// checkpoints already hold a session there — the continuation carve-out
+// relayResume's HasToken encodes.
+func TestAgentDrainRefusesNewWork(t *testing.T) {
+	tb := newTestbed(t)
+	dc := NewDetourClient(tb.tn, "user", "dtn")
+	good := rsyncx.Checksum([]byte("drain me gently"))
+	const size = 30e6
+
+	ck := &Checkpoint{}
+	tb.run(t, func(p *simproc.Proc) {
+		det := simproc.NewFuture[error](p.Runner())
+		p.Runner().Go("pre-drain-upload", func(pp *simproc.Proc) {
+			_, err := dc.UploadResumable(pp, "GoogleDrive", "d.bin", size, good, ck)
+			det.Set(err)
+		})
+		p.Sleep(simclock.Duration(5.5)) // hop 1 ends ~4 s in; this is mid-hop2
+		if det.IsSet() {
+			t.Error("upload finished before the drain")
+			return
+		}
+		tb.agent.Drain()
+		tb.linkState("dtn", "provider-dc", false)
+		tb.linkState("user", "provider-dc", false)
+		if err := simproc.Await(p, det); err == nil {
+			t.Error("killed relay reported success")
+			return
+		}
+		if !ck.HasSession {
+			t.Error("checkpoint lost the session")
+			return
+		}
+		// The withdrawn paths re-announce; only the drain now stands
+		// between the DTN and new work.
+		tb.linkState("dtn", "provider-dc", true)
+		tb.linkState("user", "provider-dc", true)
+
+		// New work is refused while draining...
+		var fresh Checkpoint
+		_, err := dc.UploadResumable(p, "GoogleDrive", "new.bin", 5e6, "", &fresh)
+		if err == nil || !strings.Contains(err.Error(), "draining") {
+			t.Errorf("new upload on draining DTN err = %v, want a draining refusal", err)
+		}
+		if tb.agent.DrainRejects == 0 {
+			t.Error("agent counted no drain rejects")
+		}
+
+		// ...but the interrupted job, whose token marks it a
+		// continuation, runs to completion on the same DTN.
+		rep, err := dc.UploadResumable(p, "GoogleDrive", "d.bin", size, good, ck)
+		if err != nil {
+			t.Errorf("continuation on draining DTN failed: %v", err)
+			return
+		}
+		if rep.Info.MD5 != good {
+			t.Errorf("continuation digest = %q, want %q", rep.Info.MD5, good)
+		}
+
+		// Undrain restores new-work service.
+		tb.agent.Undrain()
+		if _, err := dc.UploadResumable(p, "GoogleDrive", "new.bin", 5e6, "", &fresh); err != nil {
+			t.Errorf("upload after Undrain failed: %v", err)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 
+	"detournet/internal/bgppol"
 	"detournet/internal/scenario"
 	"detournet/internal/simclock"
 )
@@ -48,6 +49,18 @@ const (
 	// start (in-flight relays die; staged files and partials survive on
 	// disk) and restarts them at window end.
 	DTNCrash
+	// RouteChurn drives the routing control plane for the window: with
+	// DomainA/DomainB set it withdraws that BGP session at window start
+	// (staged reconvergence begins, in-flight flows crossing the
+	// boundary are killed) and re-announces it at window end; with
+	// PinSrc/PinDst set it flips a pinned route away and back — the
+	// paper's PacificWave hand-off disappearing from the tables.
+	// Session churn requires a world built WithDynamicRouting.
+	RouteChurn
+	// DTNDrain administratively drains a DTN for the window: its relay
+	// agent stops accepting new detour jobs while in-flight jobs (and
+	// checkpoint continuations carrying a session token) complete.
+	DTNDrain
 )
 
 func (k Kind) String() string {
@@ -62,6 +75,10 @@ func (k Kind) String() string {
 		return "provider-errors"
 	case DTNCrash:
 		return "dtn-crash"
+	case RouteChurn:
+		return "route-churn"
+	case DTNDrain:
+		return "dtn-drain"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -75,8 +92,13 @@ type Spec struct {
 	From, To string
 	// Provider names the service for ProviderOutage and ProviderErrors.
 	Provider string
-	// DTN names the host for DTNCrash.
+	// DTN names the host for DTNCrash and DTNDrain.
 	DTN string
+	// DomainA and DomainB name the BGP session for RouteChurn.
+	DomainA, DomainB string
+	// PinSrc and PinDst name a pinned route for RouteChurn's pin-flip
+	// form (mutually exclusive with DomainA/DomainB).
+	PinSrc, PinDst string
 
 	// Start is the virtual time (seconds) the first window opens.
 	Start float64
@@ -106,8 +128,13 @@ func (s Spec) target() string {
 	switch s.Kind {
 	case LinkDown, LinkDegrade:
 		return s.From + "<->" + s.To
-	case DTNCrash:
+	case DTNCrash, DTNDrain:
 		return s.DTN
+	case RouteChurn:
+		if s.DomainA != "" {
+			return s.DomainA + "~" + s.DomainB
+		}
+		return s.PinSrc + "=>" + s.PinDst
 	default:
 		return s.Provider
 	}
@@ -201,6 +228,26 @@ func (inj *Injector) validate(sp Spec) {
 		if inj.w.Daemons[sp.DTN] == nil || inj.w.Agents[sp.DTN] == nil {
 			panic(fmt.Sprintf("faults: %s: unknown DTN %q", sp.Kind, sp.DTN))
 		}
+	case DTNDrain:
+		if inj.w.Agents[sp.DTN] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown DTN %q", sp.Kind, sp.DTN))
+		}
+	case RouteChurn:
+		switch {
+		case sp.DomainA != "" && sp.DomainB != "" && sp.PinSrc == "" && sp.PinDst == "":
+			if inj.w.Routing == nil {
+				panic(fmt.Sprintf("faults: %s %s: world built without WithDynamicRouting", sp.Kind, sp.target()))
+			}
+			if !inj.w.Routing.SessionUp(sp.DomainA, sp.DomainB) {
+				panic(fmt.Sprintf("faults: %s: no BGP session %s~%s", sp.Kind, sp.DomainA, sp.DomainB))
+			}
+		case sp.PinSrc != "" && sp.PinDst != "" && sp.DomainA == "" && sp.DomainB == "":
+			if _, ok := inj.w.Graph.Override(sp.PinSrc, sp.PinDst); !ok {
+				panic(fmt.Sprintf("faults: %s: no pinned route %s=>%s", sp.Kind, sp.PinSrc, sp.PinDst))
+			}
+		default:
+			panic(fmt.Sprintf("faults: %s: set exactly one of DomainA/DomainB or PinSrc/PinDst", sp.Kind))
+		}
 	default:
 		panic(fmt.Sprintf("faults: unknown kind %d", int(sp.Kind)))
 	}
@@ -265,6 +312,11 @@ func (inj *Injector) apply(sp *state, active bool) {
 	case LinkDown:
 		inj.w.Graph.SetLinkState(sp.From, sp.To, !active)
 		inj.w.Graph.SetLinkState(sp.To, sp.From, !active)
+		// Both directions of the flap go on the route bus, so push-based
+		// subscribers (the scheduler's route cache) learn immediately —
+		// the restore included: a healed link must clear its quarantine
+		// now, not when some TTL lapses.
+		inj.publishLink(active, sp.From, sp.To)
 	case LinkDegrade:
 		inj.applyDegrade(sp, active)
 	case ProviderOutage:
@@ -284,12 +336,71 @@ func (inj *Injector) apply(sp *state, active bool) {
 			inj.w.Daemons[sp.DTN].Start()
 			inj.w.Agents[sp.DTN].Start()
 		}
+	case RouteChurn:
+		inj.applyChurn(sp, active)
+	case DTNDrain:
+		if active {
+			inj.w.Agents[sp.DTN].Drain()
+		} else {
+			inj.w.Agents[sp.DTN].Undrain()
+		}
+		// Node-scoped event: any cached route whose path touches the DTN
+		// should stop being elected (withdraw) or become eligible again
+		// (announce).
+		inj.publishLink(active, sp.DTN, "")
 	}
 	inj.Injected++
 	inj.transitions = append(inj.transitions,
 		fmt.Sprintf("t=%.3f %s %s active=%v", float64(inj.eng.Now()), sp.Kind, sp.target(), active))
 	inj.w.Trace.Emit("fault."+sp.Kind.String(), map[string]any{
 		"target": sp.target(), "active": active,
+	})
+}
+
+// applyChurn flips a routing-plane fault: a BGP session withdraw/
+// announce (staged reconvergence, published by the Dynamic layer) or a
+// pinned-route flip (published here as a link-scope event). Either way
+// the data plane follows: flows riding the vanished adjacency are
+// killed, exactly as a withdrawn next hop strands packets mid-path.
+func (inj *Injector) applyChurn(sp *state, active bool) {
+	if sp.DomainA != "" {
+		var err error
+		if active {
+			err = inj.w.Routing.WithdrawSession(sp.DomainA, sp.DomainB)
+		} else {
+			err = inj.w.Routing.AnnounceSession(sp.DomainA, sp.DomainB)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("faults: %s %s: %v", sp.Kind, sp.target(), err))
+		}
+		if active {
+			inj.w.Graph.KillDomainBoundaryFlows(sp.DomainA, sp.DomainB)
+		}
+		return
+	}
+	inj.w.Graph.SetOverrideEnabled(sp.PinSrc, sp.PinDst, !active)
+	if active {
+		if hops, ok := inj.w.Graph.Override(sp.PinSrc, sp.PinDst); ok {
+			for i := 0; i+1 < len(hops); i++ {
+				inj.w.Graph.KillEdgeFlows(hops[i], hops[i+1])
+			}
+		}
+	}
+	inj.publishLink(active, sp.PinSrc, sp.PinDst)
+}
+
+// publishLink puts a link-scope event on the world's route bus.
+func (inj *Injector) publishLink(withdraw bool, from, to string) {
+	if inj.w.RouteBus == nil {
+		return
+	}
+	kind := bgppol.EventAnnounce
+	if withdraw {
+		kind = bgppol.EventWithdraw
+	}
+	now := float64(inj.eng.Now())
+	inj.w.RouteBus.Publish(bgppol.Event{
+		Kind: kind, FromNode: from, ToNode: to, At: now, ConvergedBy: now,
 	})
 }
 
@@ -344,5 +455,26 @@ func CannedSchedule() []Spec {
 		{Kind: ProviderErrors, Provider: scenario.GoogleDrive, Start: 120, Duration: 45, Period: 400, ErrorRate: 0.25, ThrottleRate: 0.15},
 		{Kind: ProviderOutage, Provider: scenario.Dropbox, Start: 200, Duration: 30, Period: 600},
 		{Kind: DTNCrash, DTN: scenario.UAlberta, Start: 350, Duration: 40},
+	}
+}
+
+// ChurnSchedule is the reconvergence storm the churn example and
+// `detourd -churn` replay against a world built WithDynamicRouting: the
+// paper's PacificWave hand-off flips away and back, the CANARIE–Google
+// and ISP–Google peerings withdraw (research and commodity paths to
+// Google reconverge through Internet2), the cross-border
+// CANARIE–Internet2 session flaps, Cybera's only uplink withdraws
+// (UAlberta unreachable until re-announce — parked transfers absorb the
+// blackhole), a plain data-plane flap exercises the push-invalidation
+// restore path, and UAlberta drains for maintenance mid-storm.
+func ChurnSchedule() []Spec {
+	return []Spec{
+		{Kind: RouteChurn, PinSrc: scenario.UBC, PinDst: scenario.GDriveDC, Start: 60, Duration: 50, Period: 210},
+		{Kind: RouteChurn, DomainA: "CANARIE", DomainB: "Google", Start: 95, Duration: 45, Period: 260},
+		{Kind: RouteChurn, DomainA: "ISP", DomainB: "Google", Start: 120, Duration: 50, Period: 280},
+		{Kind: RouteChurn, DomainA: "CANARIE", DomainB: "Internet2", Start: 175, Duration: 40, Period: 330},
+		{Kind: RouteChurn, DomainA: "Cybera", DomainB: "CANARIE", Start: 240, Duration: 35, Period: 360},
+		{Kind: LinkDown, From: "vncv1", To: "edmn1", Start: 40, Duration: 15, Period: 180},
+		{Kind: DTNDrain, DTN: scenario.UAlberta, Start: 300, Duration: 60, Period: 450},
 	}
 }

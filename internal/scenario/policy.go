@@ -1,7 +1,10 @@
 package scenario
 
 import (
+	"math/rand"
+
 	"detournet/internal/bgppol"
+	"detournet/internal/topology"
 )
 
 // Policy-routing mode: instead of the default filtered min-delay router,
@@ -65,6 +68,48 @@ func WithPolicyRouting() Option {
 // installPolicyRouting replaces the router after the graph is built.
 func (w *World) installPolicyRouting() {
 	w.Graph.SetRouter(bgppol.Finder{Policy: PaperPolicy()})
+}
+
+// WithDynamicRouting routes the world with the staged-convergence BGP
+// layer over PaperPolicy: sessions can be withdrawn and re-announced at
+// run time (see faults.RouteChurn), domains adopt changes after
+// deterministic per-domain delays, and during the convergence window
+// paths can transiently blackhole or loop exactly as real reconvergence
+// does. Route pins still apply, but a pin whose domain crossings ride a
+// withdrawn session falls through to the (converging) router.
+func WithDynamicRouting() Option {
+	return func(c *buildCfg) { c.dynamicRouting = true }
+}
+
+// routeChurnSeedSalt decorrelates convergence delays from every other
+// seeded stream in the world.
+const routeChurnSeedSalt = 0x6267700d
+
+// installDynamicRouting replaces the router after the graph is built.
+func (w *World) installDynamicRouting() {
+	rng := rand.New(rand.NewSource(w.seed ^ routeChurnSeedSalt))
+	now := func() float64 { return float64(w.Eng.Now()) }
+	dyn := bgppol.NewDynamic(PaperPolicy(), now, rng, 2, 12)
+	dyn.AttachBus(w.RouteBus)
+	w.Routing = dyn
+	w.Graph.SetRouter(bgppol.DynamicFinder{D: dyn})
+	// Pins model operator configuration, but they still ride BGP
+	// sessions: if a pinned path crosses a withdrawn session boundary,
+	// the pin breaks and the pair reconverges with everyone else.
+	// Crossings unknown to the policy (the PacificWave IXP fabric) are
+	// exempt — those are static exchange configuration.
+	w.Graph.SetOverrideVeto(func(hops []*topology.Node) bool {
+		for i := 0; i+1 < len(hops); i++ {
+			a, b := hops[i].Domain, hops[i+1].Domain
+			if a == b {
+				continue
+			}
+			if dyn.SessionKnown(a, b) && !dyn.SessionUp(a, b) {
+				return true
+			}
+		}
+		return false
+	})
 }
 
 // DomainPathOf returns the AS-level path a host-to-host route crosses,

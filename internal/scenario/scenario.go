@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"detournet/internal/bgppol"
 	"detournet/internal/cloudsim"
 	"detournet/internal/core"
 	"detournet/internal/fluid"
@@ -88,6 +89,14 @@ type World struct {
 	// NewDetourClient and from the DTN agents.
 	Trace *tracelog.Log
 
+	// RouteBus carries routing-plane events (session withdraw/announce,
+	// link flaps, pin flips) to subscribers — always present so fault
+	// injectors can publish even without dynamic routing.
+	RouteBus *bgppol.Bus
+	// Routing is the staged-convergence BGP layer, non-nil only under
+	// WithDynamicRouting.
+	Routing *bgppol.Dynamic
+
 	pausers []Pauser
 	seed    int64
 }
@@ -110,9 +119,10 @@ func (w *World) AddPauser(p Pauser) { w.pausers = append(w.pausers, p) }
 type Option func(*buildCfg)
 
 type buildCfg struct {
-	capOverride   map[[2]string]float64 // MB/s per directed pair
-	policyRouting bool
-	googlePOP     bool
+	capOverride    map[[2]string]float64 // MB/s per directed pair
+	policyRouting  bool
+	dynamicRouting bool
+	googlePOP      bool
 }
 
 // WithLinkCapacity overrides one adjacency's capacity (both directions)
@@ -183,6 +193,10 @@ func Build(seed int64, opts ...Option) *World {
 	})
 	if cfg.policyRouting {
 		w.installPolicyRouting()
+	}
+	w.RouteBus = bgppol.NewBus()
+	if cfg.dynamicRouting {
+		w.installDynamicRouting()
 	}
 	w.buildOverrides()
 	w.Net = transport.NewNet(g, r, tcpmodel.Params{RwndBytes: 4 << 20})

@@ -39,6 +39,59 @@ func KeyFor(client, provider string, size float64) CacheKey {
 	return CacheKey{Client: client, Provider: provider, SizeBucket: SizeBucket(size)}
 }
 
+// RouteHealth is the cache's view of one candidate route.
+type RouteHealth int
+
+const (
+	// RouteHealthy: eligible for election and failover.
+	RouteHealthy RouteHealth = iota
+	// RouteConverging: a routing event touched the route's path and the
+	// control plane has not reconverged yet. Distinct from quarantine —
+	// the route did nothing wrong, the ground is moving under it. It is
+	// skipped for election but cleared the moment a matching announce
+	// arrives (or the hold expires).
+	RouteConverging
+	// RouteQuarantined: the route failed a transfer and is benched for
+	// the quarantine TTL.
+	RouteQuarantined
+)
+
+func (h RouteHealth) String() string {
+	switch h {
+	case RouteConverging:
+		return "converging"
+	case RouteQuarantined:
+		return "quarantined"
+	default:
+		return "healthy"
+	}
+}
+
+// PathHop is one node of a candidate route's forwarding path, kept so
+// routing events can be matched against cached decisions.
+type PathHop struct {
+	Node   string
+	Domain string
+}
+
+// RouteEvent is the scheduler-facing form of a routing-plane event (see
+// bgppol.Event): a withdraw or announce scoped either to a BGP session
+// (DomainA/DomainB) or to a link or node (FromNode, and optionally
+// ToNode).
+type RouteEvent struct {
+	Withdraw         bool
+	DomainA, DomainB string
+	FromNode, ToNode string
+	// At is the event's virtual timestamp. ApplyRouteEvent uses it as
+	// "now" so it never has to read the clock — events are published from
+	// inside simulation workloads, where calling back into the executor's
+	// clock would deadlock. Zero falls back to the cache clock.
+	At float64
+	// ConvergedBy is when the last domain will have adopted the change;
+	// converging holds last at least until then.
+	ConvergedBy float64
+}
+
 // entry is one cached decision plus the online state that refines it.
 type entry struct {
 	route      core.Route
@@ -50,6 +103,12 @@ type entry struct {
 	bandit *detourselect.Bandit
 	// quarantined benches failed detours until the given clock time.
 	quarantined map[core.Route]float64
+	// converging holds routes whose paths a withdraw touched, until the
+	// given clock time or a matching announce.
+	converging map[core.Route]float64
+	// paths are the forwarding paths the planner resolved per candidate,
+	// for event matching.
+	paths map[core.Route][]PathHop
 }
 
 // RouteCache caches route decisions with TTL expiry, failure-driven
@@ -65,6 +124,8 @@ type RouteCache struct {
 	hits        int64
 	misses      int64
 	invalidates int64
+	converges   int64 // routes marked converging by events
+	announces   int64 // routes cleared by announce events
 }
 
 // NewRouteCache builds a cache. ttl and quarantineTTL are in the
@@ -127,6 +188,14 @@ func (c *RouteCache) LookupStale(k CacheKey) (route core.Route, fresh, ok bool) 
 // are the routes the planner considered; they seed the bandit that
 // refines the decision from live traffic.
 func (c *RouteCache) Insert(k CacheKey, route core.Route, candidates []core.Route) {
+	c.InsertWithPaths(k, route, candidates, nil)
+}
+
+// InsertWithPaths is Insert plus the forwarding path of each candidate,
+// enabling push-based invalidation: ApplyRouteEvent matches events
+// against these hops instead of waiting for TTL expiry or a failed
+// transfer.
+func (c *RouteCache) InsertWithPaths(k CacheKey, route core.Route, candidates []core.Route, paths map[core.Route][]PathHop) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := &entry{
@@ -134,6 +203,8 @@ func (c *RouteCache) Insert(k CacheKey, route core.Route, candidates []core.Rout
 		expires:     c.now() + c.ttl,
 		candidates:  append([]core.Route(nil), candidates...),
 		quarantined: make(map[core.Route]float64),
+		converging:  make(map[core.Route]float64),
+		paths:       paths,
 	}
 	if len(e.candidates) > 0 {
 		e.bandit = detourselect.NewBanditRand(e.candidates, c.rng)
@@ -155,7 +226,7 @@ func (c *RouteCache) Observe(k CacheKey, route core.Route, sizeBytes, seconds fl
 	now := c.now()
 	best, bestT := e.route, -1.0
 	for _, r := range e.candidates {
-		if until, q := e.quarantined[r]; q && now < until {
+		if c.benched(e, r, now) {
 			continue
 		}
 		if t := e.bandit.Throughput(r); t > bestT {
@@ -165,6 +236,18 @@ func (c *RouteCache) Observe(k CacheKey, route core.Route, sizeBytes, seconds fl
 	if bestT > 0 {
 		e.route = best
 	}
+}
+
+// benched reports whether r is quarantined or converging at now.
+// Callers hold c.mu.
+func (c *RouteCache) benched(e *entry, r core.Route, now float64) bool {
+	if until, q := e.quarantined[r]; q && now < until {
+		return true
+	}
+	if until, cv := e.converging[r]; cv && now < until {
+		return true
+	}
+	return false
 }
 
 // Invalidate benches a failed route for the quarantine TTL. If it was
@@ -203,12 +286,129 @@ func (c *RouteCache) Candidates(k CacheKey) []core.Route {
 	now := c.now()
 	out := make([]core.Route, 0, len(e.candidates))
 	for _, r := range e.candidates {
-		if until, q := e.quarantined[r]; q && now < until {
+		if c.benched(e, r, now) {
 			continue
 		}
 		out = append(out, r)
 	}
 	return out
+}
+
+// Health reports the cache's view of one route under a key.
+func (c *RouteCache) Health(k CacheKey, r core.Route) RouteHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		return RouteHealthy
+	}
+	now := c.now()
+	if until, q := e.quarantined[r]; q && now < until {
+		return RouteQuarantined
+	}
+	if until, cv := e.converging[r]; cv && now < until {
+		return RouteConverging
+	}
+	return RouteHealthy
+}
+
+// pathTouched matches one candidate's forwarding path against an
+// event: a node/link event matches a hop (or consecutive hop pair, in
+// either direction), a session event matches a domain-boundary
+// crossing in either direction.
+func pathTouched(hops []PathHop, ev RouteEvent) bool {
+	if ev.FromNode != "" {
+		for i, h := range hops {
+			if h.Node != ev.FromNode && (ev.ToNode == "" || h.Node != ev.ToNode) {
+				continue
+			}
+			if ev.ToNode == "" {
+				return true
+			}
+			var prev, next string
+			if i > 0 {
+				prev = hops[i-1].Node
+			}
+			if i+1 < len(hops) {
+				next = hops[i+1].Node
+			}
+			other := ev.ToNode
+			if h.Node == ev.ToNode {
+				other = ev.FromNode
+			}
+			if prev == other || next == other {
+				return true
+			}
+		}
+		return false
+	}
+	if ev.DomainA != "" {
+		for i := 0; i+1 < len(hops); i++ {
+			a, b := hops[i].Domain, hops[i+1].Domain
+			if (a == ev.DomainA && b == ev.DomainB) || (a == ev.DomainB && b == ev.DomainA) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ApplyRouteEvent is push-based invalidation: every cached candidate
+// whose stored forwarding path the event touches is marked converging
+// (withdraw) or restored to health (announce — converging and
+// quarantine both clear, the fix for restored links rotting in
+// quarantine until TTL). A withdraw that hits the elected route
+// re-elects the best healthy candidate immediately, falling back to
+// direct.
+func (c *RouteCache) ApplyRouteEvent(ev RouteEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := ev.At
+	if now == 0 {
+		now = c.now()
+	}
+	hold := now + c.quarantine
+	if ev.ConvergedBy > hold {
+		hold = ev.ConvergedBy
+	}
+	for _, e := range c.entries {
+		for r, hops := range e.paths {
+			if !pathTouched(hops, ev) {
+				continue
+			}
+			if ev.Withdraw {
+				e.converging[r] = hold
+				c.converges++
+				if e.route == r {
+					c.invalidates++
+					e.route = c.electLocked(e, now)
+				}
+			} else {
+				delete(e.converging, r)
+				delete(e.quarantined, r)
+				c.announces++
+			}
+		}
+	}
+}
+
+// electLocked picks the best unbenched candidate by observed
+// throughput, defaulting to direct. Callers hold c.mu.
+func (c *RouteCache) electLocked(e *entry, now float64) core.Route {
+	best, bestT := core.DirectRoute, -1.0
+	for _, r := range e.candidates {
+		if c.benched(e, r, now) {
+			continue
+		}
+		t := 0.0
+		if e.bandit != nil {
+			t = e.bandit.Throughput(r)
+		}
+		if t > bestT {
+			best, bestT = r, t
+		}
+	}
+	return best
 }
 
 // Len reports live (possibly expired-but-unswept) entries.
@@ -223,6 +423,14 @@ func (c *RouteCache) Counters() (hits, misses, invalidations int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.invalidates
+}
+
+// EventCounters returns lifetime push-invalidation effects: routes
+// marked converging by withdraws and routes restored by announces.
+func (c *RouteCache) EventCounters() (converges, announces int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.converges, c.announces
 }
 
 // HitRate is hits/(hits+misses), 0 before any lookup.

@@ -83,6 +83,13 @@ type Result struct {
 	// first.
 	Hedged   bool
 	HedgeWon bool
+	// Reroutes counts mid-transfer route switches a ReroutingExecutor
+	// performed make-before-break (checkpoint reattached on the new path
+	// before the old flows died). Parked is how many scheduler-clock
+	// seconds the job sat with no usable route at all, waiting for a
+	// re-announce. Zero for plain executors.
+	Reroutes int
+	Parked   float64
 	// Err is nil on success.
 	Err error
 }
@@ -123,6 +130,23 @@ type HedgedExecutor interface {
 	ExecuteHedged(job Job, primary core.Route, budget float64, ck *core.Checkpoint) (seconds float64, winner core.Route, hedgeLaunched, hedgeWon bool, err error)
 }
 
+// ReroutingExecutor is a ResumableExecutor that survives routing churn
+// from inside an attempt: when the path under a transfer is withdrawn,
+// it establishes the best surviving route (core.RerouteOrder),
+// reattaches the job's checkpoint there, and only then abandons the old
+// flows — make-before-break. When no route exists at all it parks the
+// transfer (up to parkBudget scheduler-clock seconds total) and resumes
+// on re-announce; exhausting the budget fails with an error wrapping
+// core.ErrNoRoute.
+//
+// It returns the transfer's elapsed seconds, the route it finally
+// completed (or gave up) on, how many reroutes happened, and the total
+// parked seconds.
+type ReroutingExecutor interface {
+	ResumableExecutor
+	ExecuteRerouting(job Job, route core.Route, ck *core.Checkpoint, parkBudget float64) (seconds float64, final core.Route, reroutes int, parked float64, err error)
+}
+
 // Planner makes the expensive route decision for a cache miss —
 // typically by probing every candidate path (detourselect.Selector).
 // It returns the chosen route plus the full candidate set the cache's
@@ -135,7 +159,19 @@ type Planner interface {
 type PlannerFunc func(string, string, float64) (core.Route, []core.Route, error)
 
 // Plan implements Planner.
-func (f PlannerFunc) Plan(c, p string, s float64) (core.Route, []core.Route, error) { return f(c, p, s) }
+func (f PlannerFunc) Plan(c, p string, s float64) (core.Route, []core.Route, error) {
+	return f(c, p, s)
+}
+
+// PathAwarePlanner is a Planner that can also report the node/domain
+// hops each candidate route traverses. A scheduler whose planner
+// implements it stores those paths alongside cache entries, which is
+// what lets ApplyRouteEvent target invalidations at exactly the routes
+// crossing a withdrawn session instead of flushing everything.
+type PathAwarePlanner interface {
+	Planner
+	RoutePaths(client, provider string, routes []core.Route) map[core.Route][]PathHop
+}
 
 // Sentinel errors surfaced through Submit and Result.Err.
 var (
@@ -197,6 +233,15 @@ type Config struct {
 	// Executor supports it: every attempt restarts from byte zero. For
 	// ablations and negative tests.
 	DisableRecovery bool
+
+	// Reroute enables make-before-break rerouting when the Executor
+	// implements ReroutingExecutor: an attempt whose path is withdrawn
+	// mid-transfer re-establishes on a surviving route inside the attempt
+	// instead of failing back to the retry loop, and parks (holding its
+	// checkpoint) when no route exists at all. ParkBudget caps the total
+	// parked seconds per attempt (default 90).
+	Reroute    bool
+	ParkBudget float64
 
 	// --- Overload control (all off by default) ---
 
@@ -315,6 +360,9 @@ func (c Config) withDefaults() Config {
 	if c.BrownoutSmallBucket == 0 {
 		c.BrownoutSmallBucket = 1
 	}
+	if c.ParkBudget <= 0 {
+		c.ParkBudget = 90
+	}
 	c.Backoff = c.Backoff.withDefaults()
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(1))
@@ -365,6 +413,9 @@ type Scheduler struct {
 	hedges, hedgeWins      int64
 	brownDirect, staleHits int64
 	integrityRetries       int64
+	reroutes, parks        int64
+	parkSeconds            float64
+	routeEvents            int64
 	bytesResumed           float64
 	bytesRewritten         float64
 	cacheHits, cacheMiss   int64
@@ -411,6 +462,20 @@ func New(cfg Config) *Scheduler {
 // Cache exposes the scheduler's route cache (read-mostly; for
 // inspection and tests).
 func (s *Scheduler) Cache() *RouteCache { return s.cache }
+
+// RouteEvent feeds one routing-plane event (withdraw or announce) into
+// the control plane. It is the push half of route invalidation: wire it
+// to a bgppol.Bus subscription and cached decisions whose stored paths
+// cross the withdrawn session flip to Converging immediately — the next
+// lookup re-elects — instead of serving a blackholed route until TTL.
+// An announce clears both Converging and Quarantined holds, so a
+// restored link returns to service at once. Safe for concurrent use.
+func (s *Scheduler) RouteEvent(ev RouteEvent) {
+	s.mu.Lock()
+	s.routeEvents++
+	s.mu.Unlock()
+	s.cache.ApplyRouteEvent(ev)
+}
 
 // Start launches the worker pool. It may be called once.
 func (s *Scheduler) Start() {
@@ -644,6 +709,7 @@ func (s *Scheduler) runJob(j Job) Result {
 	var lastErr error
 	attempts, detourFails := 0, 0
 	jobHedged, jobHedgeWon := false, false
+	jobReroutes, jobParked := 0, 0.0
 	for {
 		attempts++
 		var sec float64
@@ -654,7 +720,7 @@ func (s *Scheduler) runJob(j Job) Result {
 			err = ProviderDown(fmt.Errorf("breaker open for provider %s", j.Provider))
 		} else {
 			if cerr := s.caps.acquire(j.Provider, route.Via); cerr != nil {
-				res := Result{Job: j, Route: route, Attempts: attempts - 1, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Err: cerr}
+				res := Result{Job: j, Route: route, Attempts: attempts - 1, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked, Err: cerr}
 				s.noteRecovery(ck, &res)
 				return res
 			}
@@ -683,7 +749,27 @@ func (s *Scheduler) runJob(j Job) Result {
 				}
 			}
 			if !ran {
-				if ck != nil {
+				if rrx, canReroute := s.cfg.Executor.(ReroutingExecutor); canReroute && s.cfg.Reroute && ck != nil {
+					// Churn-hardened attempt: the executor survives
+					// withdraws internally (make-before-break) and may
+					// finish on a different route than it started.
+					var final core.Route
+					var nr int
+					var parked float64
+					sec, final, nr, parked, err = rrx.ExecuteRerouting(j, route, ck, s.cfg.ParkBudget)
+					jobReroutes += nr
+					jobParked += parked
+					if nr > 0 || parked > 0 {
+						s.mu.Lock()
+						s.reroutes += int64(nr)
+						if parked > 0 {
+							s.parks++
+							s.parkSeconds += parked
+						}
+						s.mu.Unlock()
+					}
+					route = final
+				} else if ck != nil {
 					sec, err = rex.ExecuteResumable(j, route, ck)
 				} else {
 					sec, err = s.cfg.Executor.Execute(j, route)
@@ -699,7 +785,7 @@ func (s *Scheduler) runJob(j Job) Result {
 				// optional work, the decision we have is good enough.
 				s.cache.Observe(key, route, j.Size, sec)
 			}
-			res := Result{Job: j, Route: route, Seconds: sec, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon}
+			res := Result{Job: j, Route: route, Seconds: sec, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked}
 			s.noteRecovery(ck, &res)
 			return res
 		}
@@ -745,7 +831,7 @@ func (s *Scheduler) runJob(j Job) Result {
 			}
 		}
 		if attempts >= s.cfg.MaxAttempts {
-			res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Err: lastErr}
+			res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked, Err: lastErr}
 			s.noteRecovery(ck, &res)
 			return res
 		}
@@ -920,7 +1006,14 @@ func (s *Scheduler) routeFor(key CacheKey, j Job) (core.Route, bool) {
 		// still caches so the fleet doesn't hammer a broken prober.
 		route, cands = core.DirectRoute, nil
 	}
-	s.cache.Insert(key, route, cands)
+	if pp, ok := s.cfg.Planner.(PathAwarePlanner); ok {
+		// Store the hops each candidate traverses so routing events can
+		// invalidate exactly the affected entries.
+		all := append([]core.Route{route}, cands...)
+		s.cache.InsertWithPaths(key, route, cands, pp.RoutePaths(j.Client, j.Provider, all))
+	} else {
+		s.cache.Insert(key, route, cands)
+	}
 	call.route = route
 	close(call.done)
 
@@ -975,18 +1068,28 @@ type Stats struct {
 	// transitions; BrownoutDirect counts small jobs sent direct without
 	// planning; StaleServes counts expired cache entries served in lieu
 	// of a re-probe.
-	BrownoutActive                 bool
-	BrownoutEnters, BrownoutExits  int64
-	BrownoutDirect, StaleServes    int64
+	BrownoutActive                bool
+	BrownoutEnters, BrownoutExits int64
+	BrownoutDirect, StaleServes   int64
 	// IntegrityRetries counts attempts failed by a provider-side digest
 	// mismatch (corrupted/stale resume detected and retried).
 	IntegrityRetries int64
+	// Reroutes counts make-before-break route switches performed inside
+	// attempts; Parks counts attempts that sat with no usable route, and
+	// ParkSeconds their total wait. RouteEvents counts routing-plane
+	// events pushed through RouteEvent; RouteConverges and RouteAnnounces
+	// are the cache's per-route reactions (entries benched as Converging,
+	// holds cleared by an announce).
+	Reroutes, Parks                int64
+	ParkSeconds                    float64
+	RouteEvents                    int64
+	RouteConverges, RouteAnnounces int64
 	// QueueDelayEWMA is the CoDel-smoothed time-in-queue;
 	// QueueDelayP99 is the 99th percentile over a trailing window of
 	// admitted jobs.
-	QueueDelayEWMA float64
-	QueueDelayP99  float64
-	Retries, Fallbacks     int64
+	QueueDelayEWMA     float64
+	QueueDelayP99      float64
+	Retries, Fallbacks int64
 	// Failovers counts mid-job route switches driven by route-down
 	// classification; BreakerSkips counts jobs diverted before their
 	// first attempt because the chosen route's breaker was open.
@@ -1039,8 +1142,10 @@ func (s *Scheduler) Stats() Stats {
 		Hedges: s.hedges, HedgeWins: s.hedgeWins,
 		BrownoutDirect: s.brownDirect, StaleServes: s.staleHits,
 		IntegrityRetries: s.integrityRetries,
-		QueueDelayP99:    s.delays.percentile(0.99),
-		Retries:          s.retries, Fallbacks: s.fallbacks,
+		Reroutes:         s.reroutes, Parks: s.parks,
+		ParkSeconds: s.parkSeconds, RouteEvents: s.routeEvents,
+		QueueDelayP99: s.delays.percentile(0.99),
+		Retries:       s.retries, Fallbacks: s.fallbacks,
 		Failovers: s.failovers, BreakerSkips: s.breakerSkip,
 		BytesResumed: s.bytesResumed, BytesRewritten: s.bytesRewritten,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMiss,
@@ -1060,6 +1165,7 @@ func (s *Scheduler) Stats() Stats {
 	}
 	st.Breakers, st.BreakerTransitions = s.breakers.snapshot()
 	_, _, st.CacheInvalidations = s.cache.Counters()
+	st.RouteConverges, st.RouteAnnounces = s.cache.EventCounters()
 	st.ProviderInUse, st.ProviderPeak, st.DTNInUse, st.DTNPeak = s.caps.snapshot()
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"detournet/internal/bgppol"
 	"detournet/internal/core"
 	"detournet/internal/detourselect"
 	"detournet/internal/httpsim"
@@ -31,8 +32,8 @@ type SimExecutor struct {
 	mu      sync.Mutex
 	w       *scenario.World
 	sel     *detourselect.Selector
-	directs map[[2]string]sdk.Client          // (client, provider)
-	detours map[[2]string]*core.DetourClient  // (client, dtn)
+	directs map[[2]string]sdk.Client         // (client, provider)
+	detours map[[2]string]*core.DetourClient // (client, dtn)
 	// Transfers counts completed Execute calls, for reporting.
 	Transfers int64
 }
@@ -232,6 +233,221 @@ func (e *SimExecutor) ExecuteHedged(job Job, primary core.Route, budget float64,
 	return win.at, win.route, launched, won, nil
 }
 
+// stickyWait is how long a rerouting transfer holding a chunk or more
+// of hop-1 progress waits for its checkpoint's own DTN to come back
+// before settling for another route. Any other DTN forfeits the staged
+// bytes (they are disk-local), so a bounded wait is usually cheaper
+// than re-sending them.
+const stickyWait = 60
+
+// maxReroutes bounds route switches within one ExecuteRerouting call so
+// pathological churn cannot trap an attempt forever.
+const maxReroutes = 6
+
+// ExecuteRerouting implements ReroutingExecutor. The whole survive-the-
+// churn loop runs as ONE simulation workload, so parking, rerouting and
+// resuming spend virtual time against the same fault schedule that is
+// churning the routes: a withdraw's convergence window actually passes
+// while the transfer parks, and the re-announce it is waiting for fires
+// mid-workload.
+//
+// The loop is make-before-break: a failing transfer keeps its
+// checkpoint, picks (and if necessary waits for) a surviving route in
+// core.RerouteOrder preference, reattaches the checkpoint there — the
+// provider session token is path-portable, the DTN partial is reused
+// when hop 1 survives — and only then abandons the dead path. When no
+// route exists at all it parks in short virtual slices, up to
+// parkBudget seconds total, and fails with core.ErrNoRoute only when
+// the budget runs dry.
+func (e *SimExecutor) ExecuteRerouting(job Job, route core.Route, ck *core.Checkpoint, parkBudget float64) (float64, core.Route, int, float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := route
+	var (
+		sec      float64
+		parked   float64
+		reroutes int
+		finalErr error
+	)
+	e.w.RunWorkload("sched-reroute:"+job.Name, func(p *simproc.Proc) {
+		start := float64(p.Now())
+		sameRoute := 0
+		reroute := func(exclude bool) bool {
+			next, waited, ok := e.awaitRoute(p, job, ck, cur, parkBudget-parked, exclude)
+			parked += waited
+			if !ok {
+				finalErr = fmt.Errorf("parked %.0fs with no usable route: %w", parked, core.ErrNoRoute)
+				return false
+			}
+			if next != cur {
+				reroutes++
+				sameRoute = 0
+				cur = next
+			}
+			return true
+		}
+		for {
+			if !e.routeUsable(job.Client, job.Provider, cur, e.hasProgress(ck, cur)) && !reroute(false) {
+				return
+			}
+			var err error
+			switch cur.Kind {
+			case core.Direct:
+				_, err = core.DirectUploadResumable(p, e.direct(job.Client, job.Provider), job.Name, job.Size, job.MD5, ck)
+			default:
+				_, err = e.detourFor(job.Client, cur.Via).UploadResumable(p, job.Provider, job.Name, job.Size, job.MD5, ck)
+			}
+			if err == nil {
+				sec = float64(p.Now()) - start
+				return
+			}
+			if !isPathError(err) || reroutes >= maxReroutes {
+				// Not the path's fault (or churn beyond reason): hand the
+				// error back to the scheduler's retry taxonomy.
+				finalErr = err
+				return
+			}
+			if e.routeUsable(job.Client, job.Provider, cur, true) && sameRoute < 2 {
+				// The topology says the route is back (or never died): a
+				// couple of same-route retries preserve every staged byte.
+				sameRoute++
+				p.Sleep(simclock.Duration(1))
+				continue
+			}
+			if !reroute(true) {
+				return
+			}
+		}
+	})
+	if finalErr != nil {
+		return 0, cur, reroutes, parked, classifyExecErr(fmt.Errorf("sched: execute %s via %s: %w", job.Name, cur, finalErr))
+	}
+	e.Transfers++
+	return sec, cur, reroutes, parked, nil
+}
+
+// awaitRoute parks until some route can carry the job, scanning
+// core.RerouteOrder preference once per 2-virtual-second slice.
+// exclude skips the current route (it keeps failing despite looking
+// usable). Inside stickyWait of a checkpoint holding at least one chunk
+// on its hop-1 DTN, only that DTN or the current route are taken
+// immediately; the best other route is remembered and settled for when
+// the window — or the budget — expires. Returns the chosen route, the
+// seconds parked, and ok=false when the budget ran dry routeless.
+// Callers hold e.mu and run inside a workload.
+func (e *SimExecutor) awaitRoute(p *simproc.Proc, job Job, ck *core.Checkpoint, cur core.Route, budget float64, exclude bool) (core.Route, float64, bool) {
+	cands := make([]core.Route, 0, len(scenario.DTNs))
+	for _, dtn := range scenario.DTNs {
+		cands = append(cands, core.ViaRoute(dtn))
+	}
+	order := core.RerouteOrder(ck, cur, cands)
+	stickyUntil := -1.0
+	var sticky core.Route
+	if ck != nil && ck.Hop1Via != "" && ck.Hop1High >= core.DefaultResumeChunk {
+		sticky = core.ViaRoute(ck.Hop1Via)
+		stickyUntil = float64(p.Now()) + stickyWait
+	}
+	waited := 0.0
+	for {
+		now := float64(p.Now())
+		var fallback core.Route
+		haveFallback := false
+		for _, r := range order {
+			if exclude && r == cur {
+				continue
+			}
+			if !e.routeUsable(job.Client, job.Provider, r, r == cur || e.hasProgress(ck, r)) {
+				continue
+			}
+			if now < stickyUntil && r != sticky && r != cur {
+				if !haveFallback {
+					fallback, haveFallback = r, true
+				}
+				continue
+			}
+			return r, waited, true
+		}
+		if waited >= budget {
+			if haveFallback {
+				return fallback, waited, true
+			}
+			return core.Route{}, waited, false
+		}
+		slice := budget - waited
+		if slice > 2 {
+			slice = 2
+		}
+		p.Sleep(simclock.Duration(slice))
+		waited += slice
+	}
+}
+
+// routeUsable reports whether a route can carry the job right now:
+// the topology resolves a path end to end (under dynamic routing that
+// means the latest RIBs route it — a converging blackhole fails here)
+// and, for detours, the DTN agent is up and accepting. existing marks
+// work the DTN already holds state for: a draining DTN refuses new
+// transfers but finishes existing ones. Callers hold e.mu.
+func (e *SimExecutor) routeUsable(client, provider string, r core.Route, existing bool) bool {
+	host, ok := scenario.Providers[provider]
+	if !ok {
+		host = provider
+	}
+	switch r.Kind {
+	case core.Direct:
+		_, err := e.w.Graph.Path(client, host)
+		return err == nil
+	case core.Detour:
+		ag, ok := e.w.Agents[r.Via]
+		if !ok {
+			return false
+		}
+		if ag.Draining() && !existing {
+			return false
+		}
+		if _, err := e.w.Graph.Path(client, r.Via); err != nil {
+			return false
+		}
+		_, err := e.w.Graph.Path(r.Via, host)
+		return err == nil
+	}
+	return false
+}
+
+// hasProgress reports whether the checkpoint holds staged hop-1 bytes
+// on route r — which entitles r to "existing work" treatment at a
+// draining DTN and to the sticky preference in awaitRoute.
+func (e *SimExecutor) hasProgress(ck *core.Checkpoint, r core.Route) bool {
+	return ck != nil && r.Kind == core.Detour && r.Via == ck.Hop1Via && ck.Hop1High > 0
+}
+
+// isPathError reports an error that indicts the path rather than the
+// transfer: the reroute loop owns these; everything else (integrity
+// mismatch, provider 5xx, auth) goes straight back to the scheduler's
+// retry taxonomy. Agent-side errors arrive flattened to strings by the
+// wire protocol, hence the substring fallbacks.
+func isPathError(err error) bool {
+	switch {
+	case errors.Is(err, transport.ErrReset),
+		errors.Is(err, transport.ErrRefused),
+		errors.Is(err, bgppol.ErrBlackhole),
+		errors.Is(err, bgppol.ErrLoop),
+		errors.Is(err, bgppol.ErrNoRoute):
+		return true
+	}
+	msg := err.Error()
+	for _, s := range []string{
+		"no route", "blackhole", "ttl expired", "no border router",
+		"connection reset", "connection closed", "connection refused",
+		"draining",
+	} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}
+
 // SleepVirtual advances the simulation clock by sec without sending
 // traffic. Wired as Config.Sleep, it makes scheduler backoff spend
 // virtual time, so retry delays interact with fault windows the way
@@ -266,6 +482,15 @@ func classifyExecErr(err error) error {
 		// A poisoned resume: the session is already discarded, so a
 		// retry with a fresh session is the cure — the route is fine.
 		return Transient(err)
+	case errors.Is(err, core.ErrNoRoute):
+		// Park-budget exhaustion: the routing plane may re-announce any
+		// moment, so retry (and park again) rather than failing over a
+		// route that doesn't exist.
+		return Transient(err)
+	case errors.Is(err, bgppol.ErrBlackhole),
+		errors.Is(err, bgppol.ErrLoop),
+		errors.Is(err, bgppol.ErrNoRoute):
+		return RouteDown(err)
 	case errors.As(err, &se):
 		switch {
 		case se.Status == httpsim.StatusServiceUnavailable:
@@ -277,7 +502,11 @@ func classifyExecErr(err error) error {
 	}
 	msg := err.Error()
 	switch {
-	case strings.Contains(msg, "no route"):
+	case strings.Contains(msg, "no route"),
+		strings.Contains(msg, "blackhole"),
+		strings.Contains(msg, "ttl expired"),
+		strings.Contains(msg, "no border router"),
+		strings.Contains(msg, "draining"):
 		return RouteDown(err)
 	case strings.Contains(msg, "status 503"):
 		return ProviderDown(err)
@@ -311,6 +540,53 @@ func (e *SimExecutor) Plan(client, provider string, size float64) (core.Route, [
 		cands = append(cands, pr.Route)
 	}
 	return chosen, cands, nil
+}
+
+// RoutePaths implements PathAwarePlanner: the node/domain hops each
+// route traverses right now, so the route cache can match entries
+// against routing events by the sessions they actually cross. A route
+// the topology cannot resolve is simply omitted (the cache then falls
+// back to whole-key invalidation for it).
+func (e *SimExecutor) RoutePaths(client, provider string, routes []core.Route) map[core.Route][]PathHop {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	host, ok := scenario.Providers[provider]
+	if !ok {
+		host = provider
+	}
+	out := make(map[core.Route][]PathHop, len(routes))
+	for _, r := range routes {
+		switch r.Kind {
+		case core.Direct:
+			if hops, ok := e.pathHops(client, host); ok {
+				out[r] = hops
+			}
+		case core.Detour:
+			h1, ok1 := e.pathHops(client, r.Via)
+			h2, ok2 := e.pathHops(r.Via, host)
+			if ok1 && ok2 {
+				if len(h2) > 0 {
+					h2 = h2[1:] // the DTN joins the hops once
+				}
+				out[r] = append(h1, h2...)
+			}
+		}
+	}
+	return out
+}
+
+// pathHops resolves src->dst on the live topology into (node, domain)
+// hops. Callers hold e.mu.
+func (e *SimExecutor) pathHops(src, dst string) ([]PathHop, bool) {
+	nodes, err := e.w.Graph.Path(src, dst)
+	if err != nil {
+		return nil, false
+	}
+	hops := make([]PathHop, len(nodes))
+	for i, n := range nodes {
+		hops[i] = PathHop{Node: n.Name, Domain: n.Domain}
+	}
+	return hops, true
 }
 
 // VirtualNow returns the simulation clock, i.e. the total virtual

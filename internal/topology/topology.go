@@ -79,13 +79,16 @@ type Graph struct {
 	order []string           // node names in insertion order, for determinism
 	out   map[string][]*Edge // adjacency, sorted by target name
 
-	overrides map[pair][]string // explicit routed node paths
+	overrides    map[pair][]string // explicit routed node paths
+	overridesOff map[pair]bool     // administratively suspended pins
+	overrideVeto func(hops []*Node) bool
 
 	router PathFinder
 
 	// OnFlowKilled, when set, observes every in-flight fluid flow torn
-	// down by SetLinkState taking an edge down. It runs inside the
-	// simulation, after the flow's own OnAbort callback.
+	// down by SetLinkState taking an edge down, KillEdgeFlows, or
+	// KillDomainBoundaryFlows. It runs inside the simulation, after the
+	// flow's own OnAbort callback.
 	OnFlowKilled func(from, to string, f *fluid.Flow)
 }
 
@@ -296,6 +299,81 @@ func (g *Graph) MustSetOverride(hops ...string) {
 	}
 }
 
+// Override returns the pinned hop sequence for src->dst, if one exists
+// (enabled or not).
+func (g *Graph) Override(src, dst string) ([]string, bool) {
+	hops, ok := g.overrides[pair{src, dst}]
+	if !ok {
+		return nil, false
+	}
+	return append([]string(nil), hops...), true
+}
+
+// SetOverrideEnabled suspends or restores one pinned route without
+// forgetting it — the churn model's "the hand-off flipped away and
+// back". While disabled the pair routes through the installed Router.
+// It reports whether the override exists.
+func (g *Graph) SetOverrideEnabled(src, dst string, enabled bool) bool {
+	if _, ok := g.overrides[pair{src, dst}]; !ok {
+		return false
+	}
+	if g.overridesOff == nil {
+		g.overridesOff = make(map[pair]bool)
+	}
+	if enabled {
+		delete(g.overridesOff, pair{src, dst})
+	} else {
+		g.overridesOff[pair{src, dst}] = true
+	}
+	return true
+}
+
+// SetOverrideVeto installs a hook consulted before any pinned route is
+// used; returning true makes the pair fall through to the Router. The
+// routing plane uses it to break pins whose domain crossings ride a
+// withdrawn BGP session.
+func (g *Graph) SetOverrideVeto(veto func(hops []*Node) bool) {
+	g.overrideVeto = veto
+}
+
+// KillEdgeFlows kills every in-flight fluid flow on the from->to edge
+// (without taking the link down), running abort callbacks and the
+// OnFlowKilled hook. It returns the number of flows killed.
+func (g *Graph) KillEdgeFlows(from, to string) int {
+	e, ok := g.Edge(from, to)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, f := range e.Link.Flows() {
+		if g.fl.KillFlow(f) {
+			if g.OnFlowKilled != nil {
+				g.OnFlowKilled(from, to, f)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// KillDomainBoundaryFlows kills every in-flight flow crossing the
+// a~b domain boundary in either direction — the data-plane half of a
+// BGP session withdrawal, where the forwarding adjacency disappears
+// under whatever traffic was riding it. It returns the number of flows
+// killed.
+func (g *Graph) KillDomainBoundaryFlows(a, b string) int {
+	n := 0
+	for _, name := range g.order {
+		for _, e := range g.out[name] {
+			ad, bd := e.From.Domain, e.To.Domain
+			if (ad == a && bd == b) || (ad == b && bd == a) {
+				n += g.KillEdgeFlows(e.From.Name, e.To.Name)
+			}
+		}
+	}
+	return n
+}
+
 // Path returns the routed node sequence from src to dst, honouring
 // overrides first and the installed Router otherwise.
 func (g *Graph) Path(src, dst string) ([]*Node, error) {
@@ -310,7 +388,7 @@ func (g *Graph) Path(src, dst string) ([]*Node, error) {
 	if src == dst {
 		return []*Node{s}, nil
 	}
-	if hops, ok := g.overrides[pair{src, dst}]; ok && g.overrideUsable(hops) {
+	if hops, ok := g.overrides[pair{src, dst}]; ok && !g.overridesOff[pair{src, dst}] && g.overrideUsable(hops) {
 		out := make([]*Node, len(hops))
 		for i, h := range hops {
 			out[i] = g.nodes[h]
@@ -320,12 +398,22 @@ func (g *Graph) Path(src, dst string) ([]*Node, error) {
 	return g.router.Path(g, s, d)
 }
 
-// overrideUsable reports whether every edge of a pinned path is up; a
-// down edge makes the override fall through to the installed Router so
-// failover can route around the failure.
+// overrideUsable reports whether every edge of a pinned path is up and
+// the veto hook (if any) allows it; otherwise the override falls
+// through to the installed Router so failover can route around the
+// failure.
 func (g *Graph) overrideUsable(hops []string) bool {
 	for i := 0; i+1 < len(hops); i++ {
 		if e, ok := g.Edge(hops[i], hops[i+1]); !ok || e.down {
+			return false
+		}
+	}
+	if g.overrideVeto != nil {
+		nodes := make([]*Node, len(hops))
+		for i, h := range hops {
+			nodes[i] = g.nodes[h]
+		}
+		if g.overrideVeto(nodes) {
 			return false
 		}
 	}
