@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet chaos overload stress churn
+.PHONY: build test vet race bench check fleet chaos overload stress churn multipath
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,12 @@ churn:
 	$(GO) test -race ./internal/bgppol/ ./internal/sched/ ./internal/core/
 	$(GO) run ./examples/churn
 
+# Multipath: the striping tests race-clean (chunk ledger, hedging,
+# drains, churn digest property), then the striped-vs-single replay.
+multipath:
+	$(GO) test -race ./internal/multipath/ ./internal/stats/ ./internal/sched/
+	$(GO) run ./examples/multipath
+
 # Stress: the scheduler suite repeated under the race detector to
 # shake out ordering-dependent bugs in the queue and overload layer.
 stress:
@@ -46,8 +52,9 @@ stress:
 
 # The gate PRs must pass: everything compiles, vets clean, the full
 # test suite (including the really-concurrent scheduler) is race-clean,
-# the delta-encoding fuzzer holds up for a short smoke run, and the
-# chaos and overload replays complete.
+# the delta-encoding fuzzer holds up for a short smoke run, the chaos
+# and overload replays complete, and the churn and multipath replays
+# are byte-identical across two runs of the same seed.
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(GO) test -fuzz=FuzzDelta -fuzztime=10s ./internal/rsyncx
@@ -57,3 +64,7 @@ check:
 	$(GO) run ./examples/churn >.churn.b.tmp
 	cmp .churn.a.tmp .churn.b.tmp
 	rm -f .churn.a.tmp .churn.b.tmp
+	$(GO) run ./examples/multipath >.mp.a.tmp
+	$(GO) run ./examples/multipath >.mp.b.tmp
+	cmp .mp.a.tmp .mp.b.tmp
+	rm -f .mp.a.tmp .mp.b.tmp

@@ -6,7 +6,7 @@
 //
 //	detourctl [-from ubc-pl] [-provider GoogleDrive|Dropbox|OneDrive]
 //	          [-size 100] [-via auto|direct|ualberta|umich-pl]
-//	          [-pipelined] [-seed N] [-drain dtn]
+//	          [-pipelined] [-seed N] [-drain dtn] [-multipath]
 //
 // With -drain, the named DTN's agent is put into drain before the
 // transfer plans: it refuses new relay work (an upload routed at it
@@ -14,6 +14,15 @@
 // it) while transfers already holding a session there run to
 // completion — the operator workflow for taking a DTN out of service
 // during routing churn without stranding in-flight work.
+//
+// With -multipath, the upload is striped across all usable lanes at
+// once — the direct route plus every in-service DTN detour — instead of
+// picking one. The tool prints the per-path progress timeline (every
+// chunk dispatch, completion, failure, and drain, tagged with its path
+// and chunk IDs) followed by the per-path report: which chunks each
+// lane carried, its committed bytes and rate, and the transfer's
+// fairness index. -via is ignored in this mode; -drain still excludes
+// the named DTN's lane.
 package main
 
 import (
@@ -24,7 +33,9 @@ import (
 	"detournet/internal/core"
 	"detournet/internal/detourselect"
 	"detournet/internal/fileutil"
+	"detournet/internal/multipath"
 	"detournet/internal/scenario"
+	"detournet/internal/sdk"
 	"detournet/internal/simproc"
 )
 
@@ -38,6 +49,7 @@ func main() {
 		seed      = flag.Int64("seed", 2015, "world seed")
 		traceOut  = flag.String("trace", "", "write the transfer trace as JSON lines to this file")
 		drain     = flag.String("drain", "", "put this DTN's agent into drain before planning")
+		mpath     = flag.Bool("multipath", false, "stripe the upload across direct + all in-service detours and show per-path progress")
 	)
 	flag.Parse()
 
@@ -58,6 +70,11 @@ func main() {
 	file := fileutil.New("detourctl.bin", float64(*sizeMB)*fileutil.MB, *seed)
 
 	exit := 0
+	if *mpath {
+		exit = runMultipath(w, *from, *provider, *drain, file)
+		writeTrace(w, *traceOut, exit)
+		os.Exit(exit)
+	}
 	w.RunWorkload("detourctl", func(p *simproc.Proc) {
 		direct := w.NewSDKClient(*from, *provider)
 		defer direct.Close()
@@ -119,18 +136,96 @@ func main() {
 		fmt.Printf("  total:               %8.2f s  (%.2f MB/s)\n",
 			rep.Total, file.Size/rep.Total/1e6)
 	})
-	if *traceOut != "" && exit == 0 {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "detourctl: trace: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := w.Trace.WriteJSONL(f); err != nil {
-			fmt.Fprintf(os.Stderr, "detourctl: trace: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace written to %s (%d events)\n", *traceOut, w.Trace.Len())
-	}
+	writeTrace(w, *traceOut, exit)
 	os.Exit(exit)
+}
+
+func writeTrace(w *scenario.World, path string, exit int) {
+	if path == "" || exit != 0 {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detourctl: trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := w.Trace.WriteJSONL(f); err != nil {
+		fmt.Fprintf(os.Stderr, "detourctl: trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace written to %s (%d events)\n", path, w.Trace.Len())
+}
+
+// runMultipath stripes one upload across the direct route plus every
+// in-service DTN detour, then prints the per-path progress timeline
+// (from the trace's mp.* span events) and the per-path report.
+func runMultipath(w *scenario.World, from, provider, drain string, file fileutil.TestFile) int {
+	exit := 0
+	w.RunWorkload("detourctl-multipath", func(p *simproc.Proc) {
+		direct := w.NewSDKClient(from, provider)
+		defer direct.Close()
+		comp, ok := direct.(sdk.Composer)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "detourctl: provider %s cannot compose parts\n", provider)
+			exit = 1
+			return
+		}
+
+		paths := []multipath.Path{{
+			ID: 0, Route: core.DirectRoute,
+			Upload: multipath.UploaderFunc(func(p *simproc.Proc, part string, size float64, ck *core.Checkpoint) error {
+				// The whole-file digest is checked at compose; the empty
+				// per-chunk digest skips the per-object verify.
+				_, err := core.DirectUploadResumable(p, direct, part, size, "", ck)
+				return err
+			}),
+		}}
+		for _, dtn := range scenario.DTNs {
+			if dtn == drain {
+				continue // a draining DTN refuses new relay work
+			}
+			dc := w.NewDetourClient(from, dtn)
+			paths = append(paths, multipath.Path{
+				ID: len(paths), Route: core.ViaRoute(dtn),
+				Upload: multipath.UploaderFunc(func(p *simproc.Proc, part string, size float64, ck *core.Checkpoint) error {
+					_, err := dc.UploadResumable(p, provider, part, size, "", ck)
+					return err
+				}),
+			})
+		}
+
+		env := multipath.Env{
+			Trace: w.Trace,
+			Commit: func(p *simproc.Proc, parts []string) error {
+				info, err := comp.Compose(p, file.Name, parts, file.MD5)
+				if err != nil {
+					return err
+				}
+				if info.MD5 != "" && info.MD5 != file.MD5 {
+					return fmt.Errorf("composed %q has digest %s, want %s", file.Name, info.MD5, file.MD5)
+				}
+				return nil
+			},
+		}
+		rep, err := multipath.Run(p, multipath.Spec{
+			Name: file.Name, Size: file.Size, MD5: file.MD5,
+		}, paths, env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detourctl: multipath upload: %v\n", err)
+			exit = 1
+			return
+		}
+
+		fmt.Println("per-path progress (virtual time):")
+		for _, ev := range w.Trace.Filter("mp") {
+			fmt.Printf("  %s\n", ev.String())
+		}
+		fmt.Println()
+		if err := rep.WriteReport(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "detourctl: report: %v\n", err)
+			exit = 1
+		}
+	})
+	return exit
 }

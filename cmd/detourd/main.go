@@ -37,6 +37,13 @@
 // in-flight transfers, parking on total route loss, and a DTN drain —
 // and prints the deterministic with/without report. Other scheduler
 // flags are ignored in this mode.
+//
+// With -multipath, the daemon instead runs the striped-transfer
+// comparison (see internal/sched.RunMultipath): every site/provider
+// pair measured over each single route and then striped across direct
+// + detours through JobMultipath, plus the churn leg that drives one
+// large striped transfer into the reconvergence storm. Other scheduler
+// flags are ignored in this mode.
 package main
 
 import (
@@ -65,8 +72,20 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "replay the canned fault schedule while draining")
 		overload    = flag.Bool("overload", false, "arm admission control, fair queuing, shedding, hedging, and brownout")
 		churn       = flag.Bool("churn", false, "replay the BGP reconvergence storm, control vs full stack, and report")
+		mpath       = flag.Bool("multipath", false, "run the striped-vs-single comparison plus the multipath churn leg, and report")
 	)
 	flag.Parse()
+
+	if *mpath {
+		o := sched.RunMultipath(sched.MultipathOptions{Seed: *seed})
+		mc := sched.RunMultipathChurn(*seed, 0)
+		sched.WriteMultipathReport(os.Stdout, o, mc)
+		if err := sched.MultipathSanity(o); err != nil {
+			fmt.Fprintf(os.Stderr, "detourd: multipath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *churn {
 		control := sched.RunChurn(sched.ChurnOptions{Seed: *seed, Stack: false})

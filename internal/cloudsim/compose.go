@@ -1,0 +1,78 @@
+package cloudsim
+
+import (
+	"encoding/json"
+
+	"detournet/internal/httpsim"
+)
+
+// Server-side compose: concatenate previously uploaded part objects, in
+// the order given, into one final object — the commit step of a striped
+// multipath upload. The 2015-era consumer APIs this simulator models
+// did not expose compose (GCS had Objects.compose, the consumer
+// products did not); it is modeled here as the minimal control-plane
+// extension a multipath data plane needs, identical in semantics across
+// the three styles and mounted under each provider's path flavor:
+//
+//	Google Drive: POST /drive/v3/files:compose
+//	Dropbox:      POST /2/files/compose
+//	OneDrive:     POST /v1.0/drive/compose
+//
+// Body: {"name": ..., "md5": ..., "parts": ["part0", "part1", ...]}.
+// Every part must exist; the final size is the sum of part sizes; the
+// md5 is the client's whole-file digest (echoed into the stored
+// metadata exactly like the X-Content-MD5 header on uploads). Parts are
+// deleted on success — compose is a move, not a copy, so the quota
+// accounting stays flat.
+type composeReq struct {
+	Name  string   `json:"name"`
+	MD5   string   `json:"md5,omitempty"`
+	Parts []string `json:"parts"`
+}
+
+func (s *Service) mountCompose() {
+	var path string
+	switch s.Style {
+	case GoogleDrive:
+		path = "/drive/v3/files:compose"
+	case Dropbox:
+		path = "/2/files/compose"
+	default:
+		path = "/v1.0/drive/compose"
+	}
+	s.HTTP.Handle("POST", path, s.protect(s.compose))
+}
+
+func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	var cr composeReq
+	if err := json.Unmarshal(req.Body, &cr); err != nil || cr.Name == "" || len(cr.Parts) == 0 {
+		return errResp(httpsim.StatusBadRequest, "compose needs a name and at least one part")
+	}
+	var total float64
+	seen := make(map[string]bool, len(cr.Parts))
+	for _, part := range cr.Parts {
+		if seen[part] {
+			return errResp(httpsim.StatusBadRequest, "duplicate part "+part)
+		}
+		seen[part] = true
+		o, ok := s.Store.Get(part)
+		if !ok {
+			return errResp(httpsim.StatusNotFound, "missing part "+part)
+		}
+		total += o.Size
+	}
+	// Free the parts before the final Put so a quota-bound store does
+	// not double-count the bytes mid-compose.
+	for _, part := range cr.Parts {
+		s.Store.Delete(part)
+	}
+	o, err := s.Store.Put(cr.Name, total, cr.MD5)
+	if err != nil {
+		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+	}
+	status := httpsim.StatusOK
+	if s.Style == OneDrive {
+		status = httpsim.StatusCreated
+	}
+	return jsonResp(status, metaOf(o))
+}

@@ -143,6 +143,7 @@ func NewService(eng *simclock.Engine, tn *transport.Net, name, host string, styl
 	default:
 		panic("cloudsim: unknown style")
 	}
+	s.mountCompose()
 	return s
 }
 

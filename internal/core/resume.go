@@ -78,6 +78,20 @@ func (ck *Checkpoint) observeHop2(start, written float64) {
 	}
 }
 
+// NextObject readies the checkpoint to carry a different object over
+// the same path — the per-path reuse a striped multipath transfer
+// needs, where one path uploads many chunk objects back to back. The
+// per-object marks (hop-1 high water, provider session, hop-2 high
+// water) are cleared so the next object starts clean, while the DTN
+// affinity (Hop1Via) and the cumulative resumed/rewritten accounting
+// survive: they describe the path, not the object.
+func (ck *Checkpoint) NextObject() {
+	ck.Hop1High = 0
+	ck.HasSession = false
+	ck.Session = sdk.SessionToken{}
+	ck.Hop2High = 0
+}
+
 // DiscardSession abandons the checkpoint's provider session: whatever
 // the provider confirmed through it is worthless (stale digest, corrupt
 // staging), so those bytes are charged as rewritten and the next

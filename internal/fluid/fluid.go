@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"detournet/internal/simclock"
 )
@@ -302,6 +303,17 @@ func (n *Network) KillFlowsWhere(pred func(*Flow) bool) int {
 		}
 	}
 	return killed
+}
+
+// KillFlowsLabeled kills every active flow whose Label starts with
+// prefix and reports how many died. Transport labels its flows
+// "src->dst:port", so a prefix pins all traffic between one endpoint
+// pair — how a multipath driver aborts the losing duplicate of a
+// hedged chunk without touching the other paths' flows.
+func (n *Network) KillFlowsLabeled(prefix string) int {
+	return n.KillFlowsWhere(func(f *Flow) bool {
+		return strings.HasPrefix(f.Label, prefix)
+	})
 }
 
 // SetLinkCapacity changes a link's capacity (bytes/second, must stay

@@ -247,6 +247,17 @@ func Checksum(p []byte) string {
 	return fmt.Sprintf("%x", s)
 }
 
+// ChecksumCat digests the concatenation of parts without copying them
+// into one buffer — the digest a striped multipath transfer's chunks
+// must reassemble to. ChecksumCat(a, b) == Checksum(append(a, b...)).
+func ChecksumCat(parts ...[]byte) string {
+	h := md5.New()
+	for _, part := range parts {
+		h.Write(part)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
 // encodeOpHeader is used by the wire format tests to pin layout.
 func encodeOpHeader(op Op) []byte {
 	var b [9]byte

@@ -1,0 +1,122 @@
+// Multipath job mode: stripe one upload across several concurrent
+// routes. The scheduler owns admission — it acquires one capacity slot
+// per lane (the provider slot plus, for detours, the DTN slot, exactly
+// as K single-path jobs would) and sheds the extra lanes under brownout
+// (a multipath job degrades to a plain single-path transfer rather than
+// amplifying an overloaded fleet). The striping itself — the chunk
+// ledger, work stealing, hedged tail re-dispatch, per-path checkpoints
+// — lives in internal/multipath behind the MultipathExecutor seam.
+package sched
+
+import (
+	"detournet/internal/core"
+	"detournet/internal/multipath"
+)
+
+// JobMode selects a job's transfer strategy.
+type JobMode int
+
+const (
+	// JobSingle runs the job over one chosen route (the default).
+	JobSingle JobMode = iota
+	// JobMultipath stripes the job across direct + detour routes
+	// concurrently when the Executor implements MultipathExecutor.
+	JobMultipath
+)
+
+// MultipathExecutor is an Executor that can stripe one job across
+// several routes at once. Routes are the lanes to drive concurrently
+// (the scheduler has already taken a capacity slot for each); the
+// returned report carries per-path chunk assignment and accounting.
+type MultipathExecutor interface {
+	Executor
+	ExecuteMultipath(job Job, routes []core.Route, chunk float64) (multipath.Report, error)
+}
+
+// runMultipath runs one striped attempt. done=false means the caller
+// should fall back to the single-path flow: brownout is shedding
+// optional work, the executor can't stripe, no second lane exists, or
+// the striped attempt itself failed (the job's data is intact — parts
+// are separate objects — so a plain retry is safe).
+func (s *Scheduler) runMultipath(j Job, key CacheKey, route core.Route, hit bool) (Result, bool) {
+	mx, ok := s.cfg.Executor.(MultipathExecutor)
+	if !ok || s.brownoutActive() {
+		return Result{}, false
+	}
+	routes := s.multipathRoutes(key, j, route)
+	if len(routes) < 2 {
+		return Result{}, false
+	}
+	// One capacity slot per lane, acquired in route order. Lanes are
+	// admitted exactly like K independent jobs, so provider and DTN caps
+	// bound striped load the same way they bound fleet load.
+	acquired := make([]core.Route, 0, len(routes))
+	for _, r := range routes {
+		if err := s.caps.acquire(j.Provider, r.Via); err != nil {
+			for _, a := range acquired {
+				s.caps.release(j.Provider, a.Via)
+			}
+			return Result{Job: j, Route: route, CacheHit: hit, Err: err}, true
+		}
+		acquired = append(acquired, r)
+	}
+	rep, err := mx.ExecuteMultipath(j, routes, s.cfg.MultipathChunk)
+	for _, a := range acquired {
+		s.caps.release(j.Provider, a.Via)
+	}
+	if err != nil {
+		s.breakers.failure(breakerKey(j.Provider, route))
+		return Result{}, false
+	}
+	var resumed, rewritten float64
+	for _, pr := range rep.Paths {
+		resumed += pr.Resumed
+		rewritten += pr.Rewritten
+	}
+	s.mu.Lock()
+	s.mpJobs++
+	s.mpHedged += int64(rep.HedgedChunks)
+	s.mpResent += int64(rep.ResentChunks)
+	s.mpDuplicateBytes += rep.DuplicateBytes
+	s.bytesResumed += resumed
+	s.bytesRewritten += rewritten
+	s.mu.Unlock()
+	s.breakers.success(providerKey(j.Provider))
+	if !s.brownoutActive() {
+		s.cache.Observe(key, route, j.Size, rep.Seconds)
+	}
+	return Result{
+		Job: j, Route: route, Seconds: rep.Seconds, Attempts: 1,
+		CacheHit: hit, Resumed: resumed, Rewritten: rewritten,
+		Multipath: &rep,
+	}, true
+}
+
+// multipathRoutes assembles the job's lane set: direct first (it is
+// always a lane — the paper's capped-last-mile sites lose nothing, and
+// everyone else gains its capacity), then the planned route and the
+// cache's detour candidates, deduplicated, capped at the job's or the
+// config's path limit.
+func (s *Scheduler) multipathRoutes(key CacheKey, j Job, primary core.Route) []core.Route {
+	maxPaths := j.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = s.cfg.MultipathMaxPaths
+	}
+	routes := []core.Route{core.DirectRoute}
+	add := func(r core.Route) {
+		if r.Kind != core.Detour || len(routes) >= maxPaths {
+			return
+		}
+		for _, have := range routes {
+			if have == r {
+				return
+			}
+		}
+		routes = append(routes, r)
+	}
+	add(primary)
+	for _, c := range s.cache.Candidates(key) {
+		add(c)
+	}
+	return routes
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"detournet/internal/core"
+	"detournet/internal/multipath"
 )
 
 // Job is one upload request submitted to the control plane.
@@ -47,6 +48,14 @@ type Job struct {
 	// completion, so a corrupted or stale resume is detected and retried
 	// instead of silently accepted. Empty skips verification.
 	MD5 string
+	// Mode selects how the transfer runs: JobSingle (default) picks one
+	// route; JobMultipath stripes the upload across several concurrent
+	// routes when the Executor supports it (and degrades to single-path
+	// under brownout or on an unsupporting executor).
+	Mode JobMode
+	// MaxPaths caps a multipath job's concurrent routes (0 = the
+	// Config.MultipathMaxPaths default).
+	MaxPaths int
 	// Priority orders the queue: higher drains sooner.
 	Priority int
 	// Deadline, when positive, is the scheduler-clock time after which
@@ -90,6 +99,13 @@ type Result struct {
 	// re-announce. Zero for plain executors.
 	Reroutes int
 	Parked   float64
+	// Multipath carries the striped transfer's per-path report when the
+	// job ran in JobMultipath mode (nil otherwise). Degraded reports a
+	// multipath job that ran single-path instead — brownout shed the
+	// extra lanes, the executor lacked support, or the striped attempt
+	// failed and fell back.
+	Multipath *multipath.Report
+	Degraded  bool
 	// Err is nil on success.
 	Err error
 }
@@ -243,6 +259,12 @@ type Config struct {
 	Reroute    bool
 	ParkBudget float64
 
+	// MultipathMaxPaths caps how many routes a JobMultipath job stripes
+	// across — direct plus detours (default 3). MultipathChunk is the
+	// stripe unit in bytes (default core.DefaultResumeChunk).
+	MultipathMaxPaths int
+	MultipathChunk    float64
+
 	// --- Overload control (all off by default) ---
 
 	// QueueLimit bounds total queue occupancy: Submit rejects with
@@ -363,6 +385,9 @@ func (c Config) withDefaults() Config {
 	if c.ParkBudget <= 0 {
 		c.ParkBudget = 90
 	}
+	if c.MultipathMaxPaths <= 0 {
+		c.MultipathMaxPaths = 3
+	}
 	c.Backoff = c.Backoff.withDefaults()
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(1))
@@ -415,6 +440,9 @@ type Scheduler struct {
 	integrityRetries       int64
 	reroutes, parks        int64
 	parkSeconds            float64
+	mpJobs, mpDegraded     int64
+	mpHedged, mpResent     int64
+	mpDuplicateBytes       float64
 	routeEvents            int64
 	bytesResumed           float64
 	bytesRewritten         float64
@@ -644,6 +672,9 @@ func (s *Scheduler) worker() {
 		s.noteQueueDepth()
 		res := s.runJob(it.job)
 		res.QueueDelay = delay
+		if it.job.Mode == JobMultipath && res.Multipath == nil {
+			res.Degraded = true
+		}
 		s.finish(res)
 	}
 }
@@ -697,6 +728,17 @@ func (s *Scheduler) runJob(j Job) Result {
 	key := KeyFor(j.Client, j.Provider, j.Size)
 	route, hit := s.routeFor(key, j)
 	route = s.gateRoute(key, j.Provider, route)
+
+	if j.Mode == JobMultipath {
+		if res, done := s.runMultipath(j, key, route, hit); done {
+			return res
+		}
+		// Degraded: brownout shed the extra lanes, the executor can't
+		// stripe, or the striped attempt failed — run single-path below.
+		s.mu.Lock()
+		s.mpDegraded++
+		s.mu.Unlock()
+	}
 
 	// One checkpoint for the job's whole life: every attempt, on any
 	// route, resumes from it.
@@ -1084,6 +1126,15 @@ type Stats struct {
 	ParkSeconds                    float64
 	RouteEvents                    int64
 	RouteConverges, RouteAnnounces int64
+	// MultipathJobs counts jobs that ran striped; MultipathDegraded
+	// counts JobMultipath jobs that ran single-path instead (brownout,
+	// unsupporting executor, or striped-attempt fallback).
+	// MultipathHedged and MultipathResent aggregate the striped runs'
+	// tail-hedge duplicates and failure re-dispatches;
+	// MultipathDuplicateBytes their total duplicated payload.
+	MultipathJobs, MultipathDegraded int64
+	MultipathHedged, MultipathResent int64
+	MultipathDuplicateBytes          float64
 	// QueueDelayEWMA is the CoDel-smoothed time-in-queue;
 	// QueueDelayP99 is the 99th percentile over a trailing window of
 	// admitted jobs.
@@ -1144,6 +1195,9 @@ func (s *Scheduler) Stats() Stats {
 		IntegrityRetries: s.integrityRetries,
 		Reroutes:         s.reroutes, Parks: s.parks,
 		ParkSeconds: s.parkSeconds, RouteEvents: s.routeEvents,
+		MultipathJobs: s.mpJobs, MultipathDegraded: s.mpDegraded,
+		MultipathHedged: s.mpHedged, MultipathResent: s.mpResent,
+		MultipathDuplicateBytes: s.mpDuplicateBytes,
 		QueueDelayP99: s.delays.percentile(0.99),
 		Retries:       s.retries, Fallbacks: s.fallbacks,
 		Failovers: s.failovers, BreakerSkips: s.breakerSkip,

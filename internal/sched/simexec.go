@@ -34,18 +34,27 @@ type SimExecutor struct {
 	sel     *detourselect.Selector
 	directs map[[2]string]sdk.Client         // (client, provider)
 	detours map[[2]string]*core.DetourClient // (client, dtn)
+	// converging holds withdrawn routing sessions until their
+	// convergence horizon (fed by the world's RouteBus); multipath lanes
+	// crossing one drain instead of racing the blackhole. Guarded by
+	// convMu because bus callbacks can fire from any workload drive.
+	convMu     sync.Mutex
+	converging map[[2]string]float64
 	// Transfers counts completed Execute calls, for reporting.
 	Transfers int64
 }
 
 // NewSimExecutor wraps a built world.
 func NewSimExecutor(w *scenario.World) *SimExecutor {
-	return &SimExecutor{
-		w:       w,
-		sel:     detourselect.NewSelector(),
-		directs: make(map[[2]string]sdk.Client),
-		detours: make(map[[2]string]*core.DetourClient),
+	e := &SimExecutor{
+		w:          w,
+		sel:        detourselect.NewSelector(),
+		directs:    make(map[[2]string]sdk.Client),
+		detours:    make(map[[2]string]*core.DetourClient),
+		converging: make(map[[2]string]float64),
 	}
+	e.subscribeRouteBus()
+	return e
 }
 
 // direct returns the cached SDK client for (client, provider). Callers

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"fmt"
+
+	"detournet/internal/bgppol"
+	"detournet/internal/core"
+	"detournet/internal/multipath"
+	"detournet/internal/scenario"
+	"detournet/internal/sdk"
+	"detournet/internal/simproc"
+)
+
+// subscribeRouteBus wires the executor to the world's routing-plane
+// event bus (once, at construction). Withdrawn sessions are held as
+// converging until their convergence horizon; a multipath lane whose
+// path crosses a converging session drains make-before-break — it stops
+// claiming chunks before the blackhole eats one — instead of being torn
+// down, and resumes when the announce clears the hold.
+func (e *SimExecutor) subscribeRouteBus() {
+	if e.w.RouteBus == nil {
+		return
+	}
+	e.w.RouteBus.Subscribe(func(ev bgppol.Event) {
+		if ev.DomainA == "" {
+			// Link events change the topology itself; Graph.Path already
+			// reflects them.
+			return
+		}
+		k := sessionKey(ev.DomainA, ev.DomainB)
+		e.convMu.Lock()
+		if ev.Kind == bgppol.EventWithdraw {
+			e.converging[k] = ev.ConvergedBy
+		} else {
+			delete(e.converging, k)
+		}
+		e.convMu.Unlock()
+	})
+}
+
+func sessionKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// pathConverging reports whether src->dst currently crosses a session
+// inside its convergence window — transiently blackhole-prone even
+// though the RIBs may still resolve it. Callers hold e.mu.
+func (e *SimExecutor) pathConverging(src, dst string) bool {
+	e.convMu.Lock()
+	if len(e.converging) == 0 {
+		e.convMu.Unlock()
+		return false
+	}
+	conv := make(map[[2]string]float64, len(e.converging))
+	for k, v := range e.converging {
+		conv[k] = v
+	}
+	e.convMu.Unlock()
+	hops, ok := e.pathHops(src, dst)
+	if !ok {
+		return false
+	}
+	now := float64(e.w.Eng.Now())
+	for i := 1; i < len(hops); i++ {
+		if hops[i-1].Domain == hops[i].Domain {
+			continue
+		}
+		if until, held := conv[sessionKey(hops[i-1].Domain, hops[i].Domain)]; held && now < until {
+			return true
+		}
+	}
+	return false
+}
+
+// routeConverging applies pathConverging to a whole route (both hops of
+// a detour). Callers hold e.mu.
+func (e *SimExecutor) routeConverging(client, provider string, r core.Route) bool {
+	host, ok := scenario.Providers[provider]
+	if !ok {
+		host = provider
+	}
+	switch r.Kind {
+	case core.Direct:
+		return e.pathConverging(client, host)
+	case core.Detour:
+		return e.pathConverging(client, r.Via) || e.pathConverging(r.Via, host)
+	}
+	return false
+}
+
+// flowPrefixes returns the transport flow-label prefixes
+// ("src->dst:port") that belong to one lane — the handles for aborting
+// exactly that lane's in-flight transfers and nothing else. Lanes never
+// share an endpoint pair: direct is client->provider, each detour is
+// client->DTN plus DTN->provider, and no two lanes ride the same DTN.
+func flowPrefixes(client, provider string, r core.Route) []string {
+	host, ok := scenario.Providers[provider]
+	if !ok {
+		host = provider
+	}
+	if r.Kind == core.Direct {
+		return []string{client + "->" + host + ":"}
+	}
+	return []string{client + "->" + r.Via + ":", r.Via + "->" + host + ":"}
+}
+
+// ExecuteMultipath implements MultipathExecutor: the striped transfer
+// runs as ONE simulation workload whose per-path sub-processes share
+// the virtual network, so lanes genuinely compete for (and jointly
+// fill) link capacity. Chunks upload as independent part objects —
+// direct lanes through core.DirectUploadResumable, detour lanes through
+// the DTN's store-and-forward resumable relay — and commit by
+// provider-side compose in index order.
+func (e *SimExecutor) ExecuteMultipath(job Job, routes []core.Route, chunk float64) (multipath.Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	paths := make([]multipath.Path, 0, len(routes))
+	for i, r := range routes {
+		r := r
+		var up multipath.Uploader
+		switch r.Kind {
+		case core.Direct:
+			cl := e.direct(job.Client, job.Provider)
+			up = multipath.UploaderFunc(func(p *simproc.Proc, part string, size float64, ck *core.Checkpoint) error {
+				// Per-chunk MD5s are not threaded (the whole-file digest is
+				// checked at compose), so the empty digest skips the
+				// per-object verify.
+				_, err := core.DirectUploadResumable(p, cl, part, size, "", ck)
+				return err
+			})
+		default:
+			dc := e.detourFor(job.Client, r.Via)
+			up = multipath.UploaderFunc(func(p *simproc.Proc, part string, size float64, ck *core.Checkpoint) error {
+				_, err := dc.UploadResumable(p, job.Provider, part, size, "", ck)
+				return err
+			})
+		}
+		paths = append(paths, multipath.Path{ID: i, Route: r, Upload: up})
+	}
+
+	fl := e.w.Graph.Fluid()
+	env := multipath.Env{
+		Trace: e.w.Trace,
+		Usable: func(r core.Route, existing bool) bool {
+			if !e.routeUsable(job.Client, job.Provider, r, existing) {
+				return false
+			}
+			// Existing work may finish through a converging session (it is
+			// already committed to the path); new claims drain until the
+			// plane settles.
+			return existing || !e.routeConverging(job.Client, job.Provider, r)
+		},
+		Abort: func(path multipath.Path) {
+			for _, prefix := range flowPrefixes(job.Client, job.Provider, path.Route) {
+				fl.KillFlowsLabeled(prefix)
+			}
+		},
+		Commit: func(p *simproc.Proc, parts []string) error {
+			comp, ok := e.direct(job.Client, job.Provider).(sdk.Composer)
+			if !ok {
+				return fmt.Errorf("sched: provider %s cannot compose parts", job.Provider)
+			}
+			info, err := comp.Compose(p, job.Name, parts, job.MD5)
+			if err != nil {
+				return err
+			}
+			if job.MD5 != "" && info.MD5 != "" && info.MD5 != job.MD5 {
+				return fmt.Errorf("sched: composed %q has digest %s, want %s: %w",
+					job.Name, info.MD5, job.MD5, core.ErrIntegrity)
+			}
+			return nil
+		},
+	}
+
+	spec := multipath.Spec{Name: job.Name, Size: job.Size, MD5: job.MD5, Chunk: chunk}
+	var rep multipath.Report
+	var err error
+	e.w.RunWorkload("sched-mp:"+job.Name, func(p *simproc.Proc) {
+		rep, err = multipath.Run(p, spec, paths, env)
+	})
+	if err != nil {
+		return rep, classifyExecErr(fmt.Errorf("sched: multipath execute %s: %w", job.Name, err))
+	}
+	e.Transfers++
+	return rep, nil
+}

@@ -84,6 +84,57 @@ func Median(xs []float64) float64 {
 	return (cp[n/2-1] + cp[n/2]) / 2
 }
 
+// Quantile returns the exact q-quantile of xs (0 <= q <= 1) without
+// mutating it, using linear interpolation between closest ranks (the
+// R-7 / spreadsheet convention): Quantile(xs, 0.5) == Median(xs).
+// "Exact" is in contrast to streaming estimators — the whole sample is
+// sorted, so repeated calls on the same data are bit-identical, which
+// the multipath straggler detector relies on for deterministic replays.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile with q=%v outside [0,1]", q))
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// JainFairness returns Jain's fairness index over xs:
+// (Σx)² / (n·Σx²). It is 1 when every element is equal, 1/n when one
+// element holds everything, and scale-invariant in between — the
+// standard way to score how evenly K paths split a striped transfer.
+// An all-zero sample is perfectly fair by convention.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: JainFairness of empty slice")
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			panic("stats: JainFairness with negative share")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Summary holds the statistics the paper reports for one measurement
 // cell: the mean of the retained runs and one standard deviation.
 type Summary struct {

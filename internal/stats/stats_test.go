@@ -175,3 +175,124 @@ func TestPropertyOverlapSymmetric(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"singleton", []float64{7}, 0.99, 7},
+		{"min", []float64{3, 1, 2}, 0, 1},
+		{"max", []float64{3, 1, 2}, 1, 3},
+		{"median-odd", []float64{5, 1, 9, 3, 7}, 0.5, 5},
+		{"median-even", []float64{4, 1, 3, 2}, 0.5, 2.5},
+		{"interpolated", []float64{1, 2, 3, 4}, 0.25, 1.75},
+		{"p90-of-ten", []float64{10, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 0.9, 9.1},
+		{"unsorted-input", []float64{30, 10, 20}, 0.5, 20},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Quantile(c.xs, c.q); !almost(got, c.want) {
+				t.Fatalf("Quantile(%v, %v) = %v, want %v", c.xs, c.q, got, c.want)
+			}
+		})
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestQuantileMatchesMedian(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Median's (a+b)/2 overflows near MaxFloat64 where the
+			// interpolated form does not; stay in a realistic range.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return almost(Quantile(xs, 0.5), Median(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":  func() { Quantile(nil, 0.5) },
+		"q-low":  func() { Quantile([]float64{1}, -0.1) },
+		"q-high": func() { Quantile([]float64{1}, 1.1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"all-equal", []float64{5, 5, 5, 5}, 1},
+		{"singleton", []float64{42}, 1},
+		{"one-hog", []float64{10, 0, 0, 0}, 0.25},
+		{"two-of-four", []float64{1, 1, 0, 0}, 0.5},
+		{"known-mix", []float64{1, 2, 3}, 36.0 / 42.0},
+		{"all-zero", []float64{0, 0, 0}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := JainFairness(c.xs); !almost(got, c.want) {
+				t.Fatalf("JainFairness(%v) = %v, want %v", c.xs, got, c.want)
+			}
+		})
+	}
+}
+
+func TestJainFairnessBoundsAndScaleInvariance(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				// Squaring near-max floats overflows; the index is for
+				// byte counts, not astronomy.
+				continue
+			}
+			xs = append(xs, math.Abs(x))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		j := JainFairness(xs)
+		if j < 1/float64(len(xs))-1e-9 || j > 1+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = x * 3.5
+		}
+		return math.Abs(JainFairness(scaled)-j) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

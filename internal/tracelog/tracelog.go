@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"detournet/internal/simclock"
@@ -22,6 +23,59 @@ type Event struct {
 	Kind string `json:"kind"`
 	// Attrs carries event fields (strings and numbers).
 	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Standard span attribute keys. Multipath transfers tag every event
+// with the path that produced it, so per-path timelines can be filtered
+// out of one interleaved log — and so golden logs are stable: the keys
+// are fixed and String renders all attributes in sorted-key order.
+const (
+	// AttrPath is the integer path index within a striped transfer.
+	AttrPath = "path_id"
+	// AttrChunk is the integer chunk index within the transfer.
+	AttrChunk = "chunk"
+	// AttrRoute is the path's route in core.Route.String() form.
+	AttrRoute = "route"
+)
+
+// String renders the event as one deterministic text line:
+// "t=<time> <kind> k1=v1 k2=v2 ..." with attribute keys sorted.
+// Floats render via strconv.FormatFloat(-1), the shortest exact form,
+// so equal values always produce identical bytes — the property the
+// golden-log tests and `make check`'s byte-compares rely on.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%s %s", formatAttr(e.At), e.Kind)
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(formatAttr(e.Attrs[k]))
+	}
+	return b.String()
+}
+
+// formatAttr renders one attribute value deterministically. Strings
+// with spaces (or empty) are quoted so lines stay machine-splittable.
+func formatAttr(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'g', -1, 32)
+	case string:
+		if x == "" || strings.ContainsAny(x, " \t\n\"") {
+			return strconv.Quote(x)
+		}
+		return x
+	default:
+		return fmt.Sprintf("%v", v)
+	}
 }
 
 // Log collects events. The zero value is not usable; use New. A nil
@@ -103,6 +157,21 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, e := range l.events {
 		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText streams the events as deterministic text lines (see
+// Event.String). Unlike WriteJSONL it is meant for golden files and
+// byte-compares: same events ⇒ same bytes, always.
+func (l *Log) WriteText(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	for _, e := range l.events {
+		if _, err := io.WriteString(w, e.String()+"\n"); err != nil {
 			return err
 		}
 	}

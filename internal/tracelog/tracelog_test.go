@@ -117,3 +117,72 @@ func TestSummaryAndReset(t *testing.T) {
 		t.Fatal("Reset did not clear")
 	}
 }
+
+func TestEventStringSortsKeys(t *testing.T) {
+	e := Event{At: 1.5, Kind: "mp.chunk.done", Attrs: map[string]any{
+		AttrRoute: "via ualberta",
+		AttrChunk: 3,
+		AttrPath:  1,
+		"bytes":   8388608.0,
+		"note":    "",
+	}}
+	want := `t=1.5 mp.chunk.done bytes=8.388608e+06 chunk=3 note="" path_id=1 route="via ualberta"`
+	if got := e.String(); got != want {
+		t.Fatalf("String:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEventStringDeterministic(t *testing.T) {
+	// Maps iterate in random order; String must not. Render the same
+	// event many times and across map-insertion orders.
+	mk := func(reverse bool) Event {
+		attrs := map[string]any{}
+		keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		if reverse {
+			for i := len(keys) - 1; i >= 0; i-- {
+				attrs[keys[i]] = i
+			}
+		} else {
+			for i, k := range keys {
+				attrs[k] = i
+			}
+		}
+		return Event{At: 2, Kind: "k", Attrs: attrs}
+	}
+	want := mk(false).String()
+	for i := 0; i < 50; i++ {
+		if got := mk(i%2 == 1).String(); got != want {
+			t.Fatalf("render %d differs:\n got %q\nwant %q", i, got, want)
+		}
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	eng := simclock.NewEngine()
+	l := New(eng)
+	eng.Schedule(1, func() {
+		l.Emit("mp.path.start", map[string]any{AttrPath: 0, AttrRoute: "direct"})
+	})
+	eng.Schedule(2.25, func() {
+		l.Emit("mp.chunk.done", map[string]any{AttrPath: 0, AttrChunk: 0, "seconds": 1.25})
+	})
+	eng.Run()
+	var a, b bytes.Buffer
+	if err := l.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of the same log differ")
+	}
+	want := "t=1 mp.path.start path_id=0 route=direct\n" +
+		"t=2.25 mp.chunk.done chunk=0 path_id=0 seconds=1.25\n"
+	if a.String() != want {
+		t.Fatalf("WriteText:\n got %q\nwant %q", a.String(), want)
+	}
+	if err := (*Log)(nil).WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+}
