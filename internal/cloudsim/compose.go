@@ -49,6 +49,7 @@ func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respons
 		return errResp(httpsim.StatusBadRequest, "compose needs a name and at least one part")
 	}
 	var total float64
+	parts := make([]*Object, 0, len(cr.Parts))
 	seen := make(map[string]bool, len(cr.Parts))
 	for _, part := range cr.Parts {
 		if seen[part] {
@@ -60,6 +61,22 @@ func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respons
 			return errResp(httpsim.StatusNotFound, "missing part "+part)
 		}
 		total += o.Size
+		parts = append(parts, o)
+	}
+	// The commit must be atomic from the client's view: the parts are
+	// the client's only copy of the uploaded bytes, so nothing may be
+	// deleted until the final Put is known to fit. Mirror Put's quota
+	// check against the post-compose usage (parts freed, any object the
+	// final name replaces freed, final object added) and reject while
+	// the parts are still intact — a failed compose stays retryable.
+	if q := s.Store.Quota; q > 0 {
+		freed := total
+		if old, ok := s.Store.Get(cr.Name); ok && !seen[cr.Name] {
+			freed += old.Size
+		}
+		if s.Store.Used()-freed+total > q {
+			return errResp(httpsim.StatusPayloadTooLarge, "cloudsim: quota exceeded")
+		}
 	}
 	// Free the parts before the final Put so a quota-bound store does
 	// not double-count the bytes mid-compose.
@@ -68,6 +85,13 @@ func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respons
 	}
 	o, err := s.Store.Put(cr.Name, total, cr.MD5)
 	if err != nil {
+		for _, p := range parts {
+			// Re-putting bytes just freed cannot exceed the quota.
+			if _, rerr := s.Store.Put(p.Name, p.Size, p.MD5); rerr != nil {
+				return errResp(httpsim.StatusInternalServerError,
+					"compose failed and part "+p.Name+" could not be restored: "+rerr.Error())
+			}
+		}
 		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
 	}
 	status := httpsim.StatusOK

@@ -234,6 +234,10 @@ type relayResume struct {
 	Provider string
 	HasToken bool
 	Token    sdk.SessionToken
+	// Scope is the caller's flow scope; the agent adopts it while
+	// relaying so the second hop's flows are attributable (and
+	// abortable) as part of the caller's transfer.
+	Scope string
 }
 
 type probeReq struct {

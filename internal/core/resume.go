@@ -122,6 +122,15 @@ func (ck *Checkpoint) verifyDigest(source, provider string) error {
 // file chunk by chunk, and always reports the session token and offsets
 // so the client's checkpoint stays current even through failures.
 func (a *Agent) handleRelayResume(p *simproc.Proc, c *transport.Conn, m relayResume) {
+	if m.Scope != "" {
+		// Relay under the caller's flow scope: the second hop's flows
+		// belong to the caller's transfer, and a multipath driver must
+		// be able to abort them by scoped label without touching other
+		// transfers relaying through this DTN.
+		old := p.Scope()
+		p.SetScope(m.Scope)
+		defer p.SetScope(old)
+	}
 	client, ok := a.clients[m.Provider]
 	if !ok {
 		_ = c.Send(p, relayResult{OK: false, Err: "unknown provider " + m.Provider}, ctrlBytes)
@@ -281,7 +290,7 @@ func (d *DetourClient) UploadResumable(p *simproc.Proc, provider, name string, s
 		return Report{}, fmt.Errorf("core: detour agent dial: %w", err)
 	}
 	defer c.Close()
-	req := relayResume{Name: name, Provider: provider}
+	req := relayResume{Name: name, Provider: provider, Scope: p.Scope()}
 	if ck.HasSession && ck.Session.Provider == provider {
 		req.HasToken, req.Token = true, ck.Session
 	}

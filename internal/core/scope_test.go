@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"detournet/internal/simproc"
+)
+
+// TestRelayAdoptsCallerFlowScope pins the cross-hop scope propagation a
+// multipath hedge abort depends on: when a scoped process runs a
+// resumable detour upload, the DTN agent relays the second hop under
+// the caller's scope, so BOTH hops' flows carry "scope|" labels and a
+// scoped kill prefix can reach the dtn->provider leg too.
+func TestRelayAdoptsCallerFlowScope(t *testing.T) {
+	tb := newTestbed(t)
+	fl := tb.g.Fluid()
+	dc := NewDetourClient(tb.tn, "user", "dtn")
+	var hop1, hop2 []string
+	grabInto := func(dst *[]string, prefix string) {
+		for _, l := range fl.SortedFlowLabels() {
+			if strings.HasPrefix(l, prefix) {
+				*dst = append(*dst, l)
+			}
+		}
+	}
+	// Hop 1 (user->dtn) runs roughly first, hop 2 (dtn->provider-dc)
+	// after staging completes; each hop is ~2.6s at 8 MB/s.
+	tb.eng.After(1.5, func() { grabInto(&hop1, "mp:f|user->dtn:") })
+	tb.eng.After(4.5, func() { grabInto(&hop2, "mp:f|dtn->provider-dc:") })
+	tb.run(t, func(p *simproc.Proc) {
+		p.SetScope("mp:f")
+		var ck Checkpoint
+		if _, err := dc.UploadResumable(p, "GoogleDrive", "f.bin", 20e6, "d", &ck); err != nil {
+			t.Error(err)
+		}
+	})
+	if len(hop1) == 0 {
+		t.Error("no scoped user->dtn flow observed on hop 1")
+	}
+	if len(hop2) == 0 {
+		t.Error("no scoped dtn->provider-dc flow observed on hop 2 (agent did not adopt the caller's scope)")
+	}
+}

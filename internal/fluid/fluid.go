@@ -307,9 +307,11 @@ func (n *Network) KillFlowsWhere(pred func(*Flow) bool) int {
 
 // KillFlowsLabeled kills every active flow whose Label starts with
 // prefix and reports how many died. Transport labels its flows
-// "src->dst:port", so a prefix pins all traffic between one endpoint
-// pair — how a multipath driver aborts the losing duplicate of a
-// hedged chunk without touching the other paths' flows.
+// "src->dst:port", prefixed "scope|" when the sending process carries a
+// flow scope, so "scope|src->dst:" pins one transfer's traffic between
+// one endpoint pair — how a multipath driver aborts the losing
+// duplicate of a hedged chunk without touching the other paths' flows
+// or any other transfer's.
 func (n *Network) KillFlowsLabeled(prefix string) int {
 	return n.KillFlowsWhere(func(f *Flow) bool {
 		return strings.HasPrefix(f.Label, prefix)

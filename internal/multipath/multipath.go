@@ -50,6 +50,16 @@ func PartName(name string, i int) string {
 	return fmt.Sprintf("%s.mp%04d", name, i)
 }
 
+// FlowScope returns the simproc flow scope a striped transfer's path
+// processes run under. Every transport flow a lane starts (and, via the
+// DTN agent's scope adoption, every second-hop relay flow it causes)
+// carries this scope in its label, so Env.Abort can kill exactly this
+// transfer's flows — never another transfer's between the same
+// endpoints.
+func FlowScope(name string) string {
+	return "mp:" + name
+}
+
 // Uploader drives one chunk object over one path. Implementations wrap
 // core.DirectUploadResumable or (*core.DetourClient).UploadResumable;
 // the checkpoint is the path's own and carries resume state across
@@ -286,6 +296,7 @@ func Run(p *simproc.Proc, spec Spec, paths []Path, env Env) (Report, error) {
 			tracelog.AttrPath: ps.path.ID, tracelog.AttrRoute: ps.path.Route.String(),
 		})
 		r.Go(fmt.Sprintf("mp:%s:path%d", spec.Name, ps.path.ID), func(pp *simproc.Proc) {
+			pp.SetScope(FlowScope(spec.Name))
 			st.runPath(pp, ps)
 		})
 	}
@@ -583,9 +594,13 @@ func (st *state) runPath(p *simproc.Proc, ps *pathState) {
 		}
 		ps.fails++
 		if st.chunks[cid].status == chunkDone {
-			// The winner committed and (usually) aborted us; whatever
-			// this dispatch moved was duplicate work.
-			ps.dup += ps.ck.Hop1High + ps.ck.Hop2High
+			// The winner committed and (usually) aborted us; the payload
+			// this dispatch moved was duplicate work. DuplicateBytes
+			// counts payload, not wire bytes — the high-water marks of a
+			// detour's two hops cover the SAME payload prefix, so the
+			// farthest mark is what was moved and lost, matching the
+			// one-chunk charge for a loser that finished (above).
+			ps.dup += math.Max(ps.ck.Hop1High, ps.ck.Hop2High)
 			continue
 		}
 		st.env.Trace.Emit("mp.chunk.fail", map[string]any{

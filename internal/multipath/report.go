@@ -51,8 +51,9 @@ type Report struct {
 	// commit.
 	Seconds float64
 	Paths   []PathReport
-	// DuplicateBytes totals bytes that crossed the wire more than once
-	// due to hedged duplicates (all paths).
+	// DuplicateBytes totals payload bytes moved more than once due to
+	// hedged duplicates (all paths) — payload, not wire bytes, so a
+	// detour loser whose chunk crossed both hops still counts it once.
 	DuplicateBytes float64
 	// ResentChunks counts chunks released back to pending after a
 	// failure — each costs at most one chunk of re-sent bytes.

@@ -96,6 +96,47 @@ func (c *capTable) acquire(provider, dtn string) error {
 	return nil
 }
 
+// tryAcquireLanes atomically takes a capacity slot for each lane whose
+// slots are free right now, never blocking. vias[i] is lane i's DTN
+// ("" for a direct lane). It returns the indices of the lanes acquired;
+// the caller releases each with release(provider, vias[i]).
+//
+// This is the multipath admission path. A per-lane blocking acquire
+// loop would hold-and-wait: two striped jobs to the same provider can
+// each take partial slots and block forever on the rest, and a single
+// job deadlocks outright when ProviderCap is below its lane count.
+// Taking everything currently free under one critical section — and
+// letting the caller degrade when too few lanes fit — keeps the
+// capTable's no-hold-while-starving invariant.
+func (c *capTable) tryAcquireLanes(provider string, vias []string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	taken := make([]int, 0, len(vias))
+	for i, via := range vias {
+		if c.providerCap > 0 && c.prov[provider] >= c.providerCap {
+			break // every remaining lane needs a provider slot too
+		}
+		if via != "" && c.dtnCap > 0 && c.dtn[via] >= c.dtnCap {
+			continue // this DTN is full; a later lane may still fit
+		}
+		c.prov[provider]++
+		if c.prov[provider] > c.provPeak[provider] {
+			c.provPeak[provider] = c.prov[provider]
+		}
+		if via != "" {
+			c.dtn[via]++
+			if c.dtn[via] > c.dtnPeak[via] {
+				c.dtnPeak[via] = c.dtn[via]
+			}
+		}
+		taken = append(taken, i)
+	}
+	return taken
+}
+
 // release frees the slots taken by the matching acquire.
 func (c *capTable) release(provider, dtn string) {
 	c.mu.Lock()

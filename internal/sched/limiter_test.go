@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTryAcquireLanesRespectsCaps pins the atomic multi-lane admission:
+// it never takes more provider slots than the cap, skips full DTNs
+// without giving up on later lanes, and never blocks.
+func TestTryAcquireLanesRespectsCaps(t *testing.T) {
+	c := newCapTable(2, 1)
+	// direct + 3 detours against ProviderCap=2: only 2 lanes fit.
+	idx := c.tryAcquireLanes("Drive", []string{"", "ualberta", "uvic", "utoronto"})
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("acquired lanes %v, want [0 1]", idx)
+	}
+	c.release("Drive", "")
+	c.release("Drive", "ualberta")
+
+	// A full DTN is skipped; a later lane with a free DTN still fits.
+	if err := c.acquire("Dropbox", "ualberta"); err != nil {
+		t.Fatal(err)
+	}
+	idx = c.tryAcquireLanes("Drive", []string{"", "ualberta", "uvic"})
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("acquired lanes %v, want [0 2] (ualberta full)", idx)
+	}
+	c.release("Drive", "")
+	c.release("Drive", "uvic")
+	c.release("Dropbox", "ualberta")
+
+	c.close()
+	if idx = c.tryAcquireLanes("Drive", []string{""}); idx != nil {
+		t.Fatalf("acquired %v from a closed table", idx)
+	}
+}
+
+// TestTryAcquireLanesNoDeadlock is the regression for the multipath
+// hold-and-wait deadlock: two striped jobs racing for the same
+// provider's slots (cap 4, 3 lanes each) must both finish — each takes
+// whatever is free atomically instead of holding partial slots while
+// blocking on the rest.
+func TestTryAcquireLanesNoDeadlock(t *testing.T) {
+	c := newCapTable(4, 2)
+	vias := []string{"", "ualberta", "uvic"}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				idx := c.tryAcquireLanes("Drive", vias)
+				for _, k := range idx {
+					c.release("Drive", vias[k])
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("striped admission deadlocked")
+	}
+	prov, _, dtn, _ := c.snapshot()
+	if prov["Drive"] != 0 || dtn["ualberta"] != 0 || dtn["uvic"] != 0 {
+		t.Fatalf("slots leaked: prov=%v dtn=%v", prov, dtn)
+	}
+}

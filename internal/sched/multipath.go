@@ -47,22 +47,31 @@ func (s *Scheduler) runMultipath(j Job, key CacheKey, route core.Route, hit bool
 	if len(routes) < 2 {
 		return Result{}, false
 	}
-	// One capacity slot per lane, acquired in route order. Lanes are
-	// admitted exactly like K independent jobs, so provider and DTN caps
-	// bound striped load the same way they bound fleet load.
-	acquired := make([]core.Route, 0, len(routes))
-	for _, r := range routes {
-		if err := s.caps.acquire(j.Provider, r.Via); err != nil {
-			for _, a := range acquired {
-				s.caps.release(j.Provider, a.Via)
-			}
-			return Result{Job: j, Route: route, CacheHit: hit, Err: err}, true
-		}
-		acquired = append(acquired, r)
+	// One capacity slot per lane, all taken in a single atomic,
+	// non-blocking step: a per-lane blocking loop would hold earlier
+	// slots while waiting on later ones, deadlocking two striped jobs
+	// against each other (or one job against a ProviderCap below its
+	// lane count). Lanes that don't fit right now are simply dropped;
+	// fewer than two means striping is pointless, so degrade to the
+	// single-path flow, which queues fairly like any other job.
+	vias := make([]string, len(routes))
+	for i, r := range routes {
+		vias[i] = r.Via
 	}
-	rep, err := mx.ExecuteMultipath(j, routes, s.cfg.MultipathChunk)
-	for _, a := range acquired {
-		s.caps.release(j.Provider, a.Via)
+	idx := s.caps.tryAcquireLanes(j.Provider, vias)
+	if len(idx) < 2 {
+		for _, i := range idx {
+			s.caps.release(j.Provider, routes[i].Via)
+		}
+		return Result{}, false
+	}
+	lanes := make([]core.Route, len(idx))
+	for n, i := range idx {
+		lanes[n] = routes[i]
+	}
+	rep, err := mx.ExecuteMultipath(j, lanes, s.cfg.MultipathChunk)
+	for _, r := range lanes {
+		s.caps.release(j.Provider, r.Via)
 	}
 	if err != nil {
 		s.breakers.failure(breakerKey(j.Provider, route))
@@ -83,7 +92,17 @@ func (s *Scheduler) runMultipath(j Job, key CacheKey, route core.Route, hit bool
 	s.mu.Unlock()
 	s.breakers.success(providerKey(j.Provider))
 	if !s.brownoutActive() {
-		s.cache.Observe(key, route, j.Size, rep.Seconds)
+		// Feed the bandit per lane: each lane's committed bytes over its
+		// own busy time is a genuine (if contended, conservative)
+		// observation of that route. Crediting the striped aggregate to
+		// the primary route would teach the cache a multi-lane rate no
+		// single path can deliver and skew later single-path selection.
+		for _, pr := range rep.Paths {
+			if pr.ID < 0 || pr.ID >= len(lanes) || pr.Bytes <= 0 || pr.Seconds <= 0 {
+				continue
+			}
+			s.cache.Observe(key, lanes[pr.ID], pr.Bytes, pr.Seconds)
+		}
 	}
 	return Result{
 		Job: j, Route: route, Seconds: rep.Seconds, Attempts: 1,
@@ -101,6 +120,11 @@ func (s *Scheduler) multipathRoutes(key CacheKey, j Job, primary core.Route) []c
 	maxPaths := j.MaxPaths
 	if maxPaths <= 0 {
 		maxPaths = s.cfg.MultipathMaxPaths
+	}
+	// A striped job can never hold more provider slots than the cap —
+	// asking for more would just burn admission attempts.
+	if s.cfg.ProviderCap > 0 && maxPaths > s.cfg.ProviderCap {
+		maxPaths = s.cfg.ProviderCap
 	}
 	routes := []core.Route{core.DirectRoute}
 	add := func(r core.Route) {

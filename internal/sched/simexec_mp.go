@@ -92,19 +92,26 @@ func (e *SimExecutor) routeConverging(client, provider string, r core.Route) boo
 }
 
 // flowPrefixes returns the transport flow-label prefixes
-// ("src->dst:port") that belong to one lane — the handles for aborting
-// exactly that lane's in-flight transfers and nothing else. Lanes never
-// share an endpoint pair: direct is client->provider, each detour is
-// client->DTN plus DTN->provider, and no two lanes ride the same DTN.
-func flowPrefixes(client, provider string, r core.Route) []string {
+// ("scope|src->dst:port") that belong to one lane of one transfer — the
+// handles for aborting exactly that lane's in-flight flows and nothing
+// else. The scope (multipath.FlowScope, carried by the lane's process
+// and adopted by the DTN agent for the second hop) pins the transfer,
+// so the prefix can never match another transfer's flows even between
+// the same endpoint pair; within a transfer, lanes never share an
+// endpoint pair (direct is client->provider, each detour is client->DTN
+// plus DTN->provider, and no two lanes ride the same DTN).
+func flowPrefixes(scope, client, provider string, r core.Route) []string {
 	host, ok := scenario.Providers[provider]
 	if !ok {
 		host = provider
 	}
 	if r.Kind == core.Direct {
-		return []string{client + "->" + host + ":"}
+		return []string{scope + "|" + client + "->" + host + ":"}
 	}
-	return []string{client + "->" + r.Via + ":", r.Via + "->" + host + ":"}
+	return []string{
+		scope + "|" + client + "->" + r.Via + ":",
+		scope + "|" + r.Via + "->" + host + ":",
+	}
 }
 
 // ExecuteMultipath implements MultipathExecutor: the striped transfer
@@ -155,7 +162,8 @@ func (e *SimExecutor) ExecuteMultipath(job Job, routes []core.Route, chunk float
 			return existing || !e.routeConverging(job.Client, job.Provider, r)
 		},
 		Abort: func(path multipath.Path) {
-			for _, prefix := range flowPrefixes(job.Client, job.Provider, path.Route) {
+			scope := multipath.FlowScope(job.Name)
+			for _, prefix := range flowPrefixes(scope, job.Client, job.Provider, path.Route) {
 				fl.KillFlowsLabeled(prefix)
 			}
 		},

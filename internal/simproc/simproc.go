@@ -42,12 +42,25 @@ type Proc struct {
 	r      *Runner
 	id     int
 	name   string
+	scope  string
 	resume chan struct{}
 	done   bool
 }
 
 // Name returns the process name given to Go.
 func (p *Proc) Name() string { return p.name }
+
+// Scope returns the process's flow scope (empty by default).
+func (p *Proc) Scope() string { return p.scope }
+
+// SetScope tags the process with a flow scope — an opaque string the
+// transport layer prepends to the labels of flows this process starts,
+// so a driver can cancel exactly one logical transfer's traffic (a
+// multipath hedge abort) without matching another transfer's flows
+// between the same endpoints. Server processes acting on behalf of a
+// scoped peer should adopt the peer's scope for the duration and
+// restore their own afterwards.
+func (p *Proc) SetScope(scope string) { p.scope = scope }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() simclock.Time { return p.r.eng.Now() }

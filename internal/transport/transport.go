@@ -278,8 +278,16 @@ func (c *Conn) Send(p *simproc.Proc, payload any, size float64) error {
 	wire := size*c.net.OverheadFactor + minWireBytes
 	fl := c.net.g.Fluid()
 	done := simproc.NewFuture[bool](c.net.runner)
+	// Labels are "src->dst:port", prefixed "scope|" when the sending
+	// process carries a flow scope — the handle a multipath driver uses
+	// to abort one transfer's flows and never another's, even between
+	// the same endpoint pair.
+	label := fmt.Sprintf("%s->%s:%d", c.local, c.remote, c.port)
+	if sc := p.Scope(); sc != "" {
+		label = sc + "|" + label
+	}
 	flow := fl.StartFlow(c.fwdLinks, wire, fluid.FlowOpts{
-		Label:      fmt.Sprintf("%s->%s:%d", c.local, c.remote, c.port),
+		Label:      label,
 		OnComplete: func(*fluid.Flow) { done.Set(true) },
 		OnAbort:    func(*fluid.Flow) { done.Set(false) },
 	})
