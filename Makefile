@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet chaos overload stress churn multipath
+.PHONY: build test vet race bench check fleet chaos overload stress churn multipath grayfail
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,13 @@ multipath:
 	$(GO) test -race ./internal/multipath/ ./internal/stats/ ./internal/sched/
 	$(GO) run ./examples/multipath
 
+# Grayfail: the gray-failure detection tests race-clean (stall
+# watchdogs, outlier ejection with canary re-admission, retry budgets),
+# then the silent-degradation replay with and without the health stack.
+grayfail:
+	$(GO) test -race ./internal/health/ ./internal/faults/ ./internal/sched/
+	$(GO) run ./examples/grayfail
+
 # Stress: the scheduler suite repeated under the race detector to
 # shake out ordering-dependent bugs in the queue and overload layer.
 stress:
@@ -53,8 +60,8 @@ stress:
 # The gate PRs must pass: everything compiles, vets clean, the full
 # test suite (including the really-concurrent scheduler) is race-clean,
 # the delta-encoding fuzzer holds up for a short smoke run, the chaos
-# and overload replays complete, and the churn and multipath replays
-# are byte-identical across two runs of the same seed.
+# and overload replays complete, and the churn, multipath, and grayfail
+# replays are byte-identical across two runs of the same seed.
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(GO) test -fuzz=FuzzDelta -fuzztime=10s ./internal/rsyncx
@@ -68,3 +75,7 @@ check:
 	$(GO) run ./examples/multipath >.mp.b.tmp
 	cmp .mp.a.tmp .mp.b.tmp
 	rm -f .mp.a.tmp .mp.b.tmp
+	$(GO) run ./examples/grayfail >.gray.a.tmp
+	$(GO) run ./examples/grayfail >.gray.b.tmp
+	cmp .gray.a.tmp .gray.b.tmp
+	rm -f .gray.a.tmp .gray.b.tmp

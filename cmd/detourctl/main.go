@@ -23,6 +23,13 @@
 // lane carried, its committed bytes and rate, and the transfer's
 // fairness index. -via is ignored in this mode; -drain still excludes
 // the named DTN's lane.
+//
+// With -health, the tool instead replays the gray-failure schedule with
+// the health stack armed and prints the operator's view of it: the
+// per-entity health table (learned baseline rates, probation state,
+// stall counts), the probation/re-admission transition log, and the
+// per-provider retry-budget ledgers. Transfer flags are ignored in
+// this mode.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"detournet/internal/fileutil"
 	"detournet/internal/multipath"
 	"detournet/internal/scenario"
+	"detournet/internal/sched"
 	"detournet/internal/sdk"
 	"detournet/internal/simproc"
 )
@@ -50,8 +58,13 @@ func main() {
 		traceOut  = flag.String("trace", "", "write the transfer trace as JSON lines to this file")
 		drain     = flag.String("drain", "", "put this DTN's agent into drain before planning")
 		mpath     = flag.Bool("multipath", false, "stripe the upload across direct + all in-service detours and show per-path progress")
+		healthTab = flag.Bool("health", false, "replay the gray-failure schedule with the health stack and print the health table")
 	)
 	flag.Parse()
+
+	if *healthTab {
+		os.Exit(runHealthTable(*seed))
+	}
 
 	if _, ok := scenario.Providers[*provider]; !ok {
 		fmt.Fprintf(os.Stderr, "detourctl: unknown provider %q\n", *provider)
@@ -138,6 +151,35 @@ func main() {
 	})
 	writeTrace(w, *traceOut, exit)
 	os.Exit(exit)
+}
+
+// runHealthTable replays the gray-failure scenario with the health
+// stack armed and renders the tracker's final state the way a real
+// deployment's `detourctl health` would read the control plane.
+func runHealthTable(seed int64) int {
+	out := sched.RunGrayfail(sched.GrayfailOptions{Seed: seed, Stack: true})
+	st := out.Stats
+	fmt.Printf("health after %d transfers, %.0f virtual s: %d stalls, %d stall-reroutes, %d canaries, %d budget-parked\n",
+		len(out.Results), out.VirtualSeconds, st.Stalls, st.StallReroutes, st.Canaries, st.BudgetParks)
+	fmt.Println("entities:")
+	for _, e := range out.Table {
+		state := "healthy"
+		if e.Probation {
+			state = "probation"
+		}
+		fmt.Printf("  %-9s %-16s baseline %6.2f MB/s  %-9s stalls %d  obs %d\n",
+			e.Class, e.Entity, e.Baseline/1e6, state, e.Stalls, e.Observations)
+	}
+	fmt.Println("transitions:")
+	for _, tr := range out.Health {
+		fmt.Printf("  %s\n", tr)
+	}
+	fmt.Println("retry budgets:")
+	for _, b := range out.Budgets {
+		fmt.Printf("  %-12s tokens %.1f  spent %d  denied %d\n",
+			b.Provider, b.Tokens, b.Spent, b.Denied)
+	}
+	return 0
 }
 
 func writeTrace(w *scenario.World, path string, exit int) {

@@ -38,6 +38,14 @@
 // and prints the deterministic with/without report. Other scheduler
 // flags are ignored in this mode.
 //
+// With -grayfail, the daemon instead replays the gray-failure schedule
+// (see internal/faults.GrayfailSchedule) twice over the same fleet and
+// seed — once as the DisableHealth ablation and once with the health
+// stack: stall watchdogs with adaptive budgets, outlier ejection with
+// canary re-admission, and per-provider retry budgets — and prints the
+// deterministic with/without report. Other scheduler flags are ignored
+// in this mode.
+//
 // With -multipath, the daemon instead runs the striped-transfer
 // comparison (see internal/sched.RunMultipath): every site/provider
 // pair measured over each single route and then striped across direct
@@ -72,6 +80,7 @@ func main() {
 		chaos       = flag.Bool("chaos", false, "replay the canned fault schedule while draining")
 		overload    = flag.Bool("overload", false, "arm admission control, fair queuing, shedding, hedging, and brownout")
 		churn       = flag.Bool("churn", false, "replay the BGP reconvergence storm, control vs full stack, and report")
+		grayfail    = flag.Bool("grayfail", false, "replay the gray-failure schedule, no-health ablation vs health stack, and report")
 		mpath       = flag.Bool("multipath", false, "run the striped-vs-single comparison plus the multipath churn leg, and report")
 	)
 	flag.Parse()
@@ -91,6 +100,13 @@ func main() {
 		control := sched.RunChurn(sched.ChurnOptions{Seed: *seed, Stack: false})
 		stack := sched.RunChurn(sched.ChurnOptions{Seed: *seed, Stack: true})
 		sched.WriteChurnReport(os.Stdout, control, stack)
+		return
+	}
+
+	if *grayfail {
+		control := sched.RunGrayfail(sched.GrayfailOptions{Seed: *seed, Stack: false})
+		stack := sched.RunGrayfail(sched.GrayfailOptions{Seed: *seed, Stack: true})
+		sched.WriteGrayfailReport(os.Stdout, control, stack)
 		return
 	}
 

@@ -1,0 +1,30 @@
+// Grayfail: the gray-failure schedule replayed twice over the same
+// fleet and seed — once as the DisableHealth ablation (same scheduler,
+// same retries, no detection layer) and once with the health stack:
+// stall watchdogs that abort-with-checkpoint transfers blowing their
+// adaptive time budget or making no byte progress, outlier ejection
+// that down-weights sustained laggards into probation with canary
+// re-admission, and per-provider retry budgets. None of the injected
+// degradations return an error; the ablation only escapes them through
+// the bandit's slow relearning. The report contrasts goodput, shows
+// detection latency per silent window, and dumps the final health
+// table; output is byte-identical per seed, which `make check`
+// verifies by running this program twice.
+package main
+
+import (
+	"flag"
+	"os"
+
+	"detournet/internal/sched"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2015, "world/fault seed")
+	jobs := flag.Int("jobs", 60, "transfers in the fleet")
+	flag.Parse()
+
+	control := sched.RunGrayfail(sched.GrayfailOptions{Seed: *seed, Jobs: *jobs, Stack: false})
+	stack := sched.RunGrayfail(sched.GrayfailOptions{Seed: *seed, Jobs: *jobs, Stack: true})
+	sched.WriteGrayfailReport(os.Stdout, control, stack)
+}

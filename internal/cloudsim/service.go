@@ -102,6 +102,16 @@ type Service struct {
 	// uploads.
 	SessionTTL float64
 
+	// SlowFor is the gray-failure knob: per-source ingestion throttling
+	// that NEVER errors. A request from a mapped remote host is served
+	// normally — 200s all the way — but its payload is ingested at the
+	// mapped bytes/second, the way real providers silently rate-limit
+	// one peering point while everyone else stays fast. nil means no
+	// slow-path throttling.
+	SlowFor map[string]float64
+	// SlowedRequests counts requests served through SlowFor windows.
+	SlowedRequests int
+
 	// InjectedFaults counts requests failed by the knobs above.
 	InjectedFaults int
 
@@ -194,6 +204,12 @@ func (s *Service) protect(fn httpsim.HandlerFunc) httpsim.HandlerFunc {
 			return resp
 		}
 		s.Requests++
+		if rate, ok := s.SlowFor[ctx.RemoteHost]; ok && rate > 0 && req.ContentLength() > 0 {
+			// Slow-but-200: ingest this source's payload at the throttled
+			// rate before handling. The client sees nothing but latency.
+			s.SlowedRequests++
+			ctx.Proc.Sleep(req.ContentLength() / rate)
+		}
 		return inner(ctx, req)
 	}
 }

@@ -89,6 +89,16 @@ type Agent struct {
 	daemon *rsyncx.Daemon
 
 	clients map[string]sdk.SessionClient
+	// relays tracks detached resumable relays by object name, so a
+	// client retry attaches to the push already in flight instead of
+	// starting a duplicate.
+	relays map[string]*relayJob
+	// relayChunk is the adaptive per-provider relay write size. It
+	// persists across relays: when a provider is silently throttling
+	// this DTN, the first relay to notice downshifts, and every
+	// subsequent relay (including canary probes) starts small — so a
+	// parked or aborted push strands seconds of work, not minutes.
+	relayChunk map[string]float64
 	// Relayed counts completed relay uploads, for tests.
 	Relayed int
 	// Trace, when set, receives agent-side events.
@@ -132,8 +142,10 @@ func NewAgent(tn *transport.Net, host string, daemon *rsyncx.Daemon) *Agent {
 		panic("core: nil transport or daemon")
 	}
 	return &Agent{tn: tn, host: host, daemon: daemon,
-		clients: make(map[string]sdk.SessionClient),
-		conns:   make(map[*transport.Conn]struct{}),
+		clients:    make(map[string]sdk.SessionClient),
+		relays:     make(map[string]*relayJob),
+		relayChunk: make(map[string]float64),
+		conns:      make(map[*transport.Conn]struct{}),
 	}
 }
 
@@ -218,7 +230,10 @@ type relayResult struct {
 	Info    sdk.FileInfo
 	Seconds float64 // DTN-side upload time
 
-	// Resumable-relay checkpoint fields (relayResume replies only).
+	// Resumable-relay checkpoint fields (relayResume/relayPoll replies
+	// only). Done distinguishes a finished detached relay from one still
+	// in flight — a poll of a live relay reports OK with Done false.
+	Done        bool
 	HasToken    bool
 	Token       sdk.SessionToken // provider session at reply time
 	StartOffset float64          // session offset when this relay began
@@ -239,6 +254,26 @@ type relayResume struct {
 	// abortable) as part of the caller's transfer.
 	Scope string
 }
+
+// relayPoll watches a detached resumable relay: the reply is the
+// relay's live relayResult (Done false while the push is in flight).
+type relayPoll struct {
+	Name string
+}
+
+// relayAbort asks the DTN to park a detached relay at its next chunk
+// boundary. The staged file and the provider session survive, so a
+// retry (any route) resumes instead of restarting.
+type relayAbort struct {
+	Name string
+}
+
+// relayPollInterval paces a client watching its detached relay — short
+// enough that a stall watchdog's cooperative abort lands promptly AND
+// that completion is noticed without idling the lane: a striped
+// transfer claims its next chunk only after the poll sees Done, so the
+// interval is a dead-time tax on every chunk a detour lane carries.
+const relayPollInterval = 0.25
 
 type probeReq struct {
 	Provider string
@@ -269,6 +304,12 @@ func (a *Agent) serve(p *simproc.Proc, c *transport.Conn) {
 				continue
 			}
 			a.handleRelayResume(p, c, m)
+		case relayPoll:
+			// Watching an in-flight relay is never new work.
+			a.handleRelayPoll(p, c, m)
+		case relayAbort:
+			// Neither is giving one up.
+			a.handleRelayAbort(p, c, m)
 		case streamBegin:
 			if a.draining {
 				a.rejectDraining(p, c)

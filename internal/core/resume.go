@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"detournet/internal/rsyncx"
 	"detournet/internal/sdk"
 	"detournet/internal/simproc"
 	"detournet/internal/transport"
@@ -16,9 +17,32 @@ import (
 // re-committing the bad bytes.
 var ErrIntegrity = errors.New("core: provider digest mismatch on resumed upload")
 
+// ErrStall reports a transfer the stall watchdog aborted: it was making
+// no byte progress, or running far below the route's learned baseline,
+// for longer than its adaptive budget. The transfer's checkpoint is
+// intact — hop-1 bytes sit on the DTN's disk, the provider session
+// token is recorded — so the scheduler re-routes and resumes rather
+// than restarts. A stall is a property of the *path*, not the job: the
+// scheduler treats it as route-down-lite (fail over, don't spend the
+// job's retry cap).
+var ErrStall = errors.New("core: transfer stalled below adaptive floor")
+
 // DefaultResumeChunk is the chunk size resumable transfers checkpoint
 // at when the caller does not specify one.
 const DefaultResumeChunk = 8 << 20
+
+// Detached-relay adaptive chunking bounds: while a provider path is
+// gray-slow (below slowRelayBps) each write aims at
+// relayChunkTargetSecs of wire time; the size floats between
+// minRelayChunk and DefaultResumeChunk (see runRelay).
+const (
+	minRelayChunk        = 1 << 20
+	relayChunkTargetSecs = 5.0
+	// slowRelayBps is the adaptation threshold: any healthy DTN-to-
+	// provider hop runs well above this, so only a genuinely gray write
+	// (a silently throttled peering, a dying disk) shrinks the chunk.
+	slowRelayBps = 500e3
+)
 
 // Checkpoint carries a transfer's durable progress across attempts —
 // and across routes: the hop-1 offset lives on a DTN's disk, the
@@ -44,6 +68,40 @@ type Checkpoint struct {
 	// once (work lost to interruptions).
 	BytesResumed   float64
 	BytesRewritten float64
+
+	// OnProgress, when non-nil, receives the advisory live byte
+	// watermark of the attempt in flight — the feed a stall watchdog
+	// keys on. It is not resume state: watermarks are best-effort (a
+	// detour's second hop reports at each relay poll, hop 1 at each
+	// acked chunk) and never affect accounting.
+	OnProgress func(bytes float64) `json:"-"`
+
+	// aborted is the cooperative stall-abort latch: a watchdog raises it
+	// (RequestAbort) and the transfer's chunk and poll loops observe it
+	// at safe points, returning ErrStall with the checkpoint intact.
+	// Cooperation is the only abort that always works — a gray
+	// transfer's slowness often lives in a peer's process (a throttled
+	// provider, a dying staging disk), where the client has no in-flight
+	// flow to kill, only a wait to give up on.
+	aborted bool
+}
+
+// RequestAbort raises the cooperative abort latch. The transfer in
+// flight returns ErrStall at its next safe point; its checkpoint stays
+// valid for resume on another route.
+func (ck *Checkpoint) RequestAbort() { ck.aborted = true }
+
+// AbortRequested reports the abort latch.
+func (ck *Checkpoint) AbortRequested() bool { return ck.aborted }
+
+// ResetAbort lowers the latch so the next attempt starts clean.
+func (ck *Checkpoint) ResetAbort() { ck.aborted = false }
+
+// noteProgress reports an advisory live watermark to the watchdog.
+func (ck *Checkpoint) noteProgress(bytes float64) {
+	if ck.OnProgress != nil {
+		ck.OnProgress(bytes)
+	}
 }
 
 // observeHop1 charges accounting for a hop-1 attempt starting at offset.
@@ -90,6 +148,7 @@ func (ck *Checkpoint) NextObject() {
 	ck.HasSession = false
 	ck.Session = sdk.SessionToken{}
 	ck.Hop2High = 0
+	ck.aborted = false
 }
 
 // DiscardSession abandons the checkpoint's provider session: whatever
@@ -116,29 +175,82 @@ func (ck *Checkpoint) verifyDigest(source, provider string) error {
 	return fmt.Errorf("provider has %q, source is %q: %w", provider, source, ErrIntegrity)
 }
 
-// handleRelayResume is the checkpoint-aware store-and-forward second
-// hop: it reattaches to the provider session in the request's token
-// when possible (falling back to a fresh session), uploads the staged
-// file chunk by chunk, and always reports the session token and offsets
-// so the client's checkpoint stays current even through failures.
+// relayJob is one detached resumable relay's live state. The relay runs
+// as its own DTN-side process — store-and-forward: once the bytes are
+// staged, the push to the provider belongs to the DTN, and the client
+// merely watches. Clients poll it over the control channel
+// (handleRelayPoll); a client that gives up asks the relay to park at
+// its next chunk boundary (handleRelayAbort), and a later attempt for
+// the same name attaches to a live relay instead of double-pushing the
+// staged file.
+type relayJob struct {
+	done     bool
+	ok       bool
+	abort    bool // park at the next chunk boundary (client gave up)
+	err      string
+	hasToken bool
+	token    sdk.SessionToken
+	start    float64 // session offset when this relay began
+	written  float64 // session offset now
+	info     sdk.FileInfo
+	seconds  float64
+}
+
+func (rj *relayJob) result() relayResult {
+	return relayResult{
+		OK: rj.ok || !rj.done, Done: rj.done, Err: rj.err,
+		Info: rj.info, Seconds: rj.seconds,
+		HasToken: rj.hasToken, Token: rj.token,
+		StartOffset: rj.start, Written: rj.written,
+	}
+}
+
+// handleRelayResume starts (or attaches to) the checkpoint-aware
+// store-and-forward second hop: the relay reattaches to the provider
+// session in the request's token when possible and uploads the staged
+// file chunk by chunk as a detached process, while the caller polls
+// with relayPoll. The immediate ack carries OK=false only for requests
+// that cannot start at all.
 func (a *Agent) handleRelayResume(p *simproc.Proc, c *transport.Conn, m relayResume) {
-	if m.Scope != "" {
-		// Relay under the caller's flow scope: the second hop's flows
-		// belong to the caller's transfer, and a multipath driver must
-		// be able to abort them by scoped label without touching other
-		// transfers relaying through this DTN.
-		old := p.Scope()
-		p.SetScope(m.Scope)
-		defer p.SetScope(old)
+	if rj, ok := a.relays[m.Name]; ok && !rj.done {
+		// A relay for this name is already in flight (a previous client
+		// stalled out and left; this is its retry, or a canary). Attach —
+		// one staged file gets one push — and withdraw any pending park
+		// request, since someone is watching again.
+		rj.abort = false
+		_ = c.Send(p, relayResult{OK: true}, ctrlBytes)
+		return
+	}
+	rj := &relayJob{}
+	a.relays[m.Name] = rj
+	a.tn.Runner().Go("agent-relay:"+a.host+":"+m.Name, func(rp *simproc.Proc) {
+		if m.Scope != "" {
+			// Relay under the caller's flow scope: the second hop's flows
+			// belong to the caller's transfer, and a multipath driver must
+			// be able to abort them by scoped label without touching other
+			// transfers relaying through this DTN.
+			rp.SetScope(m.Scope)
+		}
+		a.runRelay(rp, m, rj)
+	})
+	_ = c.Send(p, relayResult{OK: true}, ctrlBytes)
+}
+
+// runRelay is the detached relay body; it mutates rj as chunks land so
+// polls see live progress.
+func (a *Agent) runRelay(p *simproc.Proc, m relayResume, rj *relayJob) {
+	fail := func(msg string) {
+		rj.err = msg
+		rj.done = true
 	}
 	client, ok := a.clients[m.Provider]
 	if !ok {
-		_ = c.Send(p, relayResult{OK: false, Err: "unknown provider " + m.Provider}, ctrlBytes)
+		fail("unknown provider " + m.Provider)
 		return
 	}
 	st, ok := a.daemon.Staged(m.Name)
 	if !ok {
-		_ = c.Send(p, relayResult{OK: false, Err: "not staged: " + m.Name}, ctrlBytes)
+		fail("not staged: " + m.Name)
 		return
 	}
 	t0 := p.Now()
@@ -155,37 +267,95 @@ func (a *Agent) handleRelayResume(p *simproc.Proc, c *transport.Conn, m relayRes
 	if sess == nil {
 		s, err := client.BeginUpload(p, st.Name, st.Size, st.MD5)
 		if err != nil {
-			_ = c.Send(p, relayResult{OK: false, Err: err.Error()}, ctrlBytes)
+			fail(err.Error())
 			return
 		}
 		sess = s
 	}
-	start := sess.Written()
-	reply := func(res relayResult) {
-		res.StartOffset = start
-		res.Written = sess.Written()
+	rj.start = sess.Written()
+	sync := func() {
+		rj.written = sess.Written()
 		if ts, ok := sess.(sdk.TokenSession); ok {
-			res.Token, res.HasToken = ts.Token(), true
+			rj.token, rj.hasToken = ts.Token(), true
 		}
-		_ = c.Send(p, res, ctrlBytes)
 	}
-	var info sdk.FileInfo
+	sync()
+	// Adaptive chunk sizing, rate-based: aim every write at roughly
+	// relayChunkTargetSecs on the wire, clamped to [minRelayChunk,
+	// DefaultResumeChunk] and at most doubling per step. On a healthy
+	// provider path writes finish in ~1 s and the size pins to the
+	// ceiling; when the provider silently throttles this DTN a single
+	// slow write collapses the size, and because the learned value is
+	// per-provider agent state, every later relay starts small too —
+	// abort/park latency stays bounded by one SMALL chunk for as long
+	// as the slowness lasts, then the size climbs back.
+	chunk, ok := a.relayChunk[m.Provider]
+	if !ok || chunk <= 0 {
+		chunk = float64(DefaultResumeChunk)
+	}
 	for sess.Written() < st.Size {
-		n := min(float64(DefaultResumeChunk), st.Size-sess.Written())
-		last := sess.Written()+n >= st.Size
-		fi, err := sess.WriteChunk(p, n, last)
-		if err != nil {
-			reply(relayResult{OK: false, Err: err.Error()})
+		if rj.abort {
+			// The client stalled out and asked us to stop. Parking here —
+			// not finishing — matters: whatever gray slowness made the
+			// client give up is on OUR provider path, and grinding through
+			// it would pin the DTN's relay slot for the whole file. The
+			// session token in rj lets any retry resume at this offset.
+			fail("relay parked at client request")
 			return
 		}
-		info = fi
+		n := min(chunk, st.Size-sess.Written())
+		last := sess.Written()+n >= st.Size
+		w0 := p.Now()
+		fi, err := sess.WriteChunk(p, n, last)
+		sync()
+		if secs := float64(p.Now() - w0); secs > 0 {
+			if n/secs < slowRelayBps {
+				// Gray-slow write: retarget the next one at
+				// relayChunkTargetSecs so a park request is honored within
+				// one SMALL chunk, not one 8 MB grind.
+				next := chunk * relayChunkTargetSecs / secs
+				next = min(next, chunk*2)
+				chunk = max(next, float64(minRelayChunk))
+			} else if chunk < float64(DefaultResumeChunk) {
+				// Healthy again: climb back, doubling per write.
+				chunk = min(chunk*2, float64(DefaultResumeChunk))
+			}
+			a.relayChunk[m.Provider] = chunk
+		}
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		rj.info = fi
 	}
 	a.Relayed++
+	rj.seconds = float64(p.Now() - t0)
 	a.Trace.Emit("agent.relay.resume", map[string]any{
 		"name": st.Name, "provider": m.Provider, "bytes": st.Size,
-		"resumed_from": start, "seconds": float64(p.Now() - t0),
+		"resumed_from": rj.start, "seconds": rj.seconds,
 	})
-	reply(relayResult{OK: true, Info: info, Seconds: float64(p.Now() - t0)})
+	rj.ok = true
+	rj.done = true
+}
+
+// handleRelayPoll answers a client watching its detached relay.
+func (a *Agent) handleRelayPoll(p *simproc.Proc, c *transport.Conn, m relayPoll) {
+	rj, ok := a.relays[m.Name]
+	if !ok {
+		_ = c.Send(p, relayResult{OK: false, Done: true, Err: "no relay for " + m.Name}, ctrlBytes)
+		return
+	}
+	_ = c.Send(p, rj.result(), ctrlBytes)
+}
+
+// handleRelayAbort parks a detached relay at its next chunk boundary.
+// Idempotent and tolerant of unknown names (the relay may already have
+// finished and been superseded).
+func (a *Agent) handleRelayAbort(p *simproc.Proc, c *transport.Conn, m relayAbort) {
+	if rj, ok := a.relays[m.Name]; ok && !rj.done {
+		rj.abort = true
+	}
+	_ = c.Send(p, relayResult{OK: true, Done: true}, ctrlBytes)
 }
 
 // DirectUploadResumable is DirectUpload with checkpointed resume: it
@@ -224,6 +394,13 @@ func DirectUploadResumable(p *simproc.Proc, client sdk.Client, name string, size
 	checkpoint()
 	var info sdk.FileInfo
 	for sess.Written() < size {
+		if ck.AbortRequested() {
+			// Cooperative stall abort at the chunk boundary: the session
+			// token is checkpointed, so another route picks up from here.
+			checkpoint()
+			ck.observeHop2(start, sess.Written())
+			return Report{}, fmt.Errorf("core: direct upload %q at %.0f: %w", name, sess.Written(), ErrStall)
+		}
 		n := min(float64(DefaultResumeChunk), size-sess.Written())
 		last := sess.Written()+n >= size
 		fi, err := sess.WriteChunk(p, n, last)
@@ -233,6 +410,7 @@ func DirectUploadResumable(p *simproc.Proc, client sdk.Client, name string, size
 			return Report{}, fmt.Errorf("core: direct upload at %.0f: %w", sess.Written(), err)
 		}
 		checkpoint()
+		ck.noteProgress(sess.Written())
 		info = fi
 	}
 	ck.observeHop2(start, sess.Written())
@@ -270,21 +448,41 @@ func (d *DetourClient) UploadResumable(p *simproc.Proc, provider, name string, s
 			ck.abandonHop1(d.dtn)
 		}
 		ck.Hop1High = size
+		ck.noteProgress(size)
 	default:
 		offset := st.Partial
 		ck.abandonHop1(d.dtn)
 		ck.observeHop1(offset)
+		if ck.OnProgress != nil {
+			// Live hop-1 feed for the stall watchdog: the chunked push
+			// reports each acked chunk as it lands on the DTN's disk.
+			d.Rsync.Progress = func(sent float64) { ck.noteProgress(offset + sent) }
+			defer func() { d.Rsync.Progress = nil }()
+		}
+		// Cooperative stall abort between chunks: the daemon's per-chunk
+		// acks are the only place a push blocked on a dying staging disk
+		// can be given up on.
+		d.Rsync.Abort = ck.AbortRequested
+		defer func() { d.Rsync.Abort = nil }()
 		sent, err := d.Rsync.PushSizedResumable(p, name, size, offset, DefaultResumeChunk, md5)
 		if high := offset + sent; high > ck.Hop1High {
 			ck.Hop1High = high
 		}
 		if err != nil {
+			if errors.Is(err, rsyncx.ErrAborted) {
+				return Report{}, fmt.Errorf("core: detour hop1 %q at %.0f: %w", name, ck.Hop1High, ErrStall)
+			}
 			return Report{}, fmt.Errorf("core: detour hop1: %w", err)
 		}
 	}
 	hop1 := float64(p.Now() - h0)
 
-	// Hop 2: DTN -> provider through a resumable session.
+	// Hop 2: DTN -> provider through a detached resumable relay the
+	// client polls. Watching instead of blocking buys two things: the
+	// watchdog gets a live hop-2 watermark every poll, and a stalled
+	// client can give up (cooperative abort), parking the relay at its
+	// next chunk boundary with the staged file and provider session
+	// intact for whichever route retries.
 	c, err := d.tn.Dial(p, d.from, d.dtn, AgentPort, transport.DialOpts{})
 	if err != nil {
 		return Report{}, fmt.Errorf("core: detour agent dial: %w", err)
@@ -302,9 +500,45 @@ func (d *DetourClient) UploadResumable(p *simproc.Proc, provider, name string, s
 	if !ok {
 		return Report{}, fmt.Errorf("core: detour agent sent %T", msg.Payload)
 	}
+	if !res.OK {
+		// Refused outright (draining, protocol error) — nothing started.
+		return Report{}, fmt.Errorf("core: detour hop2: %s", res.Err)
+	}
+	for !res.Done {
+		if ck.AbortRequested() {
+			// Ask the DTN to park the relay at its next chunk boundary
+			// (best effort — a dead control channel is fine), then bail.
+			// The staged file and the provider session both survive: the
+			// checkpoint keeps the token, so the next attempt — any route —
+			// resumes from whatever landed.
+			_, _ = c.Exchange(p, relayAbort{Name: name}, ctrlBytes)
+			if res.HasToken {
+				ck.observeHop2(res.StartOffset, res.Written)
+			}
+			return Report{}, fmt.Errorf("core: detour hop2 %q at %.0f: %w", name, ck.Hop2High, ErrStall)
+		}
+		p.Sleep(relayPollInterval)
+		msg, err := c.Exchange(p, relayPoll{Name: name}, ctrlBytes)
+		if err != nil {
+			if res.HasToken {
+				ck.observeHop2(res.StartOffset, res.Written)
+			}
+			return Report{}, fmt.Errorf("core: detour agent: %w", err)
+		}
+		if res, ok = msg.Payload.(relayResult); !ok {
+			return Report{}, fmt.Errorf("core: detour agent sent %T", msg.Payload)
+		}
+		if res.HasToken {
+			// Token and watermark only; Hop2High accounting is settled
+			// once, by observeHop2, when this attempt ends.
+			ck.Session, ck.HasSession = res.Token, true
+			ck.noteProgress(size + res.Written)
+		}
+	}
 	if res.HasToken {
 		ck.Session, ck.HasSession = res.Token, true
 		ck.observeHop2(res.StartOffset, res.Written)
+		ck.noteProgress(size + res.Written)
 	}
 	if !res.OK {
 		return Report{}, fmt.Errorf("core: detour hop2: %s", res.Err)

@@ -121,6 +121,13 @@ func (s *Selector) Choose(p *simproc.Proc, direct sdk.Client, detours map[string
 type Bandit struct {
 	// Epsilon is the exploration probability (default 0.1).
 	Epsilon float64
+	// Weight, when non-nil, scales a route's score during selection —
+	// the hook the health layer uses to down-weight routes on probation
+	// (a sustained gray-failure outlier) without hard-excluding them.
+	// Healthy routes return 1; probation routes a small fraction. The
+	// raw throughput estimate is untouched, so a route that recovers is
+	// immediately competitive again.
+	Weight func(core.Route) float64
 
 	routes []core.Route
 	rng    *rand.Rand
@@ -173,15 +180,26 @@ func (b *Bandit) Next() core.Route {
 	return b.Best()
 }
 
-// Best returns the route with the highest observed throughput.
+// Best returns the route with the highest health-weighted observed
+// throughput.
 func (b *Bandit) Best() core.Route {
 	best := b.routes[0]
 	for _, r := range b.routes[1:] {
-		if b.ewma[r] > b.ewma[best] {
+		if b.Score(r) > b.Score(best) {
 			best = r
 		}
 	}
 	return best
+}
+
+// Score is the health-weighted throughput estimate selection ranks by:
+// Throughput(route) times the Weight hook (1 when no hook is set).
+func (b *Bandit) Score(route core.Route) float64 {
+	s := b.ewma[route]
+	if b.Weight != nil {
+		s *= b.Weight(route)
+	}
+	return s
 }
 
 // Observe records a completed transfer's outcome.

@@ -61,6 +61,20 @@ const (
 	// agent stops accepting new detour jobs while in-flight jobs (and
 	// checkpoint continuations carrying a session token) complete.
 	DTNDrain
+	// LinkSilentLoss is the first gray fault: the edge silently loses
+	// LossRate of its goodput for the window — capacity shrinks by
+	// (1-LossRate) — with NO routing-plane event, no flow kills, and no
+	// errors anywhere. Only throughput observation can see it.
+	LinkSilentLoss
+	// ProviderSlow is the slow-but-200 gray fault: for the window the
+	// provider ingests payloads from the named Sources at SlowBps while
+	// serving every request successfully — the real-world "one peering
+	// point is silently rate-limited" pathology.
+	ProviderSlow
+	// DTNDiskSlow is the dying-disk gray fault: the DTN's staging disk
+	// commits at DiskBps for the window, so relayed transfers crawl
+	// through hop 1 without a single error.
+	DTNDiskSlow
 )
 
 func (k Kind) String() string {
@@ -79,6 +93,12 @@ func (k Kind) String() string {
 		return "route-churn"
 	case DTNDrain:
 		return "dtn-drain"
+	case LinkSilentLoss:
+		return "link-silent-loss"
+	case ProviderSlow:
+		return "provider-slow"
+	case DTNDiskSlow:
+		return "dtn-disk-slow"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -121,14 +141,26 @@ type Spec struct {
 	// probabilities of an injected 500 and 429 during the window.
 	ErrorRate    float64
 	ThrottleRate float64
+
+	// LossRate (LinkSilentLoss) is the goodput fraction silently lost on
+	// the edge during the window; in (0, 1).
+	LossRate float64
+	// Sources (ProviderSlow) lists the client hosts whose payloads the
+	// provider silently throttles; SlowBps is their ingestion rate in
+	// bytes/second.
+	Sources []string
+	SlowBps float64
+	// DiskBps (DTNDiskSlow) is the degraded staging-disk write rate in
+	// bytes/second during the window.
+	DiskBps float64
 }
 
 // target renders the spec's subject for logs.
 func (s Spec) target() string {
 	switch s.Kind {
-	case LinkDown, LinkDegrade:
+	case LinkDown, LinkDegrade, LinkSilentLoss:
 		return s.From + "<->" + s.To
-	case DTNCrash, DTNDrain:
+	case DTNCrash, DTNDrain, DTNDiskSlow:
 		return s.DTN
 	case RouteChurn:
 		if s.DomainA != "" {
@@ -219,6 +251,27 @@ func (inj *Injector) validate(sp Spec) {
 	case LinkDown, LinkDegrade:
 		if _, ok := inj.w.Graph.Edge(sp.From, sp.To); !ok {
 			panic(fmt.Sprintf("faults: %s: no edge %s->%s", sp.Kind, sp.From, sp.To))
+		}
+	case LinkSilentLoss:
+		if _, ok := inj.w.Graph.Edge(sp.From, sp.To); !ok {
+			panic(fmt.Sprintf("faults: %s: no edge %s->%s", sp.Kind, sp.From, sp.To))
+		}
+		if sp.LossRate <= 0 || sp.LossRate >= 1 {
+			panic(fmt.Sprintf("faults: %s %s: loss rate must be in (0,1)", sp.Kind, sp.target()))
+		}
+	case ProviderSlow:
+		if inj.w.Services[sp.Provider] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown provider %q", sp.Kind, sp.Provider))
+		}
+		if len(sp.Sources) == 0 || sp.SlowBps <= 0 {
+			panic(fmt.Sprintf("faults: %s %s: needs Sources and positive SlowBps", sp.Kind, sp.target()))
+		}
+	case DTNDiskSlow:
+		if inj.w.Daemons[sp.DTN] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown DTN %q", sp.Kind, sp.DTN))
+		}
+		if sp.DiskBps <= 0 {
+			panic(fmt.Sprintf("faults: %s %s: needs positive DiskBps", sp.Kind, sp.target()))
 		}
 	case ProviderOutage, ProviderErrors:
 		if inj.w.Services[sp.Provider] == nil {
@@ -338,6 +391,31 @@ func (inj *Injector) apply(sp *state, active bool) {
 		}
 	case RouteChurn:
 		inj.applyChurn(sp, active)
+	case LinkSilentLoss:
+		// Gray by construction: capacity quietly shrinks by the loss
+		// fraction. Nothing is published, no flow dies — existing
+		// transfers just slow down, exactly what silent loss does to TCP.
+		inj.applySilentLoss(sp, active)
+	case ProviderSlow:
+		svc := inj.w.Services[sp.Provider]
+		if active {
+			if svc.SlowFor == nil {
+				svc.SlowFor = make(map[string]float64)
+			}
+			for _, src := range sp.Sources {
+				svc.SlowFor[src] = sp.SlowBps
+			}
+		} else {
+			for _, src := range sp.Sources {
+				delete(svc.SlowFor, src)
+			}
+		}
+	case DTNDiskSlow:
+		if active {
+			inj.w.Daemons[sp.DTN].DiskBps = sp.DiskBps
+		} else {
+			inj.w.Daemons[sp.DTN].DiskBps = 0
+		}
 	case DTNDrain:
 		if active {
 			inj.w.Agents[sp.DTN].Drain()
@@ -434,6 +512,29 @@ func (inj *Injector) applyDegrade(sp *state, active bool) {
 	}
 }
 
+// applySilentLoss shrinks or restores both directions of the edge by
+// the loss fraction — like applyDegrade, but with no bus publish and no
+// load change: the degradation is invisible to everything except the
+// throughput the link delivers.
+func (inj *Injector) applySilentLoss(sp *state, active bool) {
+	fl := inj.w.Graph.Fluid()
+	for _, dir := range [][2]string{{sp.From, sp.To}, {sp.To, sp.From}} {
+		e, ok := inj.w.Graph.Edge(dir[0], dir[1])
+		if !ok {
+			continue
+		}
+		if active {
+			if sp.savedCap == nil {
+				sp.savedCap = make(map[[2]string]float64)
+			}
+			sp.savedCap[dir] = e.Link.Capacity
+			fl.SetLinkCapacity(e.Link, e.Link.Capacity*(1-sp.LossRate))
+		} else if c, ok := sp.savedCap[dir]; ok {
+			fl.SetLinkCapacity(e.Link, c)
+		}
+	}
+}
+
 // Transitions returns the applied-transition log, one line per state
 // change, in order. The log is deterministic for a given seed and
 // schedule.
@@ -455,6 +556,31 @@ func CannedSchedule() []Spec {
 		{Kind: ProviderErrors, Provider: scenario.GoogleDrive, Start: 120, Duration: 45, Period: 400, ErrorRate: 0.25, ThrottleRate: 0.15},
 		{Kind: ProviderOutage, Provider: scenario.Dropbox, Start: 200, Duration: 30, Period: 600},
 		{Kind: DTNCrash, DTN: scenario.UAlberta, Start: 350, Duration: 40},
+	}
+}
+
+// GrayfailSchedule is the gray-failure scenario the grayfail example
+// and `detourd -grayfail` replay. Nothing in it (bar one short
+// hard-error burst so the retry budget has something to meter) ever
+// returns an error: the CANARIE Vancouver–Edmonton leg silently sheds
+// half its goodput for a minute, then Google Drive silently throttles
+// ingestion from the UAlberta DTN for thirty-five minutes (the
+// favorite UBC detour's second hop crawls while every request still
+// 200s), and finally UAlberta's staging disk degrades for thirty
+// minutes (the same detour's first hop crawls). The long windows are
+// the point: a gray failure lasts until someone notices, and nothing
+// in the ablation ever does.
+func GrayfailSchedule() []Spec {
+	return []Spec{
+		{Kind: LinkSilentLoss, From: "vncv1", To: "edmn1", LossRate: 0.5,
+			Start: 60, Duration: 60},
+		{Kind: ProviderSlow, Provider: scenario.GoogleDrive,
+			Sources: []string{scenario.UAlberta}, SlowBps: 0.05 * scenario.MBps,
+			Start: 150, Duration: 2100},
+		{Kind: ProviderErrors, Provider: scenario.GoogleDrive,
+			Start: 650, Duration: 120, ErrorRate: 0.35, ThrottleRate: 0.2},
+		{Kind: DTNDiskSlow, DTN: scenario.UAlberta, DiskBps: 0.15 * scenario.MBps,
+			Start: 2700, Duration: 1800},
 	}
 }
 

@@ -100,6 +100,11 @@ func (r *Response) OK() bool { return r.Status >= 200 && r.Status < 300 }
 type StatusError struct {
 	Status int
 	Body   string
+	// RetryAfter is the parsed Retry-After header in seconds (0 when the
+	// response carried none). Surfaced so callers above the SDK's own
+	// throttle loop — the scheduler's backoff, notably — can honor the
+	// provider's pacing hint instead of guessing.
+	RetryAfter float64
 }
 
 // Error implements error.
@@ -113,7 +118,11 @@ func (r *Response) Error() error {
 	if r.OK() {
 		return nil
 	}
-	return &StatusError{Status: r.Status, Body: strings.TrimSpace(string(r.Body))}
+	se := &StatusError{Status: r.Status, Body: strings.TrimSpace(string(r.Body))}
+	if v, ok := r.Header["Retry-After"]; ok {
+		fmt.Sscanf(v, "%f", &se.RetryAfter)
+	}
+	return se
 }
 
 // Ctx is passed to handlers.

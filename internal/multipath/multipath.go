@@ -104,6 +104,15 @@ type Env struct {
 	// landed: compose the parts, in index order, into the final object.
 	// Nil skips the commit (tests that only exercise the scheduler).
 	Commit func(p *simproc.Proc, parts []string) error
+	// Budget, when set (and Abort is set), arms the per-lane stall
+	// watchdog: it returns the gray-failure time budget for moving size
+	// bytes over route (the health layer's adaptive floor). A dispatch
+	// that outlives its budget is aborted; the lane sees a reset, the
+	// chunk releases to a healthier lane, and a lane that keeps stalling
+	// retires through the normal consecutive-failure path. Nil disables
+	// lane watchdogs. A non-positive returned budget exempts that
+	// dispatch.
+	Budget func(route core.Route, size float64) float64
 	// Trace receives mp.* events; nil is safe.
 	Trace *tracelog.Log
 }
@@ -188,6 +197,10 @@ func Layout(size, chunk float64, k, split int) []float64 {
 // maxDispatch bounds dispatches per chunk (failures and hedges
 // combined) so a poisoned chunk cannot loop forever.
 const maxDispatch = 8
+
+// laneWatchInterval is the lane watchdog's poll period in virtual
+// seconds (matching the health tracker's default check interval).
+const laneWatchInterval = 5
 
 // maxPathFails retires a path after this many consecutive failures.
 const maxPathFails = 4
@@ -298,6 +311,11 @@ func Run(p *simproc.Proc, spec Spec, paths []Path, env Env) (Report, error) {
 		r.Go(fmt.Sprintf("mp:%s:path%d", spec.Name, ps.path.ID), func(pp *simproc.Proc) {
 			pp.SetScope(FlowScope(spec.Name))
 			st.runPath(pp, ps)
+		})
+	}
+	if env.Budget != nil && env.Abort != nil {
+		r.Go(fmt.Sprintf("mp:%s:watchdog", spec.Name), func(pp *simproc.Proc) {
+			st.watchLanes(pp)
 		})
 	}
 	for range st.paths {
@@ -506,6 +524,11 @@ func (st *state) abortOthers(ps *pathState, cid int) {
 	}
 	for _, q := range st.paths {
 		if q != ps && q.current == cid {
+			// Both levers: kill the loser's live flows AND raise its
+			// checkpoint's cooperative latch, so a dispatch idling between
+			// flows (polling a detour relay, waiting on a daemon ack) still
+			// observes the abort at its next safe point.
+			q.ck.RequestAbort()
 			st.env.Abort(q.path)
 		}
 	}
@@ -564,6 +587,9 @@ func (st *state) runPath(p *simproc.Proc, ps *pathState) {
 		for tries := 0; ; tries++ {
 			t0 := float64(p.Now())
 			ps.startedAt = t0
+			// A latch raised by a previous abort (lane watchdog or a lost
+			// hedge) must not poison this fresh dispatch.
+			ps.ck.ResetAbort()
 			err = ps.up.UploadChunk(p, part, sz, &ps.ck)
 			ps.busy += float64(p.Now()) - t0
 			if err == nil || st.chunks[cid].status == chunkDone || tries >= 1 ||
@@ -620,6 +646,38 @@ func (st *state) runPath(p *simproc.Proc, ps *pathState) {
 		p.Sleep(simclock.Duration(backoff))
 		if backoff < 8 {
 			backoff *= 2
+		}
+	}
+}
+
+// watchLanes is the per-lane gray-failure watchdog: any lane whose
+// current dispatch has outlived its Env.Budget is aborted. The abort
+// surfaces in the lane as a reset; the normal failure path releases the
+// chunk to a healthier lane, and a lane that keeps stalling retires
+// through the consecutive-failure counter. The budget clock restarts on
+// each dispatch try (startedAt), so an in-place resume retry gets a
+// fresh window.
+func (st *state) watchLanes(p *simproc.Proc) {
+	for !st.finished {
+		p.Sleep(simclock.Duration(laneWatchInterval))
+		now := float64(p.Now())
+		for _, ps := range st.paths {
+			if ps.current < 0 || ps.retired {
+				continue
+			}
+			budget := st.env.Budget(ps.path.Route, st.chunks[ps.current].size)
+			if budget <= 0 || now-ps.startedAt <= budget {
+				continue
+			}
+			st.env.Trace.Emit("mp.lane.stall", map[string]any{
+				tracelog.AttrPath: ps.path.ID, tracelog.AttrChunk: ps.current,
+				tracelog.AttrRoute: ps.path.Route.String(),
+			})
+			// Flow kill plus cooperative latch: a gray-slow dispatch may
+			// have no client-side flow in flight to kill (the slowness is a
+			// peer process grinding), so the latch is what actually stops it.
+			ps.ck.RequestAbort()
+			st.env.Abort(ps.path)
 		}
 	}
 }

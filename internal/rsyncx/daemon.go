@@ -1,6 +1,7 @@
 package rsyncx
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -26,7 +27,11 @@ type Daemon struct {
 	host string
 	// BlockSize for signatures; DefaultBlockSize when zero.
 	BlockSize int
-	staging   map[string]*Staged
+	// DiskBps, when positive, throttles the staging disk's write path to
+	// this many bytes/second — the gray-failure injector's dying-disk
+	// knob. Pushes still succeed (no errors, ever); they just crawl.
+	DiskBps float64
+	staging map[string]*Staged
 	// partials holds in-progress chunked pushes keyed by name. Like the
 	// staging area this models the DTN's disk: a daemon crash loses
 	// connections but not partials, which is what makes resume work.
@@ -255,6 +260,9 @@ func (d *Daemon) handlePush(p *simproc.Proc, c *transport.Conn, req pushReq) {
 		_ = c.Send(p, ack{OK: false, Err: "expected delta"}, ctrlBytes)
 		return
 	}
+	if d.DiskBps > 0 && req.Size > 0 {
+		p.Sleep(req.Size / d.DiskBps)
+	}
 	st := &Staged{Name: req.Name, Size: req.Size, MD5: dm.MD5}
 	if req.HasData {
 		if dm.Delta == nil {
@@ -315,8 +323,20 @@ func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunk
 			_ = c.Send(p, ack{OK: false, Err: "expected chunk"}, ctrlBytes)
 			return
 		}
+		if d.DiskBps > 0 && ch.Bytes > 0 {
+			// A degraded disk commits the chunk slowly; the client's ack
+			// (and the next chunk's processing) waits on the write.
+			p.Sleep(ch.Bytes / d.DiskBps)
+		}
 		pt.received += ch.Bytes
 		if !ch.Last {
+			// Per-chunk ack: real backpressure. The client sends the next
+			// chunk only after this one is committed to disk, so a dying
+			// disk's slowness is visible (and escapable) client-side
+			// instead of hiding behind a deep untracked inbox.
+			if err := c.Send(p, ack{OK: true}, ctrlBytes); err != nil {
+				return
+			}
 			continue
 		}
 		if math.Abs(pt.received-req.Size) > 1e-6 {
@@ -338,7 +358,21 @@ type Client struct {
 	dtn  string
 	// BlockSize for delta computation; DefaultBlockSize when zero.
 	BlockSize int
+	// Progress, when non-nil, receives the cumulative payload bytes the
+	// daemon has acked during a chunked push — the live feed a stall
+	// watchdog keys on. Advisory only; wire accounting is the return
+	// value of PushSizedResumable.
+	Progress func(sent float64)
+	// Abort, when non-nil, is polled between chunks of a chunked push; a
+	// true return abandons the push with ErrAborted. The daemon's
+	// confirmed partial survives for the next resume.
+	Abort func() bool
 }
+
+// ErrAborted reports a chunked push abandoned because the client's
+// Abort hook fired — a cooperative stall abort, not a failure of the
+// daemon or the path.
+var ErrAborted = errors.New("rsyncx: push aborted by caller")
 
 // NewClient returns an rsync client from `from` to the daemon at `dtn`.
 func NewClient(tn *transport.Net, from, dtn string) *Client {
@@ -470,6 +504,9 @@ func (cl *Client) PushSizedResumable(p *simproc.Proc, name string, size, offset,
 	}
 	pos := offset
 	for {
+		if cl.Abort != nil && cl.Abort() {
+			return sent, ErrAborted
+		}
 		n := chunkBytes
 		last := false
 		if pos+n >= size {
@@ -479,10 +516,18 @@ func (cl *Client) PushSizedResumable(p *simproc.Proc, name string, size, offset,
 		if err := c.Send(p, pushChunk{Bytes: n, Last: last}, n+ctrlBytes); err != nil {
 			return sent, err
 		}
+		// Every chunk is acked after the daemon commits it to disk —
+		// backpressure, and the safe point the Abort hook is checked at.
+		if err := recvAck(p, c); err != nil {
+			return sent, err
+		}
 		sent += n
 		pos += n
+		if cl.Progress != nil {
+			cl.Progress(sent)
+		}
 		if last {
-			return sent, recvAck(p, c)
+			return sent, nil
 		}
 	}
 }

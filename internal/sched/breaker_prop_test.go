@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBreakerHalfOpenSingleProbe is the half-open admission property:
+// however many workers race at a breaker whose cooldown just elapsed,
+// exactly one is admitted as the probe — the rest keep being rejected
+// until the probe reports. Run under -race this also proves the state
+// machine's locking.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	const workers = 32
+	var now float64
+	bs := newBreakerSet(1, 10, func() float64 { return now })
+
+	bs.failure("k") // threshold 1: opens immediately
+	if bs.allow("k") {
+		t.Fatal("open breaker admitted a job inside the cooldown")
+	}
+
+	// Round 1: cooldown elapsed, workers race. Exactly one probe.
+	now = 15
+	admitted := raceAllow(bs, "k", workers)
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", admitted)
+	}
+
+	// The probe fails: straight back to open, nobody admitted until the
+	// next cooldown elapses.
+	bs.failure("k")
+	if bs.allow("k") {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+
+	// Round 2: another cooldown, another single probe — this time it
+	// succeeds and the breaker closes for everyone.
+	now = 30
+	if admitted := raceAllow(bs, "k", workers); admitted != 1 {
+		t.Fatalf("re-entered half-open admitted %d probes, want 1", admitted)
+	}
+	bs.success("k")
+	if admitted := raceAllow(bs, "k", workers); admitted != workers {
+		t.Fatalf("closed breaker admitted %d of %d", admitted, workers)
+	}
+}
+
+// raceAllow fires n concurrent allow calls and returns how many were
+// admitted.
+func raceAllow(bs *breakerSet, key string, n int) int {
+	var admitted int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if bs.allow(key) {
+				atomic.AddInt64(&admitted, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	return int(admitted)
+}

@@ -121,6 +121,9 @@ type RouteCache struct {
 	now         func() float64
 	rng         *rand.Rand
 	entries     map[CacheKey]*entry
+	// weight, when set, multiplies each candidate's bandit score at
+	// election time — the health layer's probation down-weighting hook.
+	weight      func(core.Route) float64
 	hits        int64
 	misses      int64
 	invalidates int64
@@ -146,6 +149,20 @@ func NewRouteCache(ttl, quarantineTTL float64, now func() float64, rng *rand.Ran
 	return &RouteCache{
 		ttl: ttl, quarantine: quarantineTTL, now: now, rng: rng,
 		entries: make(map[CacheKey]*entry),
+	}
+}
+
+// SetWeight installs the selection-weight hook applied to every
+// entry's bandit at election time (see detourselect.Bandit.Weight).
+// Entries created before the call pick the hook up too. nil removes it.
+func (c *RouteCache) SetWeight(w func(core.Route) float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.weight = w
+	for _, e := range c.entries {
+		if e.bandit != nil {
+			e.bandit.Weight = w
+		}
 	}
 }
 
@@ -208,6 +225,7 @@ func (c *RouteCache) InsertWithPaths(k CacheKey, route core.Route, candidates []
 	}
 	if len(e.candidates) > 0 {
 		e.bandit = detourselect.NewBanditRand(e.candidates, c.rng)
+		e.bandit.Weight = c.weight
 	}
 	c.entries[k] = e
 }
@@ -229,7 +247,7 @@ func (c *RouteCache) Observe(k CacheKey, route core.Route, sizeBytes, seconds fl
 		if c.benched(e, r, now) {
 			continue
 		}
-		if t := e.bandit.Throughput(r); t > bestT {
+		if t := e.bandit.Score(r); t > bestT {
 			best, bestT = r, t
 		}
 	}
@@ -402,7 +420,7 @@ func (c *RouteCache) electLocked(e *entry, now float64) core.Route {
 		}
 		t := 0.0
 		if e.bandit != nil {
-			t = e.bandit.Throughput(r)
+			t = e.bandit.Score(r)
 		}
 		if t > bestT {
 			best, bestT = r, t

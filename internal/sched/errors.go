@@ -3,6 +3,8 @@ package sched
 import (
 	"errors"
 	"fmt"
+
+	"detournet/internal/core"
 )
 
 // Failure taxonomy: executors classify errors so the scheduler can
@@ -43,6 +45,13 @@ const (
 	FailRouteDown
 	// FailProviderDown waits out the outage without blaming the route.
 	FailProviderDown
+	// FailStall is a gray failure: the watchdog aborted a transfer that
+	// was serving no errors but crawling below its adaptive floor. The
+	// scheduler treats it as route-down-lite — fail over immediately,
+	// checkpoint intact, without consuming a MaxAttempts slot — because
+	// the stalled attempt produced useful progress and blame belongs to
+	// the path, not the job.
+	FailStall
 )
 
 func (c FailureClass) String() string {
@@ -53,6 +62,8 @@ func (c FailureClass) String() string {
 		return "route-down"
 	case FailProviderDown:
 		return "provider-down"
+	case FailStall:
+		return "stall"
 	default:
 		return "unknown"
 	}
@@ -62,6 +73,8 @@ func (c FailureClass) String() string {
 // chains classify correctly.
 func Classify(err error) FailureClass {
 	switch {
+	case errors.Is(err, core.ErrStall):
+		return FailStall
 	case errors.Is(err, ErrRouteDown):
 		return FailRouteDown
 	case errors.Is(err, ErrProviderDown):
@@ -105,6 +118,32 @@ func (e *ShedError) Error() string {
 }
 
 func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// ErrRetryBudget reports a job parked because its provider's retry
+// token bucket ran dry — the health layer's defense against retry
+// storms amplifying a brownout into a metastable failure. The concrete
+// error is a *BudgetError carrying a retry-after hint.
+var ErrRetryBudget = errors.New("sched: provider retry budget exhausted")
+
+// BudgetError is the typed outcome of a retry denied by the provider's
+// health-layer retry budget: the job fails fast with its checkpoint
+// accounting intact rather than spending another attempt against a
+// provider whose failures have outrun its successes. errors.Is matches
+// ErrRetryBudget.
+type BudgetError struct {
+	// Provider is the bucket that ran dry.
+	Provider string
+	// RetryAfter advises, in scheduler-clock seconds, how long to wait
+	// before resubmitting — long enough for in-flight successes to earn
+	// tokens back.
+	RetryAfter float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sched: retry budget exhausted for provider %s (retry after %.1fs)", e.Provider, e.RetryAfter)
+}
+
+func (e *BudgetError) Is(target error) bool { return target == ErrRetryBudget }
 
 // Transient tags err as a transient failure.
 func Transient(err error) error { return taggedError{tag: ErrTransient, err: err} }

@@ -1,0 +1,298 @@
+// Grayfail replay: the gray-failure harness behind `make grayfail`,
+// the examples/grayfail program, detourd's -grayfail mode, and the
+// grayfail acceptance tests. One RunGrayfail call builds a world, arms
+// the faults.GrayfailSchedule — degradations that never return an
+// error: a provider silently throttling one peering point, a DTN's
+// staging disk dying slowly, a link shedding goodput — and drives a
+// fixed UBC fleet through the scheduler, either with the health stack
+// (stall watchdogs, outlier ejection with canary re-admission, retry
+// budgets) or as the DisableHealth ablation that must discover the
+// same degradations the hard way, through the bandit's slow relearning.
+//
+// Everything is deterministic per seed: Workers is 1 (sequential ⇒
+// deterministic), faults are pure functions of the virtual clock, and
+// the report renderer only iterates sorted data. Same seed, same
+// binary ⇒ byte-identical output, which `make check` verifies.
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"detournet/internal/faults"
+	"detournet/internal/health"
+	"detournet/internal/scenario"
+)
+
+// GrayfailOptions configures one gray-failure replay.
+type GrayfailOptions struct {
+	// Seed drives the world and the injected error bits.
+	Seed int64
+	// Jobs is the fleet size (default 60); Size the bytes per transfer
+	// (default 60 MB — long enough that degradation windows land
+	// mid-flight).
+	Jobs int
+	Size float64
+	// Stack arms the health layer. False runs the DisableHealth
+	// ablation: same scheduler, same retries, no gray-failure detection.
+	Stack bool
+}
+
+// GrayfailOutcome is one replay's complete, deterministic result set.
+type GrayfailOutcome struct {
+	// Results in completion order.
+	Results []Result
+	Stats   Stats
+	// Transitions is the fault injector's transition log.
+	Transitions []string
+	// Health is the tracker's transition log (probation entries/exits,
+	// budget exhaustions); empty for the ablation.
+	Health []string
+	// Table and Budgets are the tracker's final entity and retry-bucket
+	// snapshots; empty for the ablation.
+	Table   []health.EntityHealth
+	Budgets []health.RetryBudget
+	// StallTimes are the virtual times of watchdog aborts (the
+	// health.stall trace events), in order — the detection signal.
+	StallTimes []float64
+	// VirtualSeconds is the total simulated time the replay spanned.
+	VirtualSeconds float64
+}
+
+// Goodput is the replay's delivered rate: successfully transferred
+// bytes over the virtual seconds the whole fleet took.
+func (o GrayfailOutcome) Goodput() float64 {
+	if o.VirtualSeconds <= 0 {
+		return 0
+	}
+	var bytes float64
+	for _, r := range o.Results {
+		if r.Err == nil {
+			bytes += r.Job.Size
+		}
+	}
+	return bytes / o.VirtualSeconds
+}
+
+// RunGrayfail replays the gray-failure scenario once.
+func RunGrayfail(o GrayfailOptions) GrayfailOutcome {
+	if o.Jobs <= 0 {
+		o.Jobs = 60
+	}
+	if o.Size <= 0 {
+		o.Size = 60e6
+	}
+	w := scenario.Build(o.Seed)
+	inj := faults.NewInjector(w, o.Seed, faults.GrayfailSchedule()...)
+	exec := NewSimExecutor(w)
+	defer exec.Close()
+
+	var results []Result
+	cfg := Config{
+		Workers:  1, // sequential ⇒ deterministic
+		Executor: exec, Planner: exec,
+		MaxAttempts: 4,
+		// Longer than the whole replay: a short TTL would let BOTH arms
+		// escape a gray window by getting lucky with a re-probe, turning
+		// the comparison into a TTL-timing lottery. Pinning it means the
+		// ablation can only escape through the bandit's slow relearning
+		// and the stack only through the health layer — which is exactly
+		// the delta the replay measures.
+		CacheTTL: 3600,
+		Now:      exec.VirtualNow,
+		Sleep:    exec.SleepVirtual,
+		OnResult: func(r Result) { results = append(results, r) },
+	}
+	var tracker *health.Tracker
+	if o.Stack {
+		tracker = health.New(health.Options{
+			Now: exec.VirtualNow, Trace: w.Trace,
+			// One canary per few transfers: jobs run tens of seconds, so
+			// 60 s (doubling per miss) probes a probationary route often
+			// enough to re-admit it promptly once a window closes without
+			// flooding it while the window is open.
+			CanaryInterval: 60,
+		})
+		cfg.Health = tracker
+	} else {
+		cfg.DisableHealth = true
+	}
+	s := New(cfg)
+	s.Start()
+	// A single-site fleet: UBC to Google Drive. Its favorite detour via
+	// UAlberta is exactly what the schedule silently sickens — first the
+	// provider throttles the DTN's peering point (the relay hop crawls,
+	// invisibly to the client), then the DTN's staging disk degrades
+	// (the first hop crawls, visibly slowly).
+	for i := 0; i < o.Jobs; i++ {
+		err := s.Submit(Job{
+			Tenant: "grayfail", Client: scenario.UBC,
+			Provider: scenario.GoogleDrive,
+			Name:     fmt.Sprintf("gray-%03d.bin", i), Size: o.Size,
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	s.Drain()
+	st := s.Stats()
+	s.Close()
+	out := GrayfailOutcome{
+		Results: results, Stats: st,
+		Transitions:    inj.Transitions(),
+		VirtualSeconds: exec.VirtualNow(),
+	}
+	for _, ev := range w.Trace.Filter("health.stall") {
+		out.StallTimes = append(out.StallTimes, ev.At)
+	}
+	if tracker != nil {
+		out.Health = tracker.Transitions()
+		out.Table = tracker.Snapshot()
+		out.Budgets = tracker.RetryBudgets()
+	}
+	return out
+}
+
+// GrayDetection is one silent fault window and when the watchdog first
+// caught it.
+type GrayDetection struct {
+	// Fault is the injector kind string (e.g. "provider-slow").
+	Fault string
+	// Start is the window's first activation time; DetectedAt the first
+	// watchdog abort at or after it (-1 when none fired).
+	Start      float64
+	DetectedAt float64
+}
+
+// Latency is detection time minus window start (-1 when undetected).
+func (d GrayDetection) Latency() float64 {
+	if d.DetectedAt < 0 {
+		return -1
+	}
+	return d.DetectedAt - d.Start
+}
+
+// GrayfailVerdict is the acceptance arithmetic over an ablation/stack
+// pair.
+type GrayfailVerdict struct {
+	// ControlGoodput and StackGoodput are delivered bytes/sec; Speedup
+	// their ratio (the health stack's recovery factor).
+	ControlGoodput float64
+	StackGoodput   float64
+	// ControlFailed and StackFailed count terminal failures.
+	ControlFailed int
+	StackFailed   int
+	// Detections holds, per gray fault kind, the first watchdog catch.
+	Detections []GrayDetection
+	// RetrySpent and RetryDenied aggregate the stack's retry-bucket
+	// consumption, proving retries stayed under the budget cap.
+	RetrySpent  int
+	RetryDenied int
+}
+
+// Speedup is stack goodput over control goodput (0 when control is 0).
+func (v GrayfailVerdict) Speedup() float64 {
+	if v.ControlGoodput <= 0 {
+		return 0
+	}
+	return v.StackGoodput / v.ControlGoodput
+}
+
+// grayWindowStarts extracts each gray fault kind's first activation
+// time from the injector's transition log.
+func grayWindowStarts(transitions []string) []GrayDetection {
+	kinds := []string{"provider-slow", "dtn-disk-slow"}
+	var out []GrayDetection
+	for _, kind := range kinds {
+		for _, line := range transitions {
+			if !strings.Contains(line, " "+kind+" ") || !strings.HasSuffix(line, "active=true") {
+				continue
+			}
+			var t float64
+			if _, err := fmt.Sscanf(line, "t=%f", &t); err == nil {
+				out = append(out, GrayDetection{Fault: kind, Start: t, DetectedAt: -1})
+			}
+			break
+		}
+	}
+	return out
+}
+
+// CompareGrayfail scores the DisableHealth ablation against the health
+// stack for the same fleet and seed.
+func CompareGrayfail(control, stack GrayfailOutcome) GrayfailVerdict {
+	v := GrayfailVerdict{
+		ControlGoodput: control.Goodput(),
+		StackGoodput:   stack.Goodput(),
+	}
+	for _, r := range control.Results {
+		if r.Err != nil {
+			v.ControlFailed++
+		}
+	}
+	for _, r := range stack.Results {
+		if r.Err != nil {
+			v.StackFailed++
+		}
+	}
+	v.Detections = grayWindowStarts(stack.Transitions)
+	for i := range v.Detections {
+		for _, t := range stack.StallTimes {
+			if t >= v.Detections[i].Start {
+				v.Detections[i].DetectedAt = t
+				break
+			}
+		}
+	}
+	for _, b := range stack.Budgets {
+		v.RetrySpent += b.Spent
+		v.RetryDenied += b.Denied
+	}
+	return v
+}
+
+// WriteGrayfailReport renders the deterministic with/without report the
+// grayfail example and detourd's -grayfail mode print.
+func WriteGrayfailReport(out io.Writer, control, stack GrayfailOutcome) {
+	line := func(label string, o GrayfailOutcome) {
+		st := o.Stats
+		fmt.Fprintf(out, "%-8s %3d done %3d failed | %d stalls %d stall-reroutes %d canaries %d budget-parked | %d retries | goodput %.2f MB/s | %.0f virtual s\n",
+			label, st.Done, st.Failed, st.Stalls, st.StallReroutes, st.Canaries,
+			st.BudgetParks, st.Retries, o.Goodput()/1e6, o.VirtualSeconds)
+	}
+	fmt.Fprintf(out, "Grayfail: %d transfers vs silent degradation (%d fault transitions, hard errors only in the t=650-770 burst)\n",
+		len(stack.Results), len(stack.Transitions))
+	line("control", control)
+	line("stack", stack)
+
+	v := CompareGrayfail(control, stack)
+	fmt.Fprintf(out, "goodput %.2fx the no-health ablation\n", v.Speedup())
+	fmt.Fprintln(out, "detection (first watchdog abort at or after each silent window opens):")
+	for _, d := range v.Detections {
+		if d.DetectedAt < 0 {
+			fmt.Fprintf(out, "  %-14s window t=%-5.0f undetected\n", d.Fault, d.Start)
+			continue
+		}
+		fmt.Fprintf(out, "  %-14s window t=%-5.0f first stall t=%-7.1f latency %.1fs\n",
+			d.Fault, d.Start, d.DetectedAt, d.Latency())
+	}
+	fmt.Fprintln(out, "health transitions:")
+	for _, tr := range stack.Health {
+		fmt.Fprintf(out, "  %s\n", tr)
+	}
+	fmt.Fprintln(out, "health table:")
+	for _, e := range stack.Table {
+		state := "healthy"
+		if e.Probation {
+			state = "probation"
+		}
+		fmt.Fprintf(out, "  %-9s %-16s baseline %6.2f MB/s  %-9s stalls %d  obs %d\n",
+			e.Class, e.Entity, e.Baseline/1e6, state, e.Stalls, e.Observations)
+	}
+	fmt.Fprintln(out, "retry budgets:")
+	for _, b := range stack.Budgets {
+		fmt.Fprintf(out, "  %-12s tokens %.1f  spent %d  denied %d\n",
+			b.Provider, b.Tokens, b.Spent, b.Denied)
+	}
+}

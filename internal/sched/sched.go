@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"detournet/internal/core"
+	"detournet/internal/health"
+	"detournet/internal/httpsim"
 	"detournet/internal/multipath"
 )
 
@@ -179,6 +181,13 @@ func (f PlannerFunc) Plan(c, p string, s float64) (core.Route, []core.Route, err
 	return f(c, p, s)
 }
 
+// HealthAware is an Executor that accepts the shared gray-failure
+// tracker — the hook through which the simulation executor arms its
+// stall watchdogs with the scheduler's learned baselines.
+type HealthAware interface {
+	SetHealth(*health.Tracker)
+}
+
 // PathAwarePlanner is a Planner that can also report the node/domain
 // hops each candidate route traverses. A scheduler whose planner
 // implements it stores those paths alongside cache entries, which is
@@ -314,6 +323,18 @@ type Config struct {
 	// under ~4 MB, where detour gains are smallest; -1 = none).
 	BrownoutSmallBucket int
 
+	// Health, when set, arms the gray-failure layer: stall watchdogs on
+	// supporting executors (aborted transfers surface core.ErrStall and
+	// fail over without burning an attempt), outlier ejection feeding the
+	// route cache's bandit weights (probation routes are down-weighted,
+	// not excluded, and re-admitted by canary transfers), and
+	// per-provider retry budgets (exhaustion parks the job with a
+	// *BudgetError). nil turns all of it off.
+	Health *health.Tracker
+	// DisableHealth ignores Health even when set — the ablation switch,
+	// so A/B harnesses can share one config constructor.
+	DisableHealth bool
+
 	// Backoff shapes the retry delays.
 	Backoff Backoff
 	// Rand seeds backoff jitter and the cache's bandit (default a
@@ -388,6 +409,9 @@ func (c Config) withDefaults() Config {
 	if c.MultipathMaxPaths <= 0 {
 		c.MultipathMaxPaths = 3
 	}
+	if c.DisableHealth {
+		c.Health = nil
+	}
 	c.Backoff = c.Backoff.withDefaults()
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(1))
@@ -444,6 +468,8 @@ type Scheduler struct {
 	mpHedged, mpResent     int64
 	mpDuplicateBytes       float64
 	routeEvents            int64
+	stalls, stallRerouted  int64
+	canaries, budgetParks  int64
 	bytesResumed           float64
 	bytesRewritten         float64
 	cacheHits, cacheMiss   int64
@@ -483,6 +509,16 @@ func New(cfg Config) *Scheduler {
 	}
 	s.cache = NewRouteCache(cfg.CacheTTL, cfg.QuarantineTTL, cfg.Now, rand.New(rand.NewSource(cfg.Rand.Int63())))
 	s.breakers = newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now)
+	if cfg.Health != nil {
+		if ha, ok := cfg.Executor.(HealthAware); ok {
+			ha.SetHealth(cfg.Health)
+		}
+		// Probation down-weights the bandit's view of a route instead of
+		// hard-excluding it: traffic trickles, canaries decide re-admission.
+		s.cache.SetWeight(func(r core.Route) float64 {
+			return cfg.Health.Weight(health.ClassRoute, r.String())
+		})
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -490,6 +526,10 @@ func New(cfg Config) *Scheduler {
 // Cache exposes the scheduler's route cache (read-mostly; for
 // inspection and tests).
 func (s *Scheduler) Cache() *RouteCache { return s.cache }
+
+// Health exposes the scheduler's gray-failure tracker (nil when the
+// health layer is off) for inspection, reports, and the health table.
+func (s *Scheduler) Health() *health.Tracker { return s.cfg.Health }
 
 // RouteEvent feeds one routing-plane event (withdraw or announce) into
 // the control plane. It is the push half of route invalidation: wire it
@@ -728,6 +768,17 @@ func (s *Scheduler) runJob(j Job) Result {
 	key := KeyFor(j.Client, j.Provider, j.Size)
 	route, hit := s.routeFor(key, j)
 	route = s.gateRoute(key, j.Provider, route)
+	if s.cfg.Health != nil {
+		if cr, ok := s.canaryRoute(key, route); ok {
+			// A probation route is owed a canary: this job probes it at
+			// trickle rate so re-admission doesn't wait on the bandit
+			// happening to explore a down-weighted arm.
+			route = cr
+			s.mu.Lock()
+			s.canaries++
+			s.mu.Unlock()
+		}
+	}
 
 	if j.Mode == JobMultipath {
 		if res, done := s.runMultipath(j, key, route, hit); done {
@@ -749,7 +800,7 @@ func (s *Scheduler) runJob(j Job) Result {
 	}
 
 	var lastErr error
-	attempts, detourFails := 0, 0
+	attempts, detourFails, stallReroutes := 0, 0, 0
 	jobHedged, jobHedgeWon := false, false
 	jobReroutes, jobParked := 0, 0.0
 	for {
@@ -822,6 +873,7 @@ func (s *Scheduler) runJob(j Job) Result {
 		if err == nil {
 			s.breakers.success(breakerKey(j.Provider, route))
 			s.breakers.success(providerKey(j.Provider))
+			s.noteHealthSuccess(j, route, sec)
 			if !s.brownoutActive() {
 				// Brownout sheds bandit refresh: live observations are
 				// optional work, the decision we have is good enough.
@@ -848,6 +900,36 @@ func (s *Scheduler) runJob(j Job) Result {
 		case FailTransient:
 			// The route is fine; retry it. A checkpointed executor resumes
 			// from the DTN partial / provider session instead of restarting.
+		case FailStall:
+			// Gray failure: the watchdog aborted a transfer that served no
+			// errors but crawled below its adaptive floor. Route-down-lite:
+			// blame the path softly (probation down-weights it fleet-wide;
+			// no quarantine, no breaker), keep the checkpoint, and fail over
+			// without burning an attempt slot or sleeping — the stall itself
+			// already cost the job its time. A separate reroute cap bounds
+			// ping-ponging when every path is gray.
+			s.mu.Lock()
+			s.stalls++
+			s.mu.Unlock()
+			if h := s.cfg.Health; h != nil {
+				h.NoteStall(health.ClassRoute, route.String())
+				if route.Kind == core.Detour {
+					h.NoteStall(health.ClassDTN, route.Via)
+				}
+			}
+			if stallReroutes < maxStallReroutes {
+				if next, ok := s.stallFailover(key, route); ok {
+					stallReroutes++
+					attempts--
+					route = next
+					backoff = false
+					s.mu.Lock()
+					s.stallRerouted++
+					s.mu.Unlock()
+				}
+			}
+			// No alternate (or the cap is spent): fall through to the
+			// normal attempt accounting like a transient failure.
 		case FailRouteDown:
 			s.breakers.failure(breakerKey(j.Provider, route))
 			if next, ok := s.failover(key, j.Provider, route); ok {
@@ -878,17 +960,115 @@ func (s *Scheduler) runJob(j Job) Result {
 			return res
 		}
 		if backoff {
+			// Backoff retries spend the provider's retry budget: tokens only
+			// successes earn back, so a sick provider's budget drains and the
+			// job parks instead of joining a retry storm. Failover reroutes
+			// (backoff=false) are free — they move work away from the
+			// problem rather than hammering it.
+			if h := s.cfg.Health; h != nil {
+				if ok, after := h.AllowRetry(j.Provider); !ok {
+					s.mu.Lock()
+					s.budgetParks++
+					s.mu.Unlock()
+					res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked, Err: &BudgetError{Provider: j.Provider, RetryAfter: after}}
+					s.noteRecovery(ck, &res)
+					return res
+				}
+			}
 			s.mu.Lock()
 			s.retries++
 			u := s.jitterRng.Float64()
 			s.mu.Unlock()
-			s.cfg.Sleep(s.cfg.Backoff.Delay(attempts, u))
+			delay := s.cfg.Backoff.Delay(attempts, u)
+			// A provider's Retry-After on a 429 floors the delay: backing
+			// off into the same throttle window just burns an attempt.
+			if ra := retryAfterHint(lastErr); ra > delay {
+				delay = ra
+			}
+			s.cfg.Sleep(delay)
 		} else {
 			s.mu.Lock()
 			s.retries++
 			s.mu.Unlock()
 		}
 	}
+}
+
+// maxStallReroutes bounds free stall-driven route switches per job, so
+// a fleet where every path is gray cannot trap a job in an unmetered
+// reroute loop.
+const maxStallReroutes = 3
+
+// maxRetryAfterFloor caps the honored Retry-After hint, matching the
+// SDK's own throttle-sleep cap — a buggy or hostile header must not
+// stall a worker for minutes.
+const maxRetryAfterFloor = 60
+
+// retryAfterHint extracts the provider's Retry-After pacing hint from a
+// 429 in the error chain (0 when there is none).
+func retryAfterHint(err error) float64 {
+	var se *httpsim.StatusError
+	if !errors.As(err, &se) || se.Status != httpsim.StatusTooManyRequests || se.RetryAfter <= 0 {
+		return 0
+	}
+	if se.RetryAfter > maxRetryAfterFloor {
+		return maxRetryAfterFloor
+	}
+	return se.RetryAfter
+}
+
+// noteHealthSuccess feeds one completed transfer into the gray-failure
+// tracker at all three granularities and refunds the provider's retry
+// budget.
+func (s *Scheduler) noteHealthSuccess(j Job, route core.Route, sec float64) {
+	h := s.cfg.Health
+	if h == nil || sec <= 0 {
+		return
+	}
+	h.NoteSuccess(j.Provider)
+	h.ObserveTransfer(health.ClassRoute, route.String(), j.Size, sec)
+	h.ObserveTransfer(health.ClassProvider, j.Provider, j.Size, sec)
+	if route.Kind == core.Detour {
+		h.ObserveTransfer(health.ClassDTN, route.Via, j.Size, sec)
+	}
+}
+
+// canaryRoute redirects a job onto a probation route owed a canary
+// probe (at most one per canary interval per entity).
+func (s *Scheduler) canaryRoute(key CacheKey, cur core.Route) (core.Route, bool) {
+	h := s.cfg.Health
+	for _, cand := range s.cache.Candidates(key) {
+		if cand == cur {
+			continue
+		}
+		if h.Probation(health.ClassRoute, cand.String()) && h.CanaryTake(health.ClassRoute, cand.String()) {
+			return cand, true
+		}
+	}
+	return core.Route{}, false
+}
+
+// stallFailover picks the next route for a stalled job. Unlike
+// failover it does not quarantine the old route — a stall is a soft
+// signal and probation already down-weights the entity fleet-wide;
+// hard-benching every gray path would turn the mitigation into an
+// outage of its own. Probation routes are skipped as targets (moving a
+// stalled job onto a known-gray path helps nobody).
+func (s *Scheduler) stallFailover(key CacheKey, stalled core.Route) (core.Route, bool) {
+	h := s.cfg.Health
+	if stalled.Kind == core.Detour {
+		return core.DirectRoute, true
+	}
+	for _, cand := range s.cache.Candidates(key) {
+		if cand.Kind != core.Detour || cand == stalled {
+			continue
+		}
+		if h != nil && h.Probation(health.ClassRoute, cand.String()) {
+			continue
+		}
+		return cand, true
+	}
+	return core.Route{}, false
 }
 
 // hedgeBudget prices a hedged attempt: the primary route's learned
@@ -1135,6 +1315,13 @@ type Stats struct {
 	MultipathJobs, MultipathDegraded int64
 	MultipathHedged, MultipathResent int64
 	MultipathDuplicateBytes          float64
+	// Stalls counts watchdog-aborted gray transfers; StallReroutes the
+	// free failovers they triggered; Canaries the jobs deliberately sent
+	// over probation routes to probe re-admission; BudgetParks the jobs
+	// parked with *BudgetError because their provider's retry bucket ran
+	// dry.
+	Stalls, StallReroutes  int64
+	Canaries, BudgetParks  int64
 	// QueueDelayEWMA is the CoDel-smoothed time-in-queue;
 	// QueueDelayP99 is the 99th percentile over a trailing window of
 	// admitted jobs.
@@ -1177,6 +1364,10 @@ func (st Stats) String() string {
 		line += fmt.Sprintf(" shed=%d qfull=%d quota=%d hedges=%d/%d brownout=%v",
 			st.Shed, st.QueueFullRejects, st.TenantQuotaRejects, st.HedgeWins, st.Hedges, st.BrownoutActive)
 	}
+	if st.Stalls+st.Canaries+st.BudgetParks > 0 {
+		line += fmt.Sprintf(" stalls=%d stall-reroutes=%d canaries=%d budget-parked=%d",
+			st.Stalls, st.StallReroutes, st.Canaries, st.BudgetParks)
+	}
 	return line
 }
 
@@ -1198,6 +1389,8 @@ func (s *Scheduler) Stats() Stats {
 		MultipathJobs: s.mpJobs, MultipathDegraded: s.mpDegraded,
 		MultipathHedged: s.mpHedged, MultipathResent: s.mpResent,
 		MultipathDuplicateBytes: s.mpDuplicateBytes,
+		Stalls:   s.stalls, StallReroutes: s.stallRerouted,
+		Canaries: s.canaries, BudgetParks: s.budgetParks,
 		QueueDelayP99: s.delays.percentile(0.99),
 		Retries:       s.retries, Fallbacks: s.fallbacks,
 		Failovers: s.failovers, BreakerSkips: s.breakerSkip,

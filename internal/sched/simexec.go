@@ -9,11 +9,13 @@ import (
 	"detournet/internal/bgppol"
 	"detournet/internal/core"
 	"detournet/internal/detourselect"
+	"detournet/internal/health"
 	"detournet/internal/httpsim"
 	"detournet/internal/scenario"
 	"detournet/internal/sdk"
 	"detournet/internal/simclock"
 	"detournet/internal/simproc"
+	"detournet/internal/tracelog"
 	"detournet/internal/transport"
 )
 
@@ -40,6 +42,9 @@ type SimExecutor struct {
 	// convMu because bus callbacks can fire from any workload drive.
 	convMu     sync.Mutex
 	converging map[[2]string]float64
+	// health, when set (see SetHealth), arms the stall watchdog on every
+	// resumable transfer and the per-lane budget on multipath runs.
+	health *health.Tracker
 	// Transfers counts completed Execute calls, for reporting.
 	Transfers int64
 }
@@ -55,6 +60,17 @@ func NewSimExecutor(w *scenario.World) *SimExecutor {
 	}
 	e.subscribeRouteBus()
 	return e
+}
+
+// SetHealth arms the stall watchdog: resumable transfers run under a
+// monitor that aborts (checkpoint intact) when they exceed their
+// adaptive time budget or stop making byte progress, surfacing an error
+// wrapping core.ErrStall. Implements sched.HealthAware; the scheduler
+// calls it from New when Config.Health is set.
+func (e *SimExecutor) SetHealth(h *health.Tracker) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.health = h
 }
 
 // direct returns the cached SDK client for (client, provider). Callers
@@ -129,11 +145,18 @@ func (e *SimExecutor) ExecuteResumable(job Job, route core.Route, ck *core.Check
 	var rep core.Report
 	var err error
 	e.w.RunWorkload("sched:"+job.Name, func(p *simproc.Proc) {
-		switch route.Kind {
-		case core.Direct:
-			rep, err = core.DirectUploadResumable(p, e.direct(job.Client, job.Provider), job.Name, job.Size, job.MD5, ck)
-		default:
-			rep, err = e.detourFor(job.Client, route.Via).UploadResumable(p, job.Provider, job.Name, job.Size, job.MD5, ck)
+		run := func(pp *simproc.Proc) (core.Report, error) {
+			switch route.Kind {
+			case core.Direct:
+				return core.DirectUploadResumable(pp, e.direct(job.Client, job.Provider), job.Name, job.Size, job.MD5, ck)
+			default:
+				return e.detourFor(job.Client, route.Via).UploadResumable(pp, job.Provider, job.Name, job.Size, job.MD5, ck)
+			}
+		}
+		if e.health != nil {
+			rep, err = e.runWatched(p, job, route, ck, run)
+		} else {
+			rep, err = run(p)
 		}
 	})
 	if err != nil {
@@ -141,6 +164,89 @@ func (e *SimExecutor) ExecuteResumable(job Job, route core.Route, ck *core.Check
 	}
 	e.Transfers++
 	return rep.Total, nil
+}
+
+// runWatched runs one transfer as a sub-process under the stall
+// watchdog. The checkpoint's OnProgress feed updates a live byte
+// watermark; a monitor polls it every health CheckInterval and aborts
+// the transfer when either gray-failure detector fires:
+//
+//   - total budget: elapsed time exceeds the adaptive budget derived
+//     from the route's learned baseline (catches slow-but-progressing
+//     transfers — a crawling first hop keeps the watermark moving);
+//   - no progress: the watermark has not advanced for the grace window
+//     (catches transfers whose slowness is client-invisible, like a
+//     detour's relay hop, which reports nothing until it completes).
+//
+// Aborting is cooperative: the watchdog raises the checkpoint's abort
+// latch and the transfer observes it at its next safe point — a chunk
+// ack on the first hop, a relay poll on the second — then returns with
+// the checkpoint intact. Flow kills cannot do this job: gray slowness
+// lives in *peer* processes (a provider service sleeping mid-write, a
+// DTN daemon grinding through a dying disk), where the client side has
+// no flow in flight to kill. The surfaced error wraps core.ErrStall,
+// so the scheduler's failover resumes elsewhere instead of restarting.
+// Callers hold e.mu and run inside a workload.
+func (e *SimExecutor) runWatched(p *simproc.Proc, job Job, route core.Route, ck *core.Checkpoint, run func(pp *simproc.Proc) (core.Report, error)) (core.Report, error) {
+	h := e.health
+	budget := h.Budget(health.ClassRoute, route.String(), job.Size)
+	interval := h.CheckInterval()
+	grace := h.NoProgressGrace()
+	start := float64(p.Now())
+	// The checkpoint persists across attempts; a latch left over from a
+	// previous watchdog abort must not fire this attempt instantly.
+	ck.ResetAbort()
+
+	var watermark float64
+	prev := ck.OnProgress
+	ck.OnProgress = func(b float64) {
+		if b > watermark {
+			watermark = b
+		}
+	}
+	defer func() { ck.OnProgress = prev }()
+
+	r := p.Runner()
+	done := simproc.NewFuture[bool](r)
+	var rep core.Report
+	var err error
+	r.Go("sched-watched:"+job.Name, func(pp *simproc.Proc) {
+		rep, err = run(pp)
+		done.Set(err == nil)
+	})
+	lastMark, lastAdvance := watermark, start
+	reason := ""
+	for !done.IsSet() {
+		p.Sleep(simclock.Duration(interval))
+		if done.IsSet() {
+			break
+		}
+		now := float64(p.Now())
+		if watermark > lastMark {
+			lastMark, lastAdvance = watermark, now
+		}
+		switch {
+		case now-start > budget:
+			reason = fmt.Sprintf("exceeded budget %.0fs", budget)
+		case now-lastAdvance > grace:
+			reason = fmt.Sprintf("no progress for %.0fs", now-lastAdvance)
+		}
+		if reason != "" {
+			break
+		}
+	}
+	if reason == "" {
+		return rep, err
+	}
+	ck.RequestAbort()
+	for !done.IsSet() {
+		p.Sleep(simclock.Duration(0.25))
+	}
+	e.w.Trace.Emit("health.stall", map[string]any{
+		tracelog.AttrRoute: route.String(), "job": job.Name, "reason": reason,
+	})
+	return rep, fmt.Errorf("watchdog aborted %s via %s after %.0fs (%s): %w",
+		job.Name, route, float64(p.Now())-start, reason, core.ErrStall)
 }
 
 // ExecuteHedged implements HedgedExecutor with a true in-simulation
@@ -482,6 +588,11 @@ func classifyExecErr(err error) error {
 	}
 	var se *httpsim.StatusError
 	switch {
+	case errors.Is(err, core.ErrStall):
+		// Already typed by the watchdog; Classify maps it to FailStall.
+		// Must precede the reset case — the abort manifests as killed
+		// flows, but the stall is the cause, not the hiccup.
+		return err
 	case errors.Is(err, transport.ErrReset):
 		// A mid-stream reset: the path hiccuped but may already be back.
 		return Transient(err)

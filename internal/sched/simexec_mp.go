@@ -5,10 +5,19 @@ import (
 
 	"detournet/internal/bgppol"
 	"detournet/internal/core"
+	"detournet/internal/health"
 	"detournet/internal/multipath"
 	"detournet/internal/scenario"
 	"detournet/internal/sdk"
 	"detournet/internal/simproc"
+)
+
+// Compose retry shape: enough cumulative patience (~2+4+8+16+30+30+30
+// ≈ 120 s) to sit out a withdraw window plus its staged reconvergence,
+// without stalling a genuinely dead provider forever.
+const (
+	composeAttempts   = 8
+	composeBackoffCap = 30.0
 )
 
 // subscribeRouteBus wires the executor to the world's routing-plane
@@ -172,16 +181,43 @@ func (e *SimExecutor) ExecuteMultipath(job Job, routes []core.Route, chunk float
 			if !ok {
 				return fmt.Errorf("sched: provider %s cannot compose parts", job.Provider)
 			}
-			info, err := comp.Compose(p, job.Name, parts, job.MD5)
-			if err != nil {
-				return err
+			// Every part is already durable server-side; only this one
+			// control-plane call races the routing plane. A withdraw window
+			// opening between the last chunk and the compose must not fail
+			// the whole stripe, so wait out transient route loss with a
+			// capped exponential and re-issue — compose is idempotent.
+			var err error
+			backoff := 2.0
+			for attempt := 0; attempt < composeAttempts; attempt++ {
+				if attempt > 0 {
+					p.Sleep(backoff)
+					if backoff *= 2; backoff > composeBackoffCap {
+						backoff = composeBackoffCap
+					}
+				}
+				var info sdk.FileInfo
+				info, err = comp.Compose(p, job.Name, parts, job.MD5)
+				if err != nil {
+					continue
+				}
+				if job.MD5 != "" && info.MD5 != "" && info.MD5 != job.MD5 {
+					// An integrity mismatch is a durable property of the
+					// composed object, not a routing transient: fail now.
+					return fmt.Errorf("sched: composed %q has digest %s, want %s: %w",
+						job.Name, info.MD5, job.MD5, core.ErrIntegrity)
+				}
+				return nil
 			}
-			if job.MD5 != "" && info.MD5 != "" && info.MD5 != job.MD5 {
-				return fmt.Errorf("sched: composed %q has digest %s, want %s: %w",
-					job.Name, info.MD5, job.MD5, core.ErrIntegrity)
-			}
-			return nil
+			return err
 		},
+	}
+	if h := e.health; h != nil {
+		// Arm the per-lane stall watchdog with the health layer's adaptive
+		// budgets, so a gray lane loses its chunk to a healthy one instead
+		// of dragging the stripe's tail.
+		env.Budget = func(r core.Route, size float64) float64 {
+			return h.Budget(health.ClassRoute, r.String(), size)
+		}
 	}
 
 	spec := multipath.Spec{Name: job.Name, Size: job.Size, MD5: job.MD5, Chunk: chunk}

@@ -135,6 +135,42 @@ func JainFairness(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
+// EWMA is an exponentially weighted moving average — the streaming
+// baseline estimator the health layer keeps per route/DTN/provider.
+// The zero value is unusable; construct with NewEWMA. The first
+// observation seeds the average directly (matching the bandit's
+// convention) so a single sample is already a usable baseline.
+type EWMA struct {
+	alpha float64
+	v     float64
+	n     int
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor (0 < alpha
+// <= 1; larger tracks faster).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v outside (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(x float64) {
+	if e.n == 0 {
+		e.v = x
+	} else {
+		e.v = e.alpha*x + (1-e.alpha)*e.v
+	}
+	e.n++
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Count returns how many samples have been folded in.
+func (e *EWMA) Count() int { return e.n }
+
 // Summary holds the statistics the paper reports for one measurement
 // cell: the mean of the retained runs and one standard deviation.
 type Summary struct {

@@ -36,6 +36,9 @@ const (
 	AttrChunk = "chunk"
 	// AttrRoute is the path's route in core.Route.String() form.
 	AttrRoute = "route"
+	// AttrEntity names the health-tracked entity (route, DTN, or
+	// provider) a health.* transition event is about.
+	AttrEntity = "entity"
 )
 
 // String renders the event as one deterministic text line:
