@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet chaos overload stress churn multipath grayfail
+.PHONY: build test vet race bench check fleet chaos overload stress churn multipath grayfail crashsafe
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,16 @@ grayfail:
 	$(GO) test -race ./internal/health/ ./internal/faults/ ./internal/sched/
 	$(GO) run ./examples/grayfail
 
+# Crashsafe: the crash-consistency tests race-clean (journal framing,
+# replay fold, torn tails, snapshot equivalence, the full crash-point
+# sweep), the journal record-decode fuzzer holds up for a short smoke
+# run, then the sweep replay: kill at every crash point, restart on the
+# journal, converge byte-identical with zero duplicate commits.
+crashsafe:
+	$(GO) test -race ./internal/journal/ ./internal/sched/
+	$(GO) test -fuzz=FuzzScan -fuzztime=5s ./internal/journal
+	$(GO) run ./examples/crashsafe
+
 # Stress: the scheduler suite repeated under the race detector to
 # shake out ordering-dependent bugs in the queue and overload layer.
 stress:
@@ -59,12 +69,14 @@ stress:
 
 # The gate PRs must pass: everything compiles, vets clean, the full
 # test suite (including the really-concurrent scheduler) is race-clean,
-# the delta-encoding fuzzer holds up for a short smoke run, the chaos
-# and overload replays complete, and the churn, multipath, and grayfail
-# replays are byte-identical across two runs of the same seed.
+# the delta-encoding and journal-decode fuzzers hold up for a short
+# smoke run, the chaos and overload replays complete, and the churn,
+# multipath, grayfail, and crashsafe replays are byte-identical across
+# two runs of the same seed.
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(GO) test -fuzz=FuzzDelta -fuzztime=10s ./internal/rsyncx
+	$(GO) test -fuzz=FuzzScan -fuzztime=5s ./internal/journal
 	$(GO) run ./examples/chaos >/dev/null
 	$(GO) run ./examples/overload >/dev/null
 	$(GO) run ./examples/churn >.churn.a.tmp
@@ -79,3 +91,7 @@ check:
 	$(GO) run ./examples/grayfail >.gray.b.tmp
 	cmp .gray.a.tmp .gray.b.tmp
 	rm -f .gray.a.tmp .gray.b.tmp
+	$(GO) run ./examples/crashsafe >.cs.a.tmp
+	$(GO) run ./examples/crashsafe >.cs.b.tmp
+	cmp .cs.a.tmp .cs.b.tmp
+	rm -f .cs.a.tmp .cs.b.tmp

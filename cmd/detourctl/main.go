@@ -24,6 +24,14 @@
 // fairness index. -via is ignored in this mode; -drain still excludes
 // the named DTN's lane.
 //
+// With -journal, the tool instead dumps a control-journal file: the
+// record census, any torn tail the replay truncated, and the folded
+// state a restarted scheduler would recover — finished jobs, pending
+// jobs with their checkpoints and idempotent attempt IDs, spent retry
+// tokens, held cap slots. Point it at the file a `detourd`-style
+// deployment (or sched.RunCrashsafe with JournalPath) writes. Transfer
+// flags are ignored in this mode.
+//
 // With -health, the tool instead replays the gray-failure schedule with
 // the health stack armed and prints the operator's view of it: the
 // per-entity health table (learned baseline rates, probation state,
@@ -59,8 +67,17 @@ func main() {
 		drain     = flag.String("drain", "", "put this DTN's agent into drain before planning")
 		mpath     = flag.Bool("multipath", false, "stripe the upload across direct + all in-service detours and show per-path progress")
 		healthTab = flag.Bool("health", false, "replay the gray-failure schedule with the health stack and print the health table")
+		jdump     = flag.String("journal", "", "dump this control-journal file (records, torn tail, recovered state) and exit")
 	)
 	flag.Parse()
+
+	if *jdump != "" {
+		if err := sched.WriteJournalDump(os.Stdout, *jdump); err != nil {
+			fmt.Fprintf(os.Stderr, "detourctl: journal: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *healthTab {
 		os.Exit(runHealthTable(*seed))

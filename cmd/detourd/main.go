@@ -46,6 +46,13 @@
 // deterministic with/without report. Other scheduler flags are ignored
 // in this mode.
 //
+// With -crashsafe, the daemon instead runs the crash-consistency sweep
+// (see internal/sched.RunCrashsafeSweep): a journaled scheduler killed
+// at every enumerated control-plane crash point, restarted on the same
+// journal, and required to converge byte-identical to the crash-free
+// control with zero duplicate provider commits — plus the storage-decay
+// arm. Other scheduler flags are ignored in this mode.
+//
 // With -multipath, the daemon instead runs the striped-transfer
 // comparison (see internal/sched.RunMultipath): every site/provider
 // pair measured over each single route and then striped across direct
@@ -82,8 +89,21 @@ func main() {
 		churn       = flag.Bool("churn", false, "replay the BGP reconvergence storm, control vs full stack, and report")
 		grayfail    = flag.Bool("grayfail", false, "replay the gray-failure schedule, no-health ablation vs health stack, and report")
 		mpath       = flag.Bool("multipath", false, "run the striped-vs-single comparison plus the multipath churn leg, and report")
+		crashsafe   = flag.Bool("crashsafe", false, "run the crash-consistency sweep (kill at every crash point, restart, replay) and report")
 	)
 	flag.Parse()
+
+	if *crashsafe {
+		control, legs := sched.RunCrashsafeSweep(*seed)
+		sched.WriteCrashsafeReport(os.Stdout, control, legs)
+		decay := sched.RunCrashsafe(sched.CrashsafeOptions{Seed: *seed, Decay: true})
+		sched.WriteCrashsafeDecayReport(os.Stdout, decay)
+		if err := sched.CrashsafeSanity(control, legs); err != nil {
+			fmt.Fprintf(os.Stderr, "detourd: crashsafe: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *mpath {
 		o := sched.RunMultipath(sched.MultipathOptions{Seed: *seed})

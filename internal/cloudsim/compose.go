@@ -48,6 +48,18 @@ func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respons
 	if err := json.Unmarshal(req.Body, &cr); err != nil || cr.Name == "" || len(cr.Parts) == 0 {
 		return errResp(httpsim.StatusBadRequest, "compose needs a name and at least one part")
 	}
+	// Idempotent replay: a crash between a committed compose and its
+	// journal record re-issues the same attempt, whose parts are gone —
+	// answer with the object the first commit produced.
+	if key := req.Header["X-Attempt-Id"]; key != "" {
+		if o, ok := s.Store.Replayed(key, cr.Name); ok {
+			status := httpsim.StatusOK
+			if s.Style == OneDrive {
+				status = httpsim.StatusCreated
+			}
+			return jsonResp(status, metaOf(o))
+		}
+	}
 	var total float64
 	parts := make([]*Object, 0, len(cr.Parts))
 	seen := make(map[string]bool, len(cr.Parts))
@@ -94,6 +106,7 @@ func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respons
 		}
 		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
 	}
+	s.Store.RecordAttempt(req.Header["X-Attempt-Id"], o)
 	status := httpsim.StatusOK
 	if s.Style == OneDrive {
 		status = httpsim.StatusCreated

@@ -61,7 +61,7 @@ func (s *Service) dbxUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respo
 	if a.Path == "" {
 		return errResp(httpsim.StatusBadRequest, "missing path")
 	}
-	o, err := s.Store.Put(a.Path, req.ContentLength(), req.Header["X-Content-MD5"])
+	o, err := s.Store.PutIdempotent(a.Path, req.ContentLength(), req.Header["X-Content-MD5"], req.Header["X-Attempt-Id"])
 	if err != nil {
 		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
 	}
@@ -118,7 +118,7 @@ func (s *Service) dbxFinish(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respo
 	}
 	sess.received += req.ContentLength()
 	sess.done = true
-	o, err := s.Store.Put(a.Commit.Path, sess.received, req.Header["X-Content-MD5"])
+	o, err := s.Store.PutIdempotent(a.Commit.Path, sess.received, req.Header["X-Content-MD5"], req.Header["X-Attempt-Id"])
 	if err != nil {
 		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
 	}

@@ -109,7 +109,7 @@ func (s *Service) gdUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respon
 	}
 	sess.done = true
 	md5 := req.Header["X-Content-MD5"] // optional integrity echo
-	o, err := s.Store.Put(sess.name, sess.received, md5)
+	o, err := s.Store.PutIdempotent(sess.name, sess.received, md5, req.Header["X-Attempt-Id"])
 	if err != nil {
 		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
 	}

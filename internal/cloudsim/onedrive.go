@@ -76,7 +76,7 @@ func (s *Service) odUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respon
 		})
 	}
 	sess.done = true
-	o, err := s.Store.Put(sess.name, sess.received, req.Header["X-Content-MD5"])
+	o, err := s.Store.PutIdempotent(sess.name, sess.received, req.Header["X-Content-MD5"], req.Header["X-Attempt-Id"])
 	if err != nil {
 		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
 	}

@@ -37,6 +37,15 @@ type ObjectStore struct {
 	// Quota caps total stored bytes; zero means unlimited.
 	Quota float64
 	used  float64
+	// attempts maps an idempotency key (X-Attempt-Id) to the object its
+	// commit produced, so a replayed commit of the same attempt returns
+	// the stored object instead of materializing a duplicate.
+	attempts map[string]*Object
+	// commits counts materializing commits per name — the crash-replay
+	// harness asserts exactly one per object.
+	commits map[string]int
+	// dupSuppressed counts commits answered from the attempts table.
+	dupSuppressed int
 }
 
 // NewObjectStore returns an empty store on the clock.
@@ -44,7 +53,10 @@ func NewObjectStore(eng *simclock.Engine) *ObjectStore {
 	if eng == nil {
 		panic("cloudsim: nil engine")
 	}
-	return &ObjectStore{eng: eng, byName: make(map[string]*Object), byID: make(map[string]*Object)}
+	return &ObjectStore{
+		eng: eng, byName: make(map[string]*Object), byID: make(map[string]*Object),
+		attempts: make(map[string]*Object), commits: make(map[string]int),
+	}
 }
 
 // Put stores (or replaces) an object by name. md5 may be empty when the
@@ -78,8 +90,58 @@ func (s *ObjectStore) Put(name string, size float64, md5 string) (*Object, error
 	s.byName[name] = o
 	s.byID[o.ID] = o
 	s.used += size
+	s.commits[name]++
 	return o, nil
 }
+
+// PutIdempotent stores an object like Put, gated by an idempotency key:
+// when a commit with the same non-empty key already produced an object
+// that is still stored, that object is returned unchanged and no second
+// commit is materialized — how a crash-replayed upload attempt avoids
+// double-committing. An empty key degrades to a plain Put.
+func (s *ObjectStore) PutIdempotent(name string, size float64, md5, key string) (*Object, error) {
+	if key != "" {
+		if o, ok := s.Replayed(key, name); ok {
+			return o, nil
+		}
+	}
+	o, err := s.Put(name, size, md5)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		s.attempts[key] = o
+	}
+	return o, nil
+}
+
+// Replayed answers an idempotent replay without a Put: it returns the
+// object a previous commit with this key produced, provided it is still
+// the stored object under name.
+func (s *ObjectStore) Replayed(key, name string) (*Object, bool) {
+	o, ok := s.attempts[key]
+	if ok && o.Name == name && s.byName[name] == o {
+		s.dupSuppressed++
+		return o, true
+	}
+	return nil, false
+}
+
+// RecordAttempt associates an idempotency key with an already-stored
+// object (compose commits record themselves after their multi-step
+// Put).
+func (s *ObjectStore) RecordAttempt(key string, o *Object) {
+	if key != "" && o != nil {
+		s.attempts[key] = o
+	}
+}
+
+// Commits returns how many materializing commits name has received.
+func (s *ObjectStore) Commits(name string) int { return s.commits[name] }
+
+// DuplicatesSuppressed returns how many commits were answered from the
+// idempotency table instead of materializing again.
+func (s *ObjectStore) DuplicatesSuppressed() int { return s.dupSuppressed }
 
 // Get returns an object by name.
 func (s *ObjectStore) Get(name string) (*Object, bool) {

@@ -253,6 +253,10 @@ type relayResume struct {
 	// relaying so the second hop's flows are attributable (and
 	// abortable) as part of the caller's transfer.
 	Scope string
+	// AttemptID is the caller's idempotency key: the agent stamps it on
+	// the provider client so the relay's commit is safe to replay after
+	// a control-plane crash.
+	AttemptID string
 }
 
 // relayPoll watches a detached resumable relay: the reply is the

@@ -69,6 +69,16 @@ type Checkpoint struct {
 	BytesResumed   float64
 	BytesRewritten float64
 
+	// AttemptID is the idempotency key of the attempt in flight. It is
+	// stamped onto the provider client (sdk.AttemptTagger) before any
+	// session begins, so a commit replayed after a control-plane crash
+	// returns the stored object instead of materializing a duplicate.
+	AttemptID string
+	// ChunkRepairs counts staged chunks re-sent because manifest
+	// verification caught silent corruption — chunk-granularity repair,
+	// distinct from a whole-transfer integrity discard (ErrIntegrity).
+	ChunkRepairs int
+
 	// OnProgress, when non-nil, receives the advisory live byte
 	// watermark of the attempt in flight — the feed a stall watchdog
 	// keys on. It is not resume state: watermarks are best-effort (a
@@ -254,6 +264,13 @@ func (a *Agent) runRelay(p *simproc.Proc, m relayResume, rj *relayJob) {
 		return
 	}
 	t0 := p.Now()
+	if at, ok := client.(sdk.AttemptTagger); ok {
+		// Tag, open the session (which captures the key), untag: agent
+		// clients are shared by every relay through this DTN, and no
+		// yield happens between these steps in the cooperative sim.
+		at.SetAttemptID(m.AttemptID)
+		defer at.SetAttemptID("")
+	}
 	var sess sdk.UploadSession
 	if m.HasToken && m.Token.Provider == m.Provider {
 		if r, ok := client.(sdk.SessionResumer); ok {
@@ -370,6 +387,12 @@ func DirectUploadResumable(p *simproc.Proc, client sdk.Client, name string, size
 	}
 	t0 := p.Now()
 	ck.abandonHop1("")
+	if at, ok := client.(sdk.AttemptTagger); ok {
+		// Sessions capture the key at Begin/Resume, so clearing on the
+		// way out cannot untag this transfer's commit.
+		at.SetAttemptID(ck.AttemptID)
+		defer at.SetAttemptID("")
+	}
 	var sess sdk.UploadSession
 	if ck.HasSession && ck.Session.Provider == client.ProviderName() {
 		if r, ok := client.(sdk.SessionResumer); ok {
@@ -448,6 +471,22 @@ func (d *DetourClient) UploadResumable(p *simproc.Proc, provider, name string, s
 			ck.abandonHop1(d.dtn)
 		}
 		ck.Hop1High = size
+		// The copy passed the size+digest gate, but its bytes may have
+		// rotted on the DTN's disk while nobody was looking (we may be a
+		// crash-replayed attempt hours later). Verify the chunk manifest
+		// and repair only the damaged chunks — re-sending one 8 MB chunk
+		// instead of discarding the whole staged file is the point of
+		// chunk-level integrity.
+		if sums, merr := d.Rsync.Manifest(p, name); merr == nil {
+			for _, idx := range rsyncx.VerifyManifest(sums, md5) {
+				span := rsyncx.ChunkSpan(size, idx)
+				if rerr := d.Rsync.RepairChunk(p, name, idx, span); rerr != nil {
+					return Report{}, fmt.Errorf("core: detour chunk repair %q[%d]: %w", name, idx, rerr)
+				}
+				ck.ChunkRepairs++
+				ck.BytesRewritten += span
+			}
+		}
 		ck.noteProgress(size)
 	default:
 		offset := st.Partial
@@ -488,7 +527,7 @@ func (d *DetourClient) UploadResumable(p *simproc.Proc, provider, name string, s
 		return Report{}, fmt.Errorf("core: detour agent dial: %w", err)
 	}
 	defer c.Close()
-	req := relayResume{Name: name, Provider: provider, Scope: p.Scope()}
+	req := relayResume{Name: name, Provider: provider, Scope: p.Scope(), AttemptID: ck.AttemptID}
 	if ck.HasSession && ck.Session.Provider == provider {
 		req.HasToken, req.Token = true, ck.Session
 	}

@@ -75,6 +75,22 @@ const (
 	// commits at DiskBps for the window, so relayed transfers crawl
 	// through hop 1 without a single error.
 	DTNDiskSlow
+	// ProcCrash kills the scheduler's control-plane process at an
+	// enumerated crash point (CrashPoint/Occurrence) while the window is
+	// open. The actual kill is performed by the crashsafe harness's
+	// CrashControl hooks; the injector arms and disarms the plan.
+	ProcCrash
+	// TornWrite arms torn-write injection for the window: against a DTN
+	// it makes daemon crashes leave half-written (and bit-damaged)
+	// partial chunks on disk instead of atomic temp-file renames;
+	// against the journal (Journal=true) it tears the tail of the next
+	// control-plane journal append.
+	TornWrite
+	// BitRot silently flips bytes at window start — Flips staged chunks
+	// on a DTN's disk, or Flips bytes of the control-plane journal
+	// (Journal=true). Nothing errors: the damage is only visible to
+	// checksum verification (the chunk manifest, the journal CRCs).
+	BitRot
 )
 
 func (k Kind) String() string {
@@ -99,6 +115,12 @@ func (k Kind) String() string {
 		return "provider-slow"
 	case DTNDiskSlow:
 		return "dtn-disk-slow"
+	case ProcCrash:
+		return "proc-crash"
+	case TornWrite:
+		return "torn-write"
+	case BitRot:
+		return "bit-rot"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -153,6 +175,18 @@ type Spec struct {
 	// DiskBps (DTNDiskSlow) is the degraded staging-disk write rate in
 	// bytes/second during the window.
 	DiskBps float64
+
+	// CrashPoint (ProcCrash) names the enumerated control-plane crash
+	// point (see sched.CrashPoints); Occurrence selects which hit of
+	// that point fires, 1-based (0 means the first).
+	CrashPoint string
+	Occurrence int
+	// Journal (TornWrite, BitRot) targets the control-plane journal
+	// instead of a DTN's staging disk.
+	Journal bool
+	// Flips (BitRot) is how many staged chunks (or journal bytes) to
+	// corrupt at window start; 0 means one.
+	Flips int
 }
 
 // target renders the spec's subject for logs.
@@ -167,6 +201,13 @@ func (s Spec) target() string {
 			return s.DomainA + "~" + s.DomainB
 		}
 		return s.PinSrc + "=>" + s.PinDst
+	case ProcCrash:
+		return s.CrashPoint
+	case TornWrite, BitRot:
+		if s.Journal {
+			return "journal"
+		}
+		return s.DTN
 	default:
 		return s.Provider
 	}
@@ -217,7 +258,30 @@ type Injector struct {
 	// Injected counts applied transitions (activations + recoveries).
 	Injected    int
 	transitions []string
+
+	control *CrashControl
+	rotRand *rand.Rand
 }
+
+// CrashControl carries the control-plane hooks the ProcCrash and
+// journal-targeted TornWrite/BitRot faults act on. The crashsafe
+// harness wires these to the scheduler's journal; a schedule using
+// those kinds without a registered control panics at apply time.
+type CrashControl struct {
+	// ArmCrash arms the kill: the control plane dies when it reaches
+	// the named crash point for the occurrence-th time (1-based).
+	ArmCrash func(point string, occurrence int)
+	// DisarmCrash cancels a pending kill at the named point.
+	DisarmCrash func(point string)
+	// TornJournal toggles torn-tail injection on journal appends.
+	TornJournal func(active bool)
+	// FlipJournal flips one byte of the journal device, chosen with rng.
+	FlipJournal func(rng *rand.Rand)
+}
+
+// SetCrashControl registers the control-plane hooks. Call before the
+// first ProcCrash/TornWrite{Journal}/BitRot{Journal} window opens.
+func (inj *Injector) SetCrashControl(c *CrashControl) { inj.control = c }
 
 // NewInjector validates the schedule, seeds the provider fault
 // randomness, and registers the injector with the world. It panics on
@@ -236,6 +300,9 @@ func NewInjector(w *scenario.World, seed int64, specs ...Spec) *Injector {
 			svc.FaultRand = rand.New(rand.NewSource(rng.Int63()))
 		}
 	}
+	// Drawn after the provider streams so pre-existing schedules keep
+	// their exact fault sequences.
+	inj.rotRand = rand.New(rand.NewSource(rng.Int63()))
 	w.AddPauser(inj)
 	return inj
 }
@@ -284,6 +351,14 @@ func (inj *Injector) validate(sp Spec) {
 	case DTNDrain:
 		if inj.w.Agents[sp.DTN] == nil {
 			panic(fmt.Sprintf("faults: %s: unknown DTN %q", sp.Kind, sp.DTN))
+		}
+	case ProcCrash:
+		if sp.CrashPoint == "" {
+			panic(fmt.Sprintf("faults: %s: needs a CrashPoint", sp.Kind))
+		}
+	case TornWrite, BitRot:
+		if !sp.Journal && inj.w.Daemons[sp.DTN] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown DTN %q (set Journal for the control plane)", sp.Kind, sp.DTN))
 		}
 	case RouteChurn:
 		switch {
@@ -416,6 +491,32 @@ func (inj *Injector) apply(sp *state, active bool) {
 		} else {
 			inj.w.Daemons[sp.DTN].DiskBps = 0
 		}
+	case ProcCrash:
+		if inj.control == nil || inj.control.ArmCrash == nil {
+			panic(fmt.Sprintf("faults: %s %s: no CrashControl registered", sp.Kind, sp.target()))
+		}
+		if active {
+			occ := sp.Occurrence
+			if occ < 1 {
+				occ = 1
+			}
+			inj.control.ArmCrash(sp.CrashPoint, occ)
+		} else if inj.control.DisarmCrash != nil {
+			inj.control.DisarmCrash(sp.CrashPoint)
+		}
+	case TornWrite:
+		if sp.Journal {
+			if inj.control == nil || inj.control.TornJournal == nil {
+				panic(fmt.Sprintf("faults: %s %s: no CrashControl registered", sp.Kind, sp.target()))
+			}
+			inj.control.TornJournal(active)
+		} else {
+			inj.w.Daemons[sp.DTN].TornWrites = active
+		}
+	case BitRot:
+		if active {
+			inj.applyBitRot(sp)
+		}
 	case DTNDrain:
 		if active {
 			inj.w.Agents[sp.DTN].Drain()
@@ -480,6 +581,40 @@ func (inj *Injector) publishLink(withdraw bool, from, to string) {
 	inj.w.RouteBus.Publish(bgppol.Event{
 		Kind: kind, FromNode: from, ToNode: to, At: now, ConvergedBy: now,
 	})
+}
+
+// applyBitRot corrupts Flips targets at window start: random staged
+// chunks on a DTN's disk, or random journal bytes. Draws come from the
+// injector's dedicated rot stream, so the same seed decays the same
+// bytes. Corruption is silent by construction — no error, no event;
+// only checksums can see it.
+func (inj *Injector) applyBitRot(sp *state) {
+	n := sp.Flips
+	if n < 1 {
+		n = 1
+	}
+	if sp.Journal {
+		if inj.control == nil || inj.control.FlipJournal == nil {
+			panic(fmt.Sprintf("faults: %s %s: no CrashControl registered", sp.Kind, sp.target()))
+		}
+		for i := 0; i < n; i++ {
+			inj.control.FlipJournal(inj.rotRand)
+		}
+		return
+	}
+	d := inj.w.Daemons[sp.DTN]
+	names := d.StagedNames()
+	if len(names) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		name := names[inj.rotRand.Intn(len(names))]
+		chunks := d.StagedChunks(name)
+		if chunks < 1 {
+			continue
+		}
+		d.RotChunk(name, inj.rotRand.Intn(chunks))
+	}
 }
 
 // applyDegrade shrinks or restores both directions of the edge.
@@ -581,6 +716,21 @@ func GrayfailSchedule() []Spec {
 			Start: 650, Duration: 120, ErrorRate: 0.35, ThrottleRate: 0.2},
 		{Kind: DTNDiskSlow, DTN: scenario.UAlberta, DiskBps: 0.15 * scenario.MBps,
 			Start: 2700, Duration: 1800},
+	}
+}
+
+// CrashsafeSchedule is the storage-decay scenario the crashsafe
+// example and `detourd -crashsafe` replay alongside the control-plane
+// crash sweep: UAlberta's staging disk loses write atomicity early (a
+// daemon crash now leaves torn, bit-damaged partials instead of atomic
+// renames), the DTN crashes mid-fleet to exercise exactly that, and
+// staged bytes silently rot twice while transfers are in flight — the
+// chunk manifest must catch and repair every flip.
+func CrashsafeSchedule() []Spec {
+	return []Spec{
+		{Kind: TornWrite, DTN: scenario.UAlberta, Start: 10, Duration: 3600},
+		{Kind: DTNCrash, DTN: scenario.UAlberta, Start: 120, Duration: 30},
+		{Kind: BitRot, DTN: scenario.UAlberta, Start: 300, Duration: 5, Period: 240, Repeat: 2, Flips: 2},
 	}
 }
 

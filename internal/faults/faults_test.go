@@ -3,6 +3,7 @@ package faults
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -172,5 +173,41 @@ func TestChaosDeterminism(t *testing.T) {
 	a, b := chaosSummary(7), chaosSummary(7)
 	if a != b {
 		t.Fatalf("same seed, different chaos runs:\n--- run 1\n%s--- run 2\n%s", a, b)
+	}
+}
+
+// TestCrashControlHooks pins the control-plane seam: ProcCrash arms
+// and disarms the journal's kill plan on its window edges, a
+// journal-targeted TornWrite toggles torn-tail injection, and a
+// journal-targeted BitRot flips exactly Flips bytes from the dedicated
+// rot stream.
+func TestCrashControlHooks(t *testing.T) {
+	w := scenario.Build(1)
+	var armed, disarmed []string
+	var torn []bool
+	flips := 0
+	inj := NewInjector(w, 42,
+		Spec{Kind: ProcCrash, CrashPoint: "mid-hop2", Occurrence: 3, Start: 10, Duration: 5},
+		Spec{Kind: TornWrite, Journal: true, Start: 20, Duration: 5},
+		Spec{Kind: BitRot, Journal: true, Start: 30, Duration: 2, Flips: 4},
+	)
+	inj.SetCrashControl(&CrashControl{
+		ArmCrash:    func(pt string, occ int) { armed = append(armed, fmt.Sprintf("%s#%d", pt, occ)) },
+		DisarmCrash: func(pt string) { disarmed = append(disarmed, pt) },
+		TornJournal: func(active bool) { torn = append(torn, active) },
+		FlipJournal: func(*rand.Rand) { flips++ },
+	})
+	sleepWorkload(w, 100)
+	if len(armed) != 1 || armed[0] != "mid-hop2#3" {
+		t.Fatalf("armed = %v, want [mid-hop2#3]", armed)
+	}
+	if len(disarmed) != 1 || disarmed[0] != "mid-hop2" {
+		t.Fatalf("disarmed = %v, want [mid-hop2]", disarmed)
+	}
+	if len(torn) != 2 || !torn[0] || torn[1] {
+		t.Fatalf("torn toggles = %v, want [true false]", torn)
+	}
+	if flips != 4 {
+		t.Fatalf("journal flips = %d, want 4", flips)
 	}
 }

@@ -449,6 +449,24 @@ func (t *Tracker) AllowRetry(provider string) (bool, float64) {
 	return true, 0
 }
 
+// RestoreSpentRetries replays journaled retry-token spends after a
+// crash: the recovered tracker starts from a full bucket, so the
+// control plane re-debits what the dead incarnation already spent to
+// keep the budget crash-consistent.
+func (t *Tracker) RestoreSpentRetries(provider string, spent int) {
+	if spent <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.bucketFor(provider)
+	b.tokens -= float64(spent)
+	if b.tokens < 0 {
+		b.tokens = 0
+	}
+	b.spent += spent
+}
+
 // NoteSuccess earns retry tokens back for the provider — successes fund
 // retries, so a healthy provider's budget stays full and a sick one's
 // drains and stays drained.

@@ -31,13 +31,32 @@ type Daemon struct {
 	// this many bytes/second — the gray-failure injector's dying-disk
 	// knob. Pushes still succeed (no errors, ever); they just crawl.
 	DiskBps float64
-	staging map[string]*Staged
+	// TornWrites re-enables the legacy in-place partial write path: a
+	// chunk's bytes count toward the partial before the disk write
+	// completes, so a crash mid-write leaves a torn tail that passes
+	// length checks (the manifest scrub is what catches it). The default
+	// path is two-phase — bytes land in a temp area and promote
+	// atomically — so a crash can never tear a partial.
+	TornWrites bool
+	staging    map[string]*Staged
 	// partials holds in-progress chunked pushes keyed by name. Like the
 	// staging area this models the DTN's disk: a daemon crash loses
 	// connections but not partials, which is what makes resume work.
 	partials map[string]*partial
 	// Pushes counts completed receive operations, for tests.
 	Pushes int
+
+	// rot marks chunks the disk has silently corrupted (bit rot, torn
+	// in-place writes), keyed by name then manifest chunk index. Like
+	// staging and partials it models the disk, so it survives Crash.
+	rot map[string]map[int]bool
+	// inflight tracks a chunk write in progress per name (bytes being
+	// committed to disk right now); Crash consults it to decide what a
+	// dying process leaves behind.
+	inflight map[string]float64
+	// epoch increments on Crash so connection handlers that survive the
+	// (simulated) process death stop committing state afterwards.
+	epoch int
 
 	l     *transport.Listener
 	conns map[*transport.Conn]struct{}
@@ -58,6 +77,7 @@ func NewDaemon(tn *transport.Net, host string) *Daemon {
 	return &Daemon{tn: tn, host: host,
 		staging:  make(map[string]*Staged),
 		partials: make(map[string]*partial),
+		inflight: make(map[string]float64),
 		conns:    make(map[*transport.Conn]struct{}),
 	}
 }
@@ -67,6 +87,7 @@ func NewDaemon(tn *transport.Net, host string) *Daemon {
 // DTN's disk — survive for the restarted daemon. Call Start again to
 // model the restart.
 func (d *Daemon) Crash() {
+	d.epoch++
 	if d.l != nil {
 		d.l.Close()
 		d.l = nil
@@ -75,13 +96,30 @@ func (d *Daemon) Crash() {
 		c.Close()
 	}
 	d.conns = make(map[*transport.Conn]struct{})
+	// What a chunk write in progress leaves behind depends on the write
+	// path. Two-phase (default): the temp bytes vanish, the partial is
+	// exactly its last committed offset. Legacy in-place (TornWrites):
+	// roughly half the chunk hit the disk before the process died, the
+	// length check can't tell, and only the chunk's rot mark records
+	// that the tail is garbage.
+	for name, n := range d.inflight {
+		if pt, ok := d.partials[name]; ok && d.TornWrites && n > 0 {
+			torn := n / 2
+			idx := int(pt.received / ManifestChunk)
+			pt.received += torn
+			d.markRot(name, idx)
+		}
+	}
+	d.inflight = make(map[string]float64)
 }
 
 // PartialOffset returns the confirmed bytes of an in-progress chunked
-// push (zero when none) — exposed for tests and diagnostics.
+// push (zero when none) — exposed for tests and diagnostics. The
+// partial is scrubbed against its chunk sums first, so torn or rotted
+// tails are never reported as confirmed.
 func (d *Daemon) PartialOffset(name string) float64 {
-	if pt, ok := d.partials[name]; ok {
-		return pt.received
+	if _, ok := d.partials[name]; ok {
+		return d.scrubPartial(name)
 	}
 	return 0
 }
@@ -217,6 +255,21 @@ func (d *Daemon) serve(p *simproc.Proc, c *transport.Conn) {
 				resp.Staged, resp.Size, resp.MD5 = true, st.Size, st.MD5
 			}
 			_ = c.Send(p, resp, ctrlBytes)
+		case manifestReq:
+			sums, ok := d.manifest(m.Name)
+			if !ok {
+				_ = c.Send(p, manifestResp{OK: false, Err: "not staged: " + m.Name}, ctrlBytes)
+				continue
+			}
+			st := d.staging[m.Name]
+			_ = c.Send(p, manifestResp{OK: true, Size: st.Size, MD5: st.MD5, Sums: sums},
+				float64(ctrlBytes+33*len(sums)))
+		case repairChunkReq:
+			if err := d.repairChunk(p, m.Name, m.Index); err != nil {
+				_ = c.Send(p, ack{OK: false, Err: err.Error()}, ctrlBytes)
+				continue
+			}
+			_ = c.Send(p, ack{OK: true}, ctrlBytes)
 		case deleteReq:
 			ok := d.Remove(m.Name)
 			_ = c.Send(p, ack{OK: ok}, ctrlBytes)
@@ -299,7 +352,7 @@ func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunk
 	pt := d.partials[req.Name]
 	cur := 0.0
 	if pt != nil && pt.size == req.Size {
-		cur = pt.received
+		cur = d.scrubPartial(req.Name)
 	}
 	if req.Offset != cur {
 		_ = c.Send(p, ack{OK: false, Err: fmt.Sprintf("bad resume offset %v, have %v", req.Offset, cur)}, ctrlBytes)
@@ -313,6 +366,7 @@ func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunk
 	if err := c.Send(p, ack{OK: true}, ctrlBytes); err != nil {
 		return
 	}
+	epoch := d.epoch
 	for {
 		msg, err := c.Recv(p)
 		if err != nil {
@@ -323,11 +377,21 @@ func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunk
 			_ = c.Send(p, ack{OK: false, Err: "expected chunk"}, ctrlBytes)
 			return
 		}
+		// Two-phase chunk commit: the bytes land in a temp area first
+		// (inflight), and only a completed write advances the partial.
+		// A Crash mid-write discards the temp bytes — unless TornWrites
+		// re-enables the legacy in-place path, where Crash leaves half
+		// the chunk behind with only a rot mark to show for it.
+		d.inflight[req.Name] = ch.Bytes
 		if d.DiskBps > 0 && ch.Bytes > 0 {
 			// A degraded disk commits the chunk slowly; the client's ack
 			// (and the next chunk's processing) waits on the write.
 			p.Sleep(ch.Bytes / d.DiskBps)
 		}
+		if d.epoch != epoch {
+			return // the daemon process died under us; commit nothing
+		}
+		delete(d.inflight, req.Name)
 		pt.received += ch.Bytes
 		if !ch.Last {
 			// Per-chunk ack: real backpressure. The client sends the next

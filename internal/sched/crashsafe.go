@@ -1,0 +1,883 @@
+// Crash-consistent control plane: the ControlJournal is a write-ahead
+// log of every scheduler decision that matters for recovery — job
+// submissions, attempt starts, checkpoint watermarks (DTN partial +
+// provider session token), cap-slot and retry-token spends, multipath
+// lane assignments, and terminal finishes. Records ride the
+// internal/journal CRC32C framing, so a replay after any crash
+// recovers exactly the longest valid prefix: a torn tail is truncated,
+// a bit-rotted record stops the scan, and everything before it is
+// trusted.
+//
+// Replay folds records idempotently into (finished results, pending
+// jobs with restored checkpoints, spent retry tokens). A finish record
+// seen twice — the classic crash-between-commit-and-ack window — is
+// counted once; an attempt whose finish record died with the process
+// is resubmitted with its journaled checkpoint, reattaches the
+// provider session via sdk.SessionResumer, and its commit replays
+// idempotently under the same attempt ID (cloudsim's X-Attempt-Id
+// table), so the provider materializes each object exactly once.
+//
+// The journal doubles as the crash *injector*: the enumerated crash
+// points below are Reach()ed at their call sites in the scheduler, and
+// an armed plan kills the control plane — appends become no-ops, the
+// in-flight transfer is cooperatively aborted, Drain wakes — at the
+// chosen occurrence of the chosen point.
+package sched
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"detournet/internal/core"
+	"detournet/internal/journal"
+	"detournet/internal/sdk"
+)
+
+// Enumerated control-plane crash points. RunCrashsafe sweeps all of
+// them; the coverage test asserts every one is actually reached.
+const (
+	// CrashAfterSubmit dies after a submit record hits the journal but
+	// before the job runs.
+	CrashAfterSubmit = "after-submit"
+	// CrashBeforeAttempt dies with the job claimed off the queue but
+	// its attempt record unwritten.
+	CrashBeforeAttempt = "before-attempt"
+	// CrashAfterAttempt dies with the attempt record written but no
+	// transfer started.
+	CrashAfterAttempt = "after-attempt"
+	// CrashTornAppend dies midway through writing a journal record —
+	// the torn tail replay must truncate.
+	CrashTornAppend = "torn-append"
+	// CrashMidHop1 dies mid-transfer while bytes move on the first hop
+	// (client→DTN staging, no provider session yet).
+	CrashMidHop1 = "mid-hop1"
+	// CrashMidHop2 dies mid-transfer while the provider session is live
+	// (direct upload or detour relay).
+	CrashMidHop2 = "mid-hop2"
+	// CrashBeforeFinish dies after the provider committed the object
+	// but before the finish record — recovery must not double-commit.
+	CrashBeforeFinish = "before-finish"
+	// CrashAfterFinish dies right after the finish record.
+	CrashAfterFinish = "after-finish"
+	// CrashDuringCompact dies at the start of a journal compaction,
+	// before the snapshot swap — the uncompacted log must still replay.
+	CrashDuringCompact = "during-compact"
+)
+
+// CrashPoints enumerates every control-plane crash point, in the order
+// a job's life encounters them.
+func CrashPoints() []string {
+	return []string{
+		CrashAfterSubmit, CrashBeforeAttempt, CrashAfterAttempt,
+		CrashTornAppend, CrashMidHop1, CrashMidHop2,
+		CrashBeforeFinish, CrashAfterFinish, CrashDuringCompact,
+	}
+}
+
+// ErrCrashKilled marks results produced after the armed crash point
+// fired: the control plane is "dead", the result exists only so the
+// worker can unwind. Harnesses discard them.
+var ErrCrashKilled = errors.New("sched: control plane killed at crash point")
+
+// Journal record types.
+const (
+	recSubmit byte = iota + 1
+	recAttempt
+	recCkpt
+	recCap
+	recRetry
+	recLanes
+	recFinish
+	recSnapshot
+)
+
+// submitRec journals one admitted job.
+type submitRec struct {
+	Seq int64
+	Job Job
+}
+
+// attemptRec journals one attempt start.
+type attemptRec struct {
+	Seq       int64
+	Name      string
+	Attempt   int
+	AttemptID string
+	RouteKind int
+	RouteVia  string
+}
+
+// ckptRec journals the in-flight checkpoint at a progress watermark:
+// everything a restarted scheduler needs to resume mid-transfer — the
+// DTN holding hop-1 bytes, the provider session token, and the
+// accounting baselines.
+type ckptRec struct {
+	Seq        int64
+	Name       string
+	Hop1Via    string
+	Hop1High   float64
+	HasSession bool
+	Session    sdk.SessionToken
+	Hop2High   float64
+	Resumed    float64
+	Rewritten  float64
+	Repairs    int
+	Watermark  float64
+}
+
+// capRec journals a cap-slot acquire or release.
+type capRec struct {
+	Provider, Via string
+	Acquire       bool
+}
+
+// retryRec journals one spent retry token.
+type retryRec struct {
+	Provider string
+}
+
+// lanesRec journals a multipath attempt's lane assignment: which
+// routes carried how many stripe chunks.
+type lanesRec struct {
+	Seq    int64
+	Name   string
+	Paths  []string
+	Chunks []int
+}
+
+// finishRec journals a terminal result.
+type finishRec struct {
+	Seq       int64
+	Name      string
+	OK        bool
+	Err       string
+	RouteKind int
+	RouteVia  string
+	Seconds   float64
+	Attempts  int
+	CacheHit  bool
+	Resumed   float64
+	Rewritten float64
+	Repairs   int
+	Hedged    bool
+	HedgeWon  bool
+	Reroutes  int
+	Parked    float64
+	Late      bool
+	Degraded  bool
+}
+
+// snapshotRec is a compaction snapshot: the complete folded state, so
+// replay of (snapshot + tail) equals replay of the full log.
+type snapshotRec struct {
+	NextSeq    int64
+	Pending    []PendingJob
+	Finished   []finishedJob
+	RetrySpent map[string]int
+	CapsHeld   map[string]int
+}
+
+// finishedJob pairs a finish record with its job for the snapshot (a
+// compacted log no longer has the submit record to join against).
+type finishedJob struct {
+	Job    Job
+	Finish finishRec
+}
+
+// PendingJob is one recovered in-flight job: submitted (and possibly
+// mid-attempt) when the control plane died, with no finish record.
+type PendingJob struct {
+	Seq           int64
+	Job           Job
+	AttemptID     string
+	PriorAttempts int
+	// HasCkpt marks Ck as a journaled mid-transfer checkpoint to
+	// restore; without one the job simply restarts.
+	HasCkpt bool
+	Ck      ckptRec
+}
+
+// Checkpoint reconstitutes the journaled checkpoint, ready to hand to
+// a ResumableExecutor: the restored session token reattaches via
+// sdk.SessionResumer, the restored Hop1Via reuses the DTN partial.
+func (pj PendingJob) Checkpoint() core.Checkpoint {
+	return core.Checkpoint{
+		Hop1Via:        pj.Ck.Hop1Via,
+		Hop1High:       pj.Ck.Hop1High,
+		HasSession:     pj.Ck.HasSession,
+		Session:        pj.Ck.Session,
+		Hop2High:       pj.Ck.Hop2High,
+		BytesResumed:   pj.Ck.Resumed,
+		BytesRewritten: pj.Ck.Rewritten,
+		AttemptID:      pj.AttemptID,
+		ChunkRepairs:   pj.Ck.Repairs,
+	}
+}
+
+// Recovered is what a journal replay yields.
+type Recovered struct {
+	// Finished holds the rebuilt terminal results, in journal order,
+	// with duplicate finish records (same seq) counted once.
+	Finished []Result
+	// Pending holds submitted jobs with no finish record, by seq order.
+	Pending []PendingJob
+	// RetrySpent is the per-provider count of journaled retry-token
+	// spends, for health.Tracker.RestoreSpentRetries.
+	RetrySpent map[string]int
+	// CapsHeld is the per-"provider|via" count of cap slots held at the
+	// crash (informational: a restart's slots are all free).
+	CapsHeld map[string]int
+	// DupFinishes counts duplicate finish records skipped during the
+	// fold — replayed attempts that must not double-count.
+	DupFinishes int
+	// Records and TruncatedBytes describe the replay itself.
+	Records        int
+	TruncatedBytes int
+}
+
+// foldState is the journal's folded meaning, maintained live (so
+// compaction can snapshot it) and rebuilt on replay.
+type foldState struct {
+	nextSeq    int64
+	seqByName  map[string]int64
+	jobs       map[int64]Job
+	pending    map[int64]*PendingJob
+	finished   []finishedJob
+	finishSeqs map[int64]bool
+	retrySpent map[string]int
+	capsHeld   map[string]int
+	dupFinish  int
+}
+
+func newFoldState() *foldState {
+	return &foldState{
+		seqByName:  make(map[string]int64),
+		jobs:       make(map[int64]Job),
+		pending:    make(map[int64]*PendingJob),
+		finishSeqs: make(map[int64]bool),
+		retrySpent: make(map[string]int),
+		capsHeld:   make(map[string]int),
+	}
+}
+
+// apply folds one record. Folding is idempotent where replay can see a
+// record twice (a finish re-journaled after a crash-before-ack).
+func (st *foldState) apply(r journal.Rec) error {
+	switch r.Type {
+	case recSubmit:
+		var m submitRec
+		if err := json.Unmarshal(r.Data, &m); err != nil {
+			return err
+		}
+		if _, ok := st.seqByName[m.Job.Name]; ok {
+			return nil // resubmission of a recovered job: already folded
+		}
+		st.seqByName[m.Job.Name] = m.Seq
+		st.jobs[m.Seq] = m.Job
+		st.pending[m.Seq] = &PendingJob{Seq: m.Seq, Job: m.Job}
+		if m.Seq >= st.nextSeq {
+			st.nextSeq = m.Seq + 1
+		}
+	case recAttempt:
+		var m attemptRec
+		if err := json.Unmarshal(r.Data, &m); err != nil {
+			return err
+		}
+		if pj := st.pending[m.Seq]; pj != nil {
+			if m.Attempt > pj.PriorAttempts {
+				pj.PriorAttempts = m.Attempt
+			}
+			pj.AttemptID = m.AttemptID
+		}
+	case recCkpt:
+		var m ckptRec
+		if err := json.Unmarshal(r.Data, &m); err != nil {
+			return err
+		}
+		if pj := st.pending[m.Seq]; pj != nil {
+			pj.HasCkpt, pj.Ck = true, m
+		}
+	case recCap:
+		var m capRec
+		if err := json.Unmarshal(r.Data, &m); err != nil {
+			return err
+		}
+		k := m.Provider + "|" + m.Via
+		if m.Acquire {
+			st.capsHeld[k]++
+		} else if st.capsHeld[k]--; st.capsHeld[k] <= 0 {
+			delete(st.capsHeld, k)
+		}
+	case recRetry:
+		var m retryRec
+		if err := json.Unmarshal(r.Data, &m); err != nil {
+			return err
+		}
+		st.retrySpent[m.Provider]++
+	case recLanes:
+		// Lane state is observational (the stripe parts are provider
+		// objects; a recovered multipath job re-stripes); nothing folds.
+		var m lanesRec
+		return json.Unmarshal(r.Data, &m)
+	case recFinish:
+		var m finishRec
+		if err := json.Unmarshal(r.Data, &m); err != nil {
+			return err
+		}
+		if st.finishSeqs[m.Seq] {
+			st.dupFinish++ // idempotent replay: count the attempt once
+			return nil
+		}
+		st.finishSeqs[m.Seq] = true
+		job := st.jobs[m.Seq]
+		if pj := st.pending[m.Seq]; pj != nil {
+			job = pj.Job
+		}
+		st.finished = append(st.finished, finishedJob{Job: job, Finish: m})
+		delete(st.pending, m.Seq)
+	case recSnapshot:
+		var m snapshotRec
+		if err := json.Unmarshal(r.Data, &m); err != nil {
+			return err
+		}
+		*st = *newFoldState()
+		st.nextSeq = m.NextSeq
+		for i := range m.Pending {
+			pj := m.Pending[i]
+			st.seqByName[pj.Job.Name] = pj.Seq
+			st.jobs[pj.Seq] = pj.Job
+			st.pending[pj.Seq] = &pj
+		}
+		for _, fj := range m.Finished {
+			st.seqByName[fj.Job.Name] = fj.Finish.Seq
+			st.jobs[fj.Finish.Seq] = fj.Job
+			st.finishSeqs[fj.Finish.Seq] = true
+			st.finished = append(st.finished, fj)
+		}
+		for k, v := range m.RetrySpent {
+			st.retrySpent[k] = v
+		}
+		for k, v := range m.CapsHeld {
+			st.capsHeld[k] = v
+		}
+	default:
+		return fmt.Errorf("sched: unknown journal record type %d", r.Type)
+	}
+	return nil
+}
+
+// snapshot renders the folded state as a compaction record.
+func (st *foldState) snapshot() snapshotRec {
+	snap := snapshotRec{
+		NextSeq:    st.nextSeq,
+		RetrySpent: st.retrySpent,
+		CapsHeld:   st.capsHeld,
+		Finished:   append([]finishedJob(nil), st.finished...),
+	}
+	seqs := make([]int64, 0, len(st.pending))
+	for seq := range st.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		snap.Pending = append(snap.Pending, *st.pending[seq])
+	}
+	return snap
+}
+
+// recovered renders the folded state for the restart path.
+func (st *foldState) recovered() *Recovered {
+	rec := &Recovered{
+		RetrySpent:  st.retrySpent,
+		CapsHeld:    st.capsHeld,
+		DupFinishes: st.dupFinish,
+	}
+	for _, fj := range st.finished {
+		rec.Finished = append(rec.Finished, fj.result())
+	}
+	seqs := make([]int64, 0, len(st.pending))
+	for seq := range st.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		rec.Pending = append(rec.Pending, *st.pending[seq])
+	}
+	return rec
+}
+
+// result rebuilds the terminal Result a finish record encoded.
+func (fj finishedJob) result() Result {
+	m := fj.Finish
+	res := Result{
+		Job:     fj.Job,
+		Route:   core.Route{Kind: core.RouteKind(m.RouteKind), Via: m.RouteVia},
+		Seconds: m.Seconds, Attempts: m.Attempts, CacheHit: m.CacheHit,
+		Resumed: m.Resumed, Rewritten: m.Rewritten, ChunkRepairs: m.Repairs,
+		Hedged: m.Hedged, HedgeWon: m.HedgeWon,
+		Reroutes: m.Reroutes, Parked: m.Parked,
+		Late: m.Late, Degraded: m.Degraded,
+	}
+	if !m.OK {
+		res.Err = fmt.Errorf("replayed: %s", m.Err)
+	}
+	return res
+}
+
+// ControlJournal is the scheduler's write-ahead log plus the crash
+// injector acting on it. All methods are safe for concurrent use.
+type ControlJournal struct {
+	mu    sync.Mutex
+	w     *journal.Writer
+	state *foldState
+
+	// Compaction: every compactEvery finishes, the folded state is
+	// snapshotted and the device swapped to (snapshot) alone.
+	compactEvery int
+	sinceCompact int
+	compactions  int
+	truncated    int
+	appended     int
+
+	// Crash plan: point → remaining occurrences before the kill.
+	plan    map[string]int
+	hits    map[string]int
+	tornArm bool
+	killed  bool
+	onKill  func()
+
+	// recoveredMode marks a journal opened over prior records: this
+	// incarnation is a restart, and the scheduler prechecks every
+	// resubmitted job against the provider — even names whose records
+	// were lost past a corrupted byte.
+	recoveredMode bool
+}
+
+// defaultCompactEvery is how many finish records trigger a compaction.
+const defaultCompactEvery = 16
+
+// NewControlJournal opens (or creates) a control journal on dev,
+// replaying whatever the device already holds: a torn tail is
+// truncated in place, and the folded state — finished results, pending
+// jobs with restored checkpoints, spent retry tokens — is returned for
+// the restart path. A fresh device yields an empty Recovered.
+func NewControlJournal(dev journal.Device) (*ControlJournal, *Recovered, error) {
+	recs, truncated, err := journal.Replay(dev)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: journal replay: %w", err)
+	}
+	st := newFoldState()
+	applied := 0
+	for _, r := range recs {
+		if err := st.apply(r); err != nil {
+			// A structurally valid record that doesn't decode is treated
+			// like rot: trust the prefix, drop the rest.
+			break
+		}
+		applied++
+	}
+	cj := &ControlJournal{
+		w: journal.NewWriter(dev), state: st,
+		compactEvery: defaultCompactEvery,
+		plan:         make(map[string]int),
+		hits:         make(map[string]int),
+	}
+	rec := st.recovered()
+	rec.Records = applied
+	rec.TruncatedBytes = truncated
+	cj.truncated = truncated
+	cj.recoveredMode = applied > 0 || truncated > 0
+	return cj, rec, nil
+}
+
+// RecoveredMode reports whether this journal incarnation replayed
+// prior records — i.e. the scheduler above it is a crash restart.
+func (cj *ControlJournal) RecoveredMode() bool {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.recoveredMode
+}
+
+// SetCompactEvery overrides the compaction cadence (finishes per
+// compaction; <= 0 disables compaction).
+func (cj *ControlJournal) SetCompactEvery(n int) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	cj.compactEvery = n
+}
+
+// OnKill registers the callback the crash plan fires exactly once when
+// it kills the control plane (the scheduler uses it to wake Drain).
+func (cj *ControlJournal) OnKill(fn func()) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	cj.onKill = fn
+}
+
+// Arm schedules a kill at the occurrence-th (1-based) hit of the named
+// crash point.
+func (cj *ControlJournal) Arm(point string, occurrence int) {
+	if occurrence < 1 {
+		occurrence = 1
+	}
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	if point == CrashTornAppend {
+		cj.tornArm = true
+	}
+	cj.plan[point] = occurrence
+}
+
+// Disarm cancels a pending kill at the named point.
+func (cj *ControlJournal) Disarm(point string) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	delete(cj.plan, point)
+	if point == CrashTornAppend {
+		cj.tornArm = false
+	}
+}
+
+// TornJournal is the faults.CrashControl hook: arming is equivalent to
+// arming the torn-append crash point — the next journal append tears
+// mid-record and the control plane dies with it.
+func (cj *ControlJournal) TornJournal(active bool) {
+	if active {
+		cj.Arm(CrashTornAppend, 1)
+	} else {
+		cj.Disarm(CrashTornAppend)
+	}
+}
+
+// FlipJournalByte silently corrupts one byte of the journal device
+// (the faults.BitRot hook). Replay will recover the valid prefix.
+func (cj *ControlJournal) FlipJournalByte(rng *rand.Rand) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	type flipper interface{ FlipByte(off int) }
+	f, ok := cj.w.Device().(flipper)
+	if !ok {
+		return
+	}
+	n := cj.w.Device().Size()
+	if n <= 0 {
+		return
+	}
+	f.FlipByte(rng.Intn(n))
+}
+
+// Killed reports whether the crash plan has fired.
+func (cj *ControlJournal) Killed() bool {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.killed
+}
+
+// HitCount returns how many times the named crash point was reached
+// (armed or not) — the coverage test's evidence.
+func (cj *ControlJournal) HitCount(point string) int {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.hits[point]
+}
+
+// Reach marks one arrival at a crash point and fires the kill when the
+// armed occurrence is reached. Returns whether the control plane is
+// (now) dead — callers unwind without further journaling.
+func (cj *ControlJournal) Reach(point string) bool {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.reachLocked(point)
+}
+
+func (cj *ControlJournal) reachLocked(point string) bool {
+	cj.hits[point]++
+	if cj.killed {
+		return true
+	}
+	left, armed := cj.plan[point]
+	if !armed {
+		return false
+	}
+	left--
+	if left > 0 {
+		cj.plan[point] = left
+		return false
+	}
+	delete(cj.plan, point)
+	cj.killLocked()
+	return true
+}
+
+// killLocked flips the dead switch and fires the wake callback once.
+// Callers hold cj.mu; the callback runs without it (it takes scheduler
+// locks).
+func (cj *ControlJournal) killLocked() {
+	cj.killed = true
+	fn := cj.onKill
+	if fn != nil {
+		cj.mu.Unlock()
+		fn()
+		cj.mu.Lock()
+	}
+}
+
+// append frames and writes one record, folding it into the live state.
+// Dead journals drop everything (the process is gone); a torn-append
+// arm tears this record mid-write and dies.
+func (cj *ControlJournal) append(typ byte, v any) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	cj.appendLocked(typ, v)
+}
+
+func (cj *ControlJournal) appendLocked(typ byte, v any) {
+	if cj.killed {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("sched: journal marshal: %v", err))
+	}
+	if cj.tornArm {
+		if cj.reachLocked(CrashTornAppend) {
+			// Die mid-write: the device keeps a torn prefix of this
+			// record, which replay must truncate.
+			type tearer interface{ TornNextAppend(frac float64) }
+			if t, ok := cj.w.Device().(tearer); ok {
+				t.TornNextAppend(0.5)
+				cj.w.Append(typ, data) //nolint:errcheck // the torn write is the point
+			}
+			return
+		}
+	}
+	if err := cj.w.Append(typ, data); err != nil {
+		panic(fmt.Sprintf("sched: journal append: %v", err))
+	}
+	cj.appended++
+	rec := journal.Rec{Type: typ, Data: data}
+	if err := cj.state.apply(rec); err != nil {
+		panic(fmt.Sprintf("sched: journal fold: %v", err))
+	}
+}
+
+// NoteSubmit journals one admitted job, assigning (or, for a recovered
+// resubmission, reusing) its sequence number, then reaches
+// after-submit.
+func (cj *ControlJournal) NoteSubmit(j Job) {
+	cj.mu.Lock()
+	if cj.killed {
+		cj.mu.Unlock()
+		return
+	}
+	if _, known := cj.state.seqByName[j.Name]; !known {
+		seq := cj.state.nextSeq
+		cj.appendLocked(recSubmit, submitRec{Seq: seq, Job: j})
+	}
+	cj.reachLocked(CrashAfterSubmit)
+	cj.mu.Unlock()
+}
+
+// SeqFor returns the journaled sequence number for a job name (-1 when
+// the journal has never seen it).
+func (cj *ControlJournal) SeqFor(name string) int64 {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	seq, ok := cj.state.seqByName[name]
+	if !ok {
+		return -1
+	}
+	return seq
+}
+
+// AttemptID returns the job's stable idempotency key: every attempt of
+// (and every recovery of) one submitted job commits under the same
+// key, so the provider materializes its object exactly once.
+func (cj *ControlJournal) AttemptID(name string) string {
+	seq := cj.SeqFor(name)
+	if seq < 0 {
+		return ""
+	}
+	return fmt.Sprintf("%s#%d", name, seq)
+}
+
+// TakeRecovered hands out (once) the recovered in-flight state for a
+// resubmitted job: its prior attempt count and journaled checkpoint.
+func (cj *ControlJournal) TakeRecovered(name string) *PendingJob {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	seq, ok := cj.state.seqByName[name]
+	if !ok {
+		return nil
+	}
+	pj := cj.state.pending[seq]
+	if pj == nil || (pj.PriorAttempts == 0 && !pj.HasCkpt) {
+		return nil
+	}
+	out := *pj
+	pj.PriorAttempts, pj.HasCkpt = 0, false // hand out once
+	return &out
+}
+
+// NoteAttempt journals one attempt start, bracketed by the
+// before-attempt and after-attempt crash points. Returns whether the
+// control plane died inside the bracket.
+func (cj *ControlJournal) NoteAttempt(j Job, attempt int, route core.Route) bool {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	if cj.reachLocked(CrashBeforeAttempt) {
+		return true
+	}
+	seq, ok := cj.state.seqByName[j.Name]
+	if !ok {
+		return cj.killed
+	}
+	cj.appendLocked(recAttempt, attemptRec{
+		Seq: seq, Name: j.Name, Attempt: attempt,
+		AttemptID: fmt.Sprintf("%s#%d", j.Name, seq),
+		RouteKind: int(route.Kind), RouteVia: route.Via,
+	})
+	return cj.reachLocked(CrashAfterAttempt)
+}
+
+// NoteCkpt journals the live checkpoint at a progress watermark and
+// evaluates the mid-transfer crash points: mid-hop1 while bytes move
+// toward a DTN with no provider session, mid-hop2 once a session is
+// live (direct chunks or the detour relay). A kill here raises the
+// checkpoint's cooperative abort so the dead process's transfer
+// unwinds instead of running to completion.
+func (cj *ControlJournal) NoteCkpt(j Job, ck *core.Checkpoint, watermark float64) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	if cj.killed {
+		// The process is dead; a transfer still making progress belongs
+		// to it and must stop at its next safe point, not run to
+		// completion on a ghost's behalf.
+		ck.RequestAbort()
+		return
+	}
+	seq, ok := cj.state.seqByName[j.Name]
+	if !ok {
+		return
+	}
+	cj.appendLocked(recCkpt, ckptRec{
+		Seq: seq, Name: j.Name,
+		Hop1Via: ck.Hop1Via, Hop1High: ck.Hop1High,
+		HasSession: ck.HasSession, Session: ck.Session, Hop2High: ck.Hop2High,
+		Resumed: ck.BytesResumed, Rewritten: ck.BytesRewritten,
+		Repairs: ck.ChunkRepairs, Watermark: watermark,
+	})
+	point := CrashMidHop1
+	if ck.HasSession || watermark >= j.Size {
+		point = CrashMidHop2
+	}
+	if cj.reachLocked(point) {
+		ck.RequestAbort()
+	}
+}
+
+// NoteCap journals a cap-slot acquire or release.
+func (cj *ControlJournal) NoteCap(provider, via string, acquire bool) {
+	cj.append(recCap, capRec{Provider: provider, Via: via, Acquire: acquire})
+}
+
+// NoteRetry journals one spent retry token.
+func (cj *ControlJournal) NoteRetry(provider string) {
+	cj.append(recRetry, retryRec{Provider: provider})
+}
+
+// NoteLanes journals a multipath attempt's lane chunk assignment.
+func (cj *ControlJournal) NoteLanes(name string, paths []string, chunks []int) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	seq, ok := cj.state.seqByName[name]
+	if !ok {
+		return
+	}
+	cj.appendLocked(recLanes, lanesRec{Seq: seq, Name: name, Paths: paths, Chunks: chunks})
+}
+
+// NoteFinish journals a terminal result, bracketed (for successes) by
+// the before-finish and after-finish crash points, and triggers
+// compaction on cadence. The before-finish window is the classic one:
+// the provider has committed, the journal has not — recovery resolves
+// it through the idempotent attempt key and the provider pre-check.
+func (cj *ControlJournal) NoteFinish(res *Result) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	if cj.killed {
+		return
+	}
+	seq, ok := cj.state.seqByName[res.Job.Name]
+	if !ok {
+		return
+	}
+	if res.Err == nil && cj.reachLocked(CrashBeforeFinish) {
+		return
+	}
+	m := finishRec{
+		Seq: seq, Name: res.Job.Name, OK: res.Err == nil,
+		RouteKind: int(res.Route.Kind), RouteVia: res.Route.Via,
+		Seconds: res.Seconds, Attempts: res.Attempts, CacheHit: res.CacheHit,
+		Resumed: res.Resumed, Rewritten: res.Rewritten, Repairs: res.ChunkRepairs,
+		Hedged: res.Hedged, HedgeWon: res.HedgeWon,
+		Reroutes: res.Reroutes, Parked: res.Parked,
+		Late: res.Late, Degraded: res.Degraded,
+	}
+	if res.Err != nil {
+		m.Err = res.Err.Error()
+	}
+	cj.appendLocked(recFinish, m)
+	if cj.killed { // torn-append fired on this very record
+		return
+	}
+	if res.Err == nil && cj.reachLocked(CrashAfterFinish) {
+		return
+	}
+	cj.sinceCompact++
+	if cj.compactEvery > 0 && cj.sinceCompact >= cj.compactEvery {
+		if cj.reachLocked(CrashDuringCompact) {
+			return // died before the snapshot swap: the full log survives
+		}
+		cj.compactLocked()
+	}
+}
+
+// compactLocked snapshots the folded state and atomically swaps the
+// device to (snapshot) alone. Callers hold cj.mu.
+func (cj *ControlJournal) compactLocked() {
+	data, err := json.Marshal(cj.state.snapshot())
+	if err != nil {
+		panic(fmt.Sprintf("sched: snapshot marshal: %v", err))
+	}
+	if err := cj.w.Compact([]journal.Rec{{Type: recSnapshot, Data: data}}); err != nil {
+		panic(fmt.Sprintf("sched: journal compact: %v", err))
+	}
+	cj.sinceCompact = 0
+	cj.compactions++
+}
+
+// Compactions returns how many snapshot swaps have run.
+func (cj *ControlJournal) Compactions() int {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.compactions
+}
+
+// Appended returns how many records this incarnation wrote.
+func (cj *ControlJournal) Appended() int {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.appended
+}
+
+// Device exposes the underlying journal device (state dumps, tests).
+func (cj *ControlJournal) Device() journal.Device {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.w.Device()
+}

@@ -91,6 +91,19 @@ func (s *Scheduler) runMultipath(j Job, key CacheKey, route core.Route, hit bool
 	s.bytesRewritten += rewritten
 	s.mu.Unlock()
 	s.breakers.success(providerKey(j.Provider))
+	if s.cfg.Journal != nil {
+		// Journal the lane outcome: which routes carried how many stripe
+		// chunks. Observational — a recovered multipath job re-stripes
+		// from scratch (stripe parts are provider-side objects) — but the
+		// record makes the dead process's lane state auditable.
+		paths := make([]string, len(rep.Paths))
+		chunks := make([]int, len(rep.Paths))
+		for i, pr := range rep.Paths {
+			paths[i] = pr.Route
+			chunks[i] = len(pr.Chunks)
+		}
+		s.cfg.Journal.NoteLanes(j.Name, paths, chunks)
+	}
 	if !s.brownoutActive() {
 		// Feed the bandit per lane: each lane's committed bytes over its
 		// own busy time is a genuine (if contended, conservative)

@@ -82,6 +82,11 @@ type Result struct {
 	// bytes sent more than once. Zero for plain executors.
 	Resumed   float64
 	Rewritten float64
+	// ChunkRepairs counts manifest chunks the transfer re-sent to heal
+	// staged-copy corruption — repairs, not integrity retries: the
+	// transfer was never discarded, only the damaged chunks were paid
+	// for again. Zero for plain executors.
+	ChunkRepairs int
 	// QueueDelay is how long the job waited between Submit and its
 	// terminal dequeue (or its in-queue expiry), in scheduler-clock
 	// seconds.
@@ -132,6 +137,17 @@ func (f ExecutorFunc) Execute(j Job, r core.Route) (float64, error) { return f(j
 type ResumableExecutor interface {
 	Executor
 	ExecuteResumable(job Job, route core.Route, ck *core.Checkpoint) (seconds float64, err error)
+}
+
+// PrecheckExecutor is an Executor that can ask the destination
+// provider whether a job's object already exists, intact, before
+// moving any bytes. Crash recovery uses it to resolve the
+// committed-but-unjournaled window: a job whose finish record died
+// with the process but whose commit landed completes instantly instead
+// of re-uploading (and the idempotent attempt ID would have suppressed
+// the duplicate anyway).
+type PrecheckExecutor interface {
+	Precheck(job Job) bool
 }
 
 // HedgedExecutor is a ResumableExecutor that can race a direct-route
@@ -335,6 +351,18 @@ type Config struct {
 	// so A/B harnesses can share one config constructor.
 	DisableHealth bool
 
+	// Journal, when set, makes the control plane crash-consistent:
+	// submissions, attempt starts, checkpoint watermarks, cap and
+	// retry-token spends, and finishes are written ahead to the journal,
+	// and a scheduler restarted on the same device replays them — jobs
+	// with finish records are not re-run, in-flight jobs resume from
+	// their journaled checkpoints under their original attempt IDs. The
+	// journal is also the crash injector: when an armed crash point
+	// fires, the scheduler is "killed" — Drain wakes, workers unwind,
+	// results after the kill carry ErrCrashKilled. nil turns all of it
+	// off.
+	Journal *ControlJournal
+
 	// Backoff shapes the retry delays.
 	Backoff Backoff
 	// Rand seeds backoff jitter and the cache's bandit (default a
@@ -451,6 +479,9 @@ type Scheduler struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
+	// crashKilled mirrors the journal's kill switch under s.mu so Drain
+	// can wake on it.
+	crashKilled bool
 	// Counters (all guarded by mu).
 	submitted, rateLimited int64
 	queueFullRej, quotaRej int64
@@ -472,6 +503,7 @@ type Scheduler struct {
 	canaries, budgetParks  int64
 	bytesResumed           float64
 	bytesRewritten         float64
+	chunkRepairs           int64
 	cacheHits, cacheMiss   int64
 	perRoute               map[string]*RouteStats
 	brown                  *brownout // nil when brownout is off
@@ -520,7 +552,22 @@ func New(cfg Config) *Scheduler {
 		})
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Journal != nil {
+		// A fired crash point must wake Drain: the fleet is not finishing.
+		cfg.Journal.OnKill(func() {
+			s.mu.Lock()
+			s.crashKilled = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+	}
 	return s
+}
+
+// crashed reports whether the control plane's journal has fired an
+// armed crash point — the process is "dead" and workers just unwind.
+func (s *Scheduler) crashed() bool {
+	return s.cfg.Journal != nil && s.cfg.Journal.Killed()
 }
 
 // Cache exposes the scheduler's route cache (read-mostly; for
@@ -609,6 +656,12 @@ func (s *Scheduler) submit(j Job, wait bool) error {
 		s.submitted++
 	}
 	s.mu.Unlock()
+	if err == nil && s.cfg.Journal != nil {
+		// Write-ahead: the job is durable before any worker touches it. A
+		// resubmission of a journaled name reuses its sequence number (and
+		// therefore its idempotent attempt ID).
+		s.cfg.Journal.NoteSubmit(j)
+	}
 	s.expireQueued(expired)
 	s.noteQueueDepth()
 	return err
@@ -653,7 +706,7 @@ func (s *Scheduler) brownoutActive() bool {
 // Drain blocks until every admitted job has reached a terminal state.
 func (s *Scheduler) Drain() {
 	s.mu.Lock()
-	for s.pending > 0 && !s.closed {
+	for s.pending > 0 && !s.closed && !s.crashKilled {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
@@ -716,6 +769,12 @@ func (s *Scheduler) worker() {
 			res.Degraded = true
 		}
 		s.finish(res)
+		if s.crashed() {
+			// The crash point fired: this worker is part of the dead
+			// process. Finish the bookkeeping for the current result (above)
+			// and unwind without touching the queue again.
+			return
+		}
 	}
 }
 
@@ -723,6 +782,13 @@ func (s *Scheduler) worker() {
 func (s *Scheduler) finish(res Result) {
 	if res.Err == nil && res.Job.Deadline > 0 && s.cfg.Now() > res.Job.Deadline {
 		res.Late = true
+	}
+	if s.cfg.Journal != nil && !errors.Is(res.Err, ErrCrashKilled) {
+		// Journal the terminal record before it becomes observable. This
+		// is the before-finish crash window: the provider may have
+		// committed but the journal hasn't — recovery resolves it via the
+		// idempotent attempt ID and the provider pre-check.
+		s.cfg.Journal.NoteFinish(&res)
 	}
 	s.mu.Lock()
 	s.pending--
@@ -762,6 +828,9 @@ func (s *Scheduler) finish(res Result) {
 // (breaker-gated), capped execution, class-aware retry with backoff,
 // and failover that carries the job's checkpoint across routes.
 func (s *Scheduler) runJob(j Job) Result {
+	if s.crashed() {
+		return Result{Job: j, Err: ErrCrashKilled}
+	}
 	if j.Deadline > 0 && s.cfg.Now() > j.Deadline {
 		return Result{Job: j, Err: ErrDeadline}
 	}
@@ -799,12 +868,72 @@ func (s *Scheduler) runJob(j Job) Result {
 		ck = &core.Checkpoint{}
 	}
 
+	// Crash recovery: a job the journal saw in flight restores its
+	// journaled checkpoint (DTN partial + provider session) and attempt
+	// count, and keeps its original idempotent attempt ID — so a commit
+	// the dead process already made replays instead of duplicating.
+	priorAttempts := 0
+	cj := s.cfg.Journal
+	if cj != nil {
+		precheck := false
+		if rec := cj.TakeRecovered(j.Name); rec != nil {
+			priorAttempts = rec.PriorAttempts
+			if ck != nil && rec.HasCkpt {
+				*ck = rec.Checkpoint()
+			}
+			precheck = true
+		} else if cj.RecoveredMode() {
+			// A restart prechecks every resubmitted job, not just the ones
+			// with journaled attempts: a job whose records were lost past a
+			// corrupted byte may still have committed before the crash.
+			precheck = true
+		}
+		if precheck {
+			// The before-finish window: the dead process may have committed
+			// the object without journaling the finish. Ask the provider
+			// before moving a single byte.
+			if px, ok := s.cfg.Executor.(PrecheckExecutor); ok {
+				if px.Precheck(j) {
+					att := priorAttempts
+					if att < 1 {
+						att = 1
+					}
+					res := Result{Job: j, Route: core.DirectRoute, Attempts: att, CacheHit: true, Resumed: j.Size}
+					if ck != nil {
+						res.Rewritten, res.ChunkRepairs = ck.BytesRewritten, ck.ChunkRepairs
+					}
+					s.mu.Lock()
+					s.bytesResumed += j.Size
+					s.mu.Unlock()
+					return res
+				}
+			}
+		}
+		if ck != nil {
+			ck.AttemptID = cj.AttemptID(j.Name)
+			// Journal every progress watermark; a mid-transfer crash point
+			// (mid-hop1 / mid-hop2) killing here also aborts the transfer
+			// cooperatively. Executors that wrap OnProgress themselves chain
+			// through this hook.
+			prev := ck.OnProgress
+			ck.OnProgress = func(b float64) {
+				cj.NoteCkpt(j, ck, b)
+				if prev != nil {
+					prev(b)
+				}
+			}
+		}
+	}
+
 	var lastErr error
-	attempts, detourFails, stallReroutes := 0, 0, 0
+	attempts, detourFails, stallReroutes := priorAttempts, 0, 0
 	jobHedged, jobHedgeWon := false, false
 	jobReroutes, jobParked := 0, 0.0
 	for {
 		attempts++
+		if cj != nil && cj.NoteAttempt(j, attempts, route) {
+			return Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Err: ErrCrashKilled}
+		}
 		var sec float64
 		var err error
 		if !s.breakers.allow(providerKey(j.Provider)) {
@@ -819,6 +948,9 @@ func (s *Scheduler) runJob(j Job) Result {
 			}
 			// A winning hedge swaps route below; release what was acquired.
 			acquiredVia := route.Via
+			if cj != nil {
+				cj.NoteCap(j.Provider, acquiredVia, true)
+			}
 			ran := false
 			if hx, canHedge := s.cfg.Executor.(HedgedExecutor); canHedge && s.cfg.Hedge && route.Kind == core.Detour && ck != nil {
 				if budget, ok := s.hedgeBudget(route, j.Size); ok {
@@ -869,6 +1001,15 @@ func (s *Scheduler) runJob(j Job) Result {
 				}
 			}
 			s.caps.release(j.Provider, acquiredVia)
+			if cj != nil {
+				cj.NoteCap(j.Provider, acquiredVia, false)
+			}
+		}
+		if s.crashed() {
+			// A mid-transfer crash point aborted this attempt (or the kill
+			// landed elsewhere while we ran): the process is dead, whatever
+			// err says is moot.
+			return Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Err: ErrCrashKilled}
 		}
 		if err == nil {
 			s.breakers.success(breakerKey(j.Provider, route))
@@ -973,6 +1114,12 @@ func (s *Scheduler) runJob(j Job) Result {
 					res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked, Err: &BudgetError{Provider: j.Provider, RetryAfter: after}}
 					s.noteRecovery(ck, &res)
 					return res
+				}
+				if cj != nil {
+					// The spent token is journaled so a restart can drain the
+					// fresh tracker's budget to match (RestoreSpentRetries) —
+					// a crash must not refill a sick provider's bucket.
+					cj.NoteRetry(j.Provider)
 				}
 			}
 			s.mu.Lock()
@@ -1168,9 +1315,11 @@ func (s *Scheduler) noteRecovery(ck *core.Checkpoint, res *Result) {
 		return
 	}
 	res.Resumed, res.Rewritten = ck.BytesResumed, ck.BytesRewritten
+	res.ChunkRepairs = ck.ChunkRepairs
 	s.mu.Lock()
 	s.bytesResumed += ck.BytesResumed
 	s.bytesRewritten += ck.BytesRewritten
+	s.chunkRepairs += int64(ck.ChunkRepairs)
 	s.mu.Unlock()
 }
 
@@ -1320,8 +1469,8 @@ type Stats struct {
 	// over probation routes to probe re-admission; BudgetParks the jobs
 	// parked with *BudgetError because their provider's retry bucket ran
 	// dry.
-	Stalls, StallReroutes  int64
-	Canaries, BudgetParks  int64
+	Stalls, StallReroutes int64
+	Canaries, BudgetParks int64
 	// QueueDelayEWMA is the CoDel-smoothed time-in-queue;
 	// QueueDelayP99 is the 99th percentile over a trailing window of
 	// admitted jobs.
@@ -1336,6 +1485,10 @@ type Stats struct {
 	// across all jobs run by a ResumableExecutor.
 	BytesResumed   float64
 	BytesRewritten float64
+	// ChunkRepairs counts manifest chunks re-sent to heal staged-copy
+	// corruption (distinct from IntegrityRetries: a repair keeps the
+	// transfer, a retry discards it).
+	ChunkRepairs int64
 	// BreakerTransitions counts lifetime breaker state changes; Breakers
 	// is each breaker's current state by "provider|route" key.
 	BreakerTransitions      int64
@@ -1389,13 +1542,14 @@ func (s *Scheduler) Stats() Stats {
 		MultipathJobs: s.mpJobs, MultipathDegraded: s.mpDegraded,
 		MultipathHedged: s.mpHedged, MultipathResent: s.mpResent,
 		MultipathDuplicateBytes: s.mpDuplicateBytes,
-		Stalls:   s.stalls, StallReroutes: s.stallRerouted,
+		Stalls:                  s.stalls, StallReroutes: s.stallRerouted,
 		Canaries: s.canaries, BudgetParks: s.budgetParks,
 		QueueDelayP99: s.delays.percentile(0.99),
 		Retries:       s.retries, Fallbacks: s.fallbacks,
 		Failovers: s.failovers, BreakerSkips: s.breakerSkip,
 		BytesResumed: s.bytesResumed, BytesRewritten: s.bytesRewritten,
-		CacheHits: s.cacheHits, CacheMisses: s.cacheMiss,
+		ChunkRepairs: s.chunkRepairs,
+		CacheHits:    s.cacheHits, CacheMisses: s.cacheMiss,
 		PerRoute: make(map[string]RouteStats, len(s.perRoute)),
 	}
 	if s.brown != nil {

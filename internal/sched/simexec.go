@@ -203,6 +203,11 @@ func (e *SimExecutor) runWatched(p *simproc.Proc, job Job, route core.Route, ck 
 		if b > watermark {
 			watermark = b
 		}
+		// Chain to whatever hook was installed before the watchdog's (the
+		// control journal's checkpoint writer rides here).
+		if prev != nil {
+			prev(b)
+		}
 	}
 	defer func() { ck.OnProgress = prev }()
 
@@ -247,6 +252,30 @@ func (e *SimExecutor) runWatched(p *simproc.Proc, job Job, route core.Route, ck 
 	})
 	return rep, fmt.Errorf("watchdog aborted %s via %s after %.0fs (%s): %w",
 		job.Name, route, float64(p.Now())-start, reason, core.ErrStall)
+}
+
+// Precheck implements PrecheckExecutor: one Stat against the
+// destination provider, true when the object already exists with the
+// job's size and (when the job carries one) digest. Crash recovery
+// calls this for journal-pending jobs before re-running them, so a
+// commit whose finish record died with the old process completes
+// instantly instead of re-uploading.
+func (e *SimExecutor) Precheck(job Job) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.direct(job.Client, job.Provider).(sdk.Stater)
+	if !ok {
+		return false
+	}
+	found := false
+	e.w.RunWorkload("sched:precheck:"+job.Name, func(p *simproc.Proc) {
+		fi, err := st.Stat(p, job.Name)
+		if err != nil {
+			return
+		}
+		found = fi.Size == job.Size && (job.MD5 == "" || fi.MD5 == job.MD5)
+	})
+	return found
 }
 
 // ExecuteHedged implements HedgedExecutor with a true in-simulation

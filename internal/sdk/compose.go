@@ -24,12 +24,14 @@ func (b *base) compose(p *simproc.Proc, path, name string, parts []string, md5 s
 	if name == "" || len(parts) == 0 {
 		return FileInfo{}, fmt.Errorf("sdk: compose needs a name and parts")
 	}
+	attempt := b.attemptID // captured before I/O: the client may be shared
 	req, err := b.authed(p, "POST", path)
 	if err != nil {
 		return FileInfo{}, err
 	}
 	body, _ := json.Marshal(map[string]any{"name": name, "md5": md5, "parts": parts})
 	req.Header["Content-Type"] = "application/json"
+	tagAttempt(req, attempt)
 	req.Body = body
 	resp, err := b.do(p, req)
 	if err != nil {

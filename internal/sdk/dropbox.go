@@ -25,7 +25,7 @@ func NewDropbox(eng *simclock.Engine, tn *transport.Net, from, host string, cred
 // ProviderName implements Client.
 func (d *Dropbox) ProviderName() string { return "Dropbox" }
 
-func (d *Dropbox) apiCall(p *simproc.Proc, path string, arg any, bodySize float64, md5 string) ([]byte, error) {
+func (d *Dropbox) apiCall(p *simproc.Proc, path string, arg any, bodySize float64, md5, attempt string) ([]byte, error) {
 	req, err := d.authed(p, "POST", path)
 	if err != nil {
 		return nil, err
@@ -39,6 +39,7 @@ func (d *Dropbox) apiCall(p *simproc.Proc, path string, arg any, bodySize float6
 	if md5 != "" {
 		req.Header["X-Content-MD5"] = md5
 	}
+	tagAttempt(req, attempt)
 	req.BodySize = bodySize
 	resp, err := d.do(p, req)
 	if err != nil {
@@ -57,8 +58,9 @@ func (d *Dropbox) Upload(p *simproc.Proc, name string, size float64, md5 string)
 	if size < 0 {
 		return FileInfo{}, fmt.Errorf("sdk: negative size")
 	}
+	attempt := d.attemptID // captured before I/O: the client may be shared
 	if size <= d.chunk {
-		body, err := d.apiCall(p, "/2/files/upload", map[string]string{"path": name}, size, md5)
+		body, err := d.apiCall(p, "/2/files/upload", map[string]string{"path": name}, size, md5, attempt)
 		if err != nil {
 			return FileInfo{}, fmt.Errorf("sdk: dropbox upload: %w", err)
 		}
@@ -66,7 +68,7 @@ func (d *Dropbox) Upload(p *simproc.Proc, name string, size float64, md5 string)
 	}
 	// Session: start carries the first chunk.
 	first := d.chunk
-	body, err := d.apiCall(p, "/2/files/upload_session/start", map[string]any{}, first, "")
+	body, err := d.apiCall(p, "/2/files/upload_session/start", map[string]any{}, first, "", "")
 	if err != nil {
 		return FileInfo{}, fmt.Errorf("sdk: dropbox session start: %w", err)
 	}
@@ -79,7 +81,7 @@ func (d *Dropbox) Upload(p *simproc.Proc, name string, size float64, md5 string)
 	sent := first
 	for size-sent > d.chunk {
 		arg := map[string]any{"cursor": dbxCursor{SessionID: start.SessionID, Offset: sent}}
-		if _, err := d.apiCall(p, "/2/files/upload_session/append_v2", arg, d.chunk, ""); err != nil {
+		if _, err := d.apiCall(p, "/2/files/upload_session/append_v2", arg, d.chunk, "", ""); err != nil {
 			return FileInfo{}, fmt.Errorf("sdk: dropbox append at %.0f: %w", sent, err)
 		}
 		sent += d.chunk
@@ -88,7 +90,7 @@ func (d *Dropbox) Upload(p *simproc.Proc, name string, size float64, md5 string)
 		"cursor": dbxCursor{SessionID: start.SessionID, Offset: sent},
 		"commit": map[string]string{"path": name},
 	}
-	body, err = d.apiCall(p, "/2/files/upload_session/finish", arg, size-sent, md5)
+	body, err = d.apiCall(p, "/2/files/upload_session/finish", arg, size-sent, md5, attempt)
 	if err != nil {
 		return FileInfo{}, fmt.Errorf("sdk: dropbox finish: %w", err)
 	}
@@ -119,7 +121,7 @@ func (d *Dropbox) Download(p *simproc.Proc, name string) (FileInfo, error) {
 
 // Delete implements Client.
 func (d *Dropbox) Delete(p *simproc.Proc, name string) error {
-	_, err := d.apiCall(p, "/2/files/delete_v2", map[string]string{"path": name}, 0, "")
+	_, err := d.apiCall(p, "/2/files/delete_v2", map[string]string{"path": name}, 0, "", "")
 	return err
 }
 

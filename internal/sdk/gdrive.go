@@ -31,6 +31,7 @@ func (g *GoogleDrive) Upload(p *simproc.Proc, name string, size float64, md5 str
 	if size < 0 {
 		return FileInfo{}, fmt.Errorf("sdk: negative size")
 	}
+	attempt := g.attemptID // captured before I/O: the client may be shared
 	// 1. Initiate the session.
 	req, err := g.authed(p, "POST", "/upload/drive/v3/files?uploadType=resumable")
 	if err != nil {
@@ -77,6 +78,7 @@ func (g *GoogleDrive) Upload(p *simproc.Proc, name string, size float64, md5 str
 		if md5 != "" {
 			put.Header["X-Content-MD5"] = md5
 		}
+		tagAttempt(put, attempt)
 		put.BodySize = chunk
 		resp, err := g.doRaw(p, put)
 		if err != nil {
@@ -117,6 +119,11 @@ func (g *GoogleDrive) lookup(p *simproc.Proc, name string) (FileInfo, error) {
 		return FileInfo{}, fmt.Errorf("sdk: drive: no file named %q", name)
 	}
 	return out.Files[0], nil
+}
+
+// Stat implements Stater: a metadata-only lookup by name.
+func (g *GoogleDrive) Stat(p *simproc.Proc, name string) (FileInfo, error) {
+	return g.lookup(p, name)
 }
 
 // Download implements Client: name lookup, then an alt=media GET.

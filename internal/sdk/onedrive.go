@@ -31,6 +31,7 @@ func (o *OneDrive) Upload(p *simproc.Proc, name string, size float64, md5 string
 	if size < 0 {
 		return FileInfo{}, fmt.Errorf("sdk: negative size")
 	}
+	attempt := o.attemptID // captured before I/O: the client may be shared
 	req, err := o.authed(p, "POST", "/v1.0/drive/root:/"+name+":/createUploadSession")
 	if err != nil {
 		return FileInfo{}, err
@@ -63,6 +64,7 @@ func (o *OneDrive) Upload(p *simproc.Proc, name string, size float64, md5 string
 		if md5 != "" {
 			put.Header["X-Content-MD5"] = md5
 		}
+		tagAttempt(put, attempt)
 		put.BodySize = frag
 		resp, err := o.doRaw(p, put)
 		if err != nil {

@@ -49,6 +49,22 @@ type Client interface {
 	Close()
 }
 
+// AttemptTagger is a client that can tag its upload commits with an
+// idempotency key. The key rides the committing request as an
+// X-Attempt-Id header; a provider that has already materialized a
+// commit for the key answers with the stored object instead of
+// committing again — what makes a crash-replayed attempt safe.
+type AttemptTagger interface {
+	SetAttemptID(id string)
+}
+
+// Stater is a client that can look up stored object metadata without
+// moving content bytes — the recovery pre-check a restarted scheduler
+// uses to learn whether an attempt committed before the crash.
+type Stater interface {
+	Stat(p *simproc.Proc, name string) (FileInfo, error)
+}
+
 // Credentials hold an OAuth2 client registration.
 type Credentials struct {
 	ClientID     string
@@ -76,6 +92,10 @@ type base struct {
 	host  string
 	from  string
 	chunk float64
+	// attemptID tags upload commits for idempotent replay. Sessions
+	// capture it at Begin/Resume so a client shared by concurrent
+	// relays cannot cross-tag another transfer's commit.
+	attemptID string
 }
 
 func newBase(eng *simclock.Engine, tn *transport.Net, from, host string, creds Credentials, style cloudsim.Style, opts Options) base {
@@ -96,6 +116,16 @@ func newBase(eng *simclock.Engine, tn *transport.Net, from, host string, creds C
 func (b *base) Host() string { return b.host }
 func (b *base) From() string { return b.from }
 func (b *base) Close()       { b.http.CloseIdle() }
+
+// SetAttemptID implements AttemptTagger. An empty id clears the tag.
+func (b *base) SetAttemptID(id string) { b.attemptID = id }
+
+// tagAttempt stamps the idempotency key onto a committing request.
+func tagAttempt(req *httpsim.Request, attempt string) {
+	if attempt != "" {
+		req.Header["X-Attempt-Id"] = attempt
+	}
+}
 
 // authed builds a request with a fresh bearer token.
 func (b *base) authed(p *simproc.Proc, method, path string) (*httpsim.Request, error) {

@@ -67,6 +67,7 @@ type GDriveSession struct {
 	size     float64
 	sent     float64
 	md5      string
+	attempt  string // idempotency key captured at Begin/Resume
 }
 
 // BeginUpload initiates a resumable session.
@@ -74,6 +75,10 @@ func (g *GoogleDrive) BeginUpload(p *simproc.Proc, name string, size float64, md
 	if size <= 0 {
 		return nil, fmt.Errorf("sdk: session needs positive size")
 	}
+	// Capture the idempotency key before any I/O: the client may be
+	// shared (a DTN agent relays many transfers) and another caller may
+	// re-tag it while this request is on the wire.
+	attempt := g.attemptID
 	req, err := g.authed(p, "POST", "/upload/drive/v3/files?uploadType=resumable")
 	if err != nil {
 		return nil, err
@@ -89,7 +94,7 @@ func (g *GoogleDrive) BeginUpload(p *simproc.Proc, name string, size float64, md
 	if location == "" {
 		return nil, fmt.Errorf("sdk: drive initiate returned no Location")
 	}
-	return &GDriveSession{g: g, location: location, size: size, md5: md5}, nil
+	return &GDriveSession{g: g, location: location, size: size, md5: md5, attempt: attempt}, nil
 }
 
 // Written implements UploadSession.
@@ -108,6 +113,7 @@ func (s *GDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (FileI
 	if s.md5 != "" {
 		put.Header["X-Content-MD5"] = s.md5
 	}
+	tagAttempt(put, s.attempt)
 	put.BodySize = n
 	resp, err := s.g.doRaw(p, put)
 	if err != nil {
@@ -150,6 +156,7 @@ func (g *GoogleDrive) ResumeUpload(p *simproc.Proc, location string, size float6
 	if location == "" || size <= 0 {
 		return nil, fmt.Errorf("sdk: resume needs a location and positive size")
 	}
+	attempt := g.attemptID // captured before I/O; see BeginUpload
 	req, err := g.authed(p, "PUT", location)
 	if err != nil {
 		return nil, err
@@ -169,7 +176,7 @@ func (g *GoogleDrive) ResumeUpload(p *simproc.Proc, location string, size float6
 			sent = hi + 1
 		}
 	}
-	return &GDriveSession{g: g, location: location, size: size, md5: md5, sent: sent}, nil
+	return &GDriveSession{g: g, location: location, size: size, md5: md5, sent: sent, attempt: attempt}, nil
 }
 
 // --- Dropbox ---
@@ -181,12 +188,14 @@ type DropboxSession struct {
 	md5       string
 	sessionID string
 	sent      float64
+	attempt   string // idempotency key captured at Begin/Resume
 }
 
 // BeginUpload starts an upload session (the start call itself carries no
 // data; the first WriteChunk may).
 func (d *Dropbox) BeginUpload(p *simproc.Proc, name string, size float64, md5 string) (UploadSession, error) {
-	body, err := d.apiCall(p, "/2/files/upload_session/start", map[string]any{}, 0, "")
+	attempt := d.attemptID // captured before I/O; see GoogleDrive.BeginUpload
+	body, err := d.apiCall(p, "/2/files/upload_session/start", map[string]any{}, 0, "", "")
 	if err != nil {
 		return nil, fmt.Errorf("sdk: dropbox session start: %w", err)
 	}
@@ -196,7 +205,7 @@ func (d *Dropbox) BeginUpload(p *simproc.Proc, name string, size float64, md5 st
 	if err := json.Unmarshal(body, &start); err != nil || start.SessionID == "" {
 		return nil, fmt.Errorf("sdk: dropbox session start: bad response")
 	}
-	return &DropboxSession{d: d, name: name, md5: md5, sessionID: start.SessionID}, nil
+	return &DropboxSession{d: d, name: name, md5: md5, sessionID: start.SessionID, attempt: attempt}, nil
 }
 
 // Written implements UploadSession.
@@ -210,7 +219,7 @@ func (s *DropboxSession) WriteChunk(p *simproc.Proc, n float64, last bool) (File
 	cursor := dbxCursor{SessionID: s.sessionID, Offset: s.sent}
 	if last {
 		arg := map[string]any{"cursor": cursor, "commit": map[string]string{"path": s.name}}
-		body, err := s.d.apiCall(p, "/2/files/upload_session/finish", arg, n, s.md5)
+		body, err := s.d.apiCall(p, "/2/files/upload_session/finish", arg, n, s.md5, s.attempt)
 		if err != nil {
 			return FileInfo{}, fmt.Errorf("sdk: dropbox finish: %w", err)
 		}
@@ -218,7 +227,7 @@ func (s *DropboxSession) WriteChunk(p *simproc.Proc, n float64, last bool) (File
 		return decodeMeta(body)
 	}
 	arg := map[string]any{"cursor": cursor}
-	if _, err := s.d.apiCall(p, "/2/files/upload_session/append_v2", arg, n, ""); err != nil {
+	if _, err := s.d.apiCall(p, "/2/files/upload_session/append_v2", arg, n, "", ""); err != nil {
 		return FileInfo{}, fmt.Errorf("sdk: dropbox append at %.0f: %w", s.sent, err)
 	}
 	s.sent += n
@@ -242,11 +251,12 @@ func (d *Dropbox) ResumeUpload(p *simproc.Proc, sessionID, name string, offset f
 	if sessionID == "" {
 		return nil, fmt.Errorf("sdk: resume needs a session id")
 	}
+	attempt := d.attemptID // captured before I/O; see GoogleDrive.BeginUpload
 	if offset < 0 {
 		return nil, fmt.Errorf("sdk: negative resume offset")
 	}
 	arg := map[string]any{"cursor": dbxCursor{SessionID: sessionID, Offset: offset}}
-	_, err := d.apiCall(p, "/2/files/upload_session/append_v2", arg, 0, "")
+	_, err := d.apiCall(p, "/2/files/upload_session/append_v2", arg, 0, "", "")
 	if err != nil {
 		var se *httpsim.StatusError
 		if errors.As(err, &se) && se.Status == httpsim.StatusConflict {
@@ -254,12 +264,12 @@ func (d *Dropbox) ResumeUpload(p *simproc.Proc, sessionID, name string, offset f
 				CorrectOffset float64 `json:"correct_offset"`
 			}
 			if jerr := json.Unmarshal([]byte(se.Body), &body); jerr == nil {
-				return &DropboxSession{d: d, name: name, md5: md5, sessionID: sessionID, sent: body.CorrectOffset}, nil
+				return &DropboxSession{d: d, name: name, md5: md5, sessionID: sessionID, sent: body.CorrectOffset, attempt: attempt}, nil
 			}
 		}
 		return nil, fmt.Errorf("sdk: dropbox resume: %w", err)
 	}
-	return &DropboxSession{d: d, name: name, md5: md5, sessionID: sessionID, sent: offset}, nil
+	return &DropboxSession{d: d, name: name, md5: md5, sessionID: sessionID, sent: offset, attempt: attempt}, nil
 }
 
 // Resume implements SessionResumer.
@@ -276,6 +286,7 @@ type OneDriveSession struct {
 	size      float64
 	sent      float64
 	md5       string
+	attempt   string // idempotency key captured at Begin
 }
 
 // BeginUpload creates the upload session; OneDrive requires the total
@@ -284,6 +295,7 @@ func (o *OneDrive) BeginUpload(p *simproc.Proc, name string, size float64, md5 s
 	if size <= 0 {
 		return nil, fmt.Errorf("sdk: session needs positive size")
 	}
+	attempt := o.attemptID // captured before I/O; see GoogleDrive.BeginUpload
 	req, err := o.authed(p, "POST", "/v1.0/drive/root:/"+name+":/createUploadSession")
 	if err != nil {
 		return nil, err
@@ -298,7 +310,7 @@ func (o *OneDrive) BeginUpload(p *simproc.Proc, name string, size float64, md5 s
 	if err := json.Unmarshal(resp.Body, &sess); err != nil || sess.UploadURL == "" {
 		return nil, fmt.Errorf("sdk: onedrive session: bad response")
 	}
-	return &OneDriveSession{o: o, uploadURL: sess.UploadURL, size: size, md5: md5}, nil
+	return &OneDriveSession{o: o, uploadURL: sess.UploadURL, size: size, md5: md5, attempt: attempt}, nil
 }
 
 // Written implements UploadSession.
@@ -317,6 +329,7 @@ func (s *OneDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (Fil
 	if s.md5 != "" {
 		put.Header["X-Content-MD5"] = s.md5
 	}
+	tagAttempt(put, s.attempt)
 	put.BodySize = n
 	resp, err := s.o.doRaw(p, put)
 	if err != nil {
