@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet chaos overload stress churn multipath grayfail crashsafe
+.PHONY: build test vet race bench check fleet chaos overload stress churn multipath grayfail crashsafe pressure
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,15 @@ crashsafe:
 	$(GO) test -fuzz=FuzzScan -fuzztime=5s ./internal/journal
 	$(GO) run ./examples/crashsafe
 
+# Pressure: the storage-exhaustion tests race-clean (staging-disk
+# admission/eviction/conservation, quota reclaim/spill/park ladder,
+# journal ENOSPC compaction and degraded mode), then the replay:
+# disks fill, quota drains, the journal device fills — the full stack
+# vs the no-mitigation ablation.
+pressure:
+	$(GO) test -race ./internal/rsyncx/ ./internal/sched/ ./internal/cloudsim/ ./internal/journal/
+	$(GO) run ./examples/pressure
+
 # Stress: the scheduler suite repeated under the race detector to
 # shake out ordering-dependent bugs in the queue and overload layer.
 stress:
@@ -71,10 +80,13 @@ stress:
 # test suite (including the really-concurrent scheduler) is race-clean,
 # the delta-encoding and journal-decode fuzzers hold up for a short
 # smoke run, the chaos and overload replays complete, and the churn,
-# multipath, grayfail, and crashsafe replays are byte-identical across
-# two runs of the same seed.
+# multipath, grayfail, crashsafe, and pressure replays are
+# byte-identical across two runs of the same seed. The eviction-safety
+# suites get an explicit race pass (cheap, and kept even if the
+# blanket ./... leg above is ever narrowed).
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(GO) test -race ./internal/rsyncx/ ./internal/sched/
 	$(GO) test -fuzz=FuzzDelta -fuzztime=10s ./internal/rsyncx
 	$(GO) test -fuzz=FuzzScan -fuzztime=5s ./internal/journal
 	$(GO) run ./examples/chaos >/dev/null
@@ -95,3 +107,7 @@ check:
 	$(GO) run ./examples/crashsafe >.cs.b.tmp
 	cmp .cs.a.tmp .cs.b.tmp
 	rm -f .cs.a.tmp .cs.b.tmp
+	$(GO) run ./examples/pressure >.pr.a.tmp
+	$(GO) run ./examples/pressure >.pr.b.tmp
+	cmp .pr.a.tmp .pr.b.tmp
+	rm -f .pr.a.tmp .pr.b.tmp

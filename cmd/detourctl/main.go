@@ -38,6 +38,14 @@
 // stall counts), the probation/re-admission transition log, and the
 // per-provider retry-budget ledgers. Transfer flags are ignored in
 // this mode.
+//
+// With -capacity, the tool instead replays the storage-exhaustion
+// schedule with the mitigation stack armed and prints the operator's
+// storage view: each DTN's staging-disk accounting (capacity, used,
+// headroom, evictions, orphan sweeps), each provider's quota ledger
+// (committed, pending session bytes, sessions reclaimed), and the
+// scheduler's quota-mitigation counters. Transfer flags are ignored in
+// this mode.
 package main
 
 import (
@@ -67,6 +75,7 @@ func main() {
 		drain     = flag.String("drain", "", "put this DTN's agent into drain before planning")
 		mpath     = flag.Bool("multipath", false, "stripe the upload across direct + all in-service detours and show per-path progress")
 		healthTab = flag.Bool("health", false, "replay the gray-failure schedule with the health stack and print the health table")
+		capTab    = flag.Bool("capacity", false, "replay the storage-exhaustion schedule with the mitigation stack and print the staging/quota tables")
 		jdump     = flag.String("journal", "", "dump this control-journal file (records, torn tail, recovered state) and exit")
 	)
 	flag.Parse()
@@ -81,6 +90,10 @@ func main() {
 
 	if *healthTab {
 		os.Exit(runHealthTable(*seed))
+	}
+
+	if *capTab {
+		os.Exit(runCapacityTable(*seed))
 	}
 
 	if _, ok := scenario.Providers[*provider]; !ok {
@@ -195,6 +208,36 @@ func runHealthTable(seed int64) int {
 	for _, b := range out.Budgets {
 		fmt.Printf("  %-12s tokens %.1f  spent %d  denied %d\n",
 			b.Provider, b.Tokens, b.Spent, b.Denied)
+	}
+	return 0
+}
+
+// runCapacityTable replays the storage-exhaustion scenario with the
+// mitigation stack armed and renders the final storage accounting the
+// way a real deployment's `detourctl capacity` would read the control
+// plane.
+func runCapacityTable(seed int64) int {
+	out := sched.RunPressure(sched.PressureOptions{Seed: seed, Stack: true})
+	st := out.Stats
+	fmt.Printf("storage after %d transfers, %.0f virtual s: %d quota failures, %d reclaims, %d spills, %d quota-parked; journal degraded=%v enospc-saves=%d dropped=%d\n",
+		len(out.Results), out.VirtualSeconds,
+		st.QuotaFailures, st.QuotaReclaims, st.ProviderSpills, st.QuotaParks,
+		st.JournalDegraded, st.JournalENOSPCSaves, st.JournalDropped)
+	fmt.Println("staging disks:")
+	for _, sn := range out.Staging {
+		fmt.Printf("  %-9s cap %4.0f MB used %4.0f MB headroom %4.0f MB reserved %4.0f MB | %d staged %d partials %d orphans | %d evictions (%.0f MB) %d orphans swept\n",
+			sn.DTN, sn.Capacity/1e6, sn.Used/1e6, sn.Headroom/1e6, sn.Reserved/1e6,
+			sn.Staged, sn.Partials, sn.Orphans, sn.Evictions, sn.EvictedBytes/1e6, sn.OrphansSwept)
+	}
+	fmt.Println("provider quota:")
+	for _, q := range out.Quota {
+		fmt.Printf("  %-12s quota %4.0f MB used %4.0f MB pending %4.0f MB free %4.0f MB | %d sessions reclaimed\n",
+			q.Provider, q.Quota/1e6, q.Used/1e6, q.Pending/1e6,
+			(q.Quota-q.Used-q.Pending)/1e6, q.SessionsReclaimed)
+	}
+	fmt.Println("warnings:")
+	for _, tr := range out.Health {
+		fmt.Printf("  %s\n", tr)
 	}
 	return 0
 }

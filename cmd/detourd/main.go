@@ -46,6 +46,15 @@
 // deterministic with/without report. Other scheduler flags are ignored
 // in this mode.
 //
+// With -pressure, the daemon instead replays the storage-exhaustion
+// schedule (see internal/faults.PressureSchedule) twice over the same
+// fleet and seed — once as the no-mitigation ablation and once with the
+// full ladder: LRU eviction of stale staged state, spill-aware
+// placement off DTN headroom, provider-session reclamation on 507,
+// spill to alternate providers, and journal degradation to in-memory
+// folding — and prints the deterministic with/without report. Other
+// scheduler flags are ignored in this mode.
+//
 // With -crashsafe, the daemon instead runs the crash-consistency sweep
 // (see internal/sched.RunCrashsafeSweep): a journaled scheduler killed
 // at every enumerated control-plane crash point, restarted on the same
@@ -88,6 +97,7 @@ func main() {
 		overload    = flag.Bool("overload", false, "arm admission control, fair queuing, shedding, hedging, and brownout")
 		churn       = flag.Bool("churn", false, "replay the BGP reconvergence storm, control vs full stack, and report")
 		grayfail    = flag.Bool("grayfail", false, "replay the gray-failure schedule, no-health ablation vs health stack, and report")
+		pressure    = flag.Bool("pressure", false, "replay the storage-exhaustion schedule, no-mitigation ablation vs full stack, and report")
 		mpath       = flag.Bool("multipath", false, "run the striped-vs-single comparison plus the multipath churn leg, and report")
 		crashsafe   = flag.Bool("crashsafe", false, "run the crash-consistency sweep (kill at every crash point, restart, replay) and report")
 	)
@@ -127,6 +137,13 @@ func main() {
 		control := sched.RunGrayfail(sched.GrayfailOptions{Seed: *seed, Stack: false})
 		stack := sched.RunGrayfail(sched.GrayfailOptions{Seed: *seed, Stack: true})
 		sched.WriteGrayfailReport(os.Stdout, control, stack)
+		return
+	}
+
+	if *pressure {
+		control := sched.RunPressure(sched.PressureOptions{Seed: *seed, Stack: false})
+		stack := sched.RunPressure(sched.PressureOptions{Seed: *seed, Stack: true})
+		sched.WritePressureReport(os.Stdout, control, stack)
 		return
 	}
 

@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"encoding/json"
+	"strings"
 
 	"detournet/internal/httpsim"
 )
@@ -87,7 +88,7 @@ func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respons
 			freed += old.Size
 		}
 		if s.Store.Used()-freed+total > q {
-			return errResp(httpsim.StatusPayloadTooLarge, "cloudsim: quota exceeded")
+			return s.insufficientStorage(ErrQuotaExceeded.Error())
 		}
 	}
 	// Free the parts before the final Put so a quota-bound store does
@@ -97,14 +98,22 @@ func (s *Service) compose(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respons
 	}
 	o, err := s.Store.Put(cr.Name, total, cr.MD5)
 	if err != nil {
+		// Roll back: every part goes back exactly as it was. Restore
+		// (not Put) preserves object identity and commit counts, so the
+		// failed compose cannot over-report reclaimed space or inflate
+		// per-name commit tallies; and every part is attempted even if
+		// one fails, so a partial rollback never silently drops the rest.
+		var lost []string
 		for _, p := range parts {
-			// Re-putting bytes just freed cannot exceed the quota.
-			if _, rerr := s.Store.Put(p.Name, p.Size, p.MD5); rerr != nil {
-				return errResp(httpsim.StatusInternalServerError,
-					"compose failed and part "+p.Name+" could not be restored: "+rerr.Error())
+			if rerr := s.Store.Restore(p); rerr != nil {
+				lost = append(lost, p.Name)
 			}
 		}
-		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+		if len(lost) > 0 {
+			return errResp(httpsim.StatusInternalServerError,
+				"compose failed and parts could not be restored: "+strings.Join(lost, ", "))
+		}
+		return s.putErr(err)
 	}
 	s.Store.RecordAttempt(req.Header["X-Attempt-Id"], o)
 	status := httpsim.StatusOK

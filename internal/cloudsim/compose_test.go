@@ -48,8 +48,13 @@ func TestComposeFailureRestoresParts(t *testing.T) {
 	// even after the parts are freed.
 	s.Store.Quota = 50
 	resp := s.compose(nil, composeReqBody(t, "f", "f.mp0000", "f.mp0001"))
-	if resp.Status != httpsim.StatusPayloadTooLarge {
+	// Quota exhaustion now answers 507 Insufficient Storage (with a
+	// Retry-After hint) instead of the generic 413.
+	if resp.Status != httpsim.StatusInsufficientStorage {
 		t.Fatalf("compose status = %d: %s", resp.Status, resp.Body)
+	}
+	if _, ok := resp.Header["Retry-After"]; !ok {
+		t.Fatal("507 response carries no Retry-After hint")
 	}
 	if _, ok := s.Store.Get("f"); ok {
 		t.Fatal("final object exists after failed compose")

@@ -63,12 +63,15 @@ func (s *Service) dbxUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respo
 	}
 	o, err := s.Store.PutIdempotent(a.Path, req.ContentLength(), req.Header["X-Content-MD5"], req.Header["X-Attempt-Id"])
 	if err != nil {
-		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+		return s.putErr(err)
 	}
 	return jsonResp(httpsim.StatusOK, metaOf(o))
 }
 
 func (s *Service) dbxStart(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Response {
+	if resp := s.admitSessionBytes(req.ContentLength()); resp != nil {
+		return resp
+	}
 	sess := s.newSession("", 0)
 	sess.received = req.ContentLength() // start may carry the first chunk
 	return jsonResp(httpsim.StatusOK, map[string]string{"session_id": sess.id})
@@ -93,6 +96,9 @@ func (s *Service) dbxAppend(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respo
 			"error": "incorrect_offset", "correct_offset": sess.received,
 		})
 	}
+	if resp := s.admitSessionBytes(req.ContentLength()); resp != nil {
+		return resp
+	}
 	sess.received += req.ContentLength()
 	return &httpsim.Response{Status: httpsim.StatusOK}
 }
@@ -116,11 +122,14 @@ func (s *Service) dbxFinish(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respo
 			"error": "incorrect_offset", "correct_offset": sess.received,
 		})
 	}
+	if resp := s.admitSessionBytes(req.ContentLength()); resp != nil {
+		return resp
+	}
 	sess.received += req.ContentLength()
 	sess.done = true
 	o, err := s.Store.PutIdempotent(a.Commit.Path, sess.received, req.Header["X-Content-MD5"], req.Header["X-Attempt-Id"])
 	if err != nil {
-		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+		return s.putErr(err)
 	}
 	return jsonResp(httpsim.StatusOK, metaOf(o))
 }

@@ -100,6 +100,9 @@ func (s *Service) gdUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respon
 	} else if sess.total == 0 {
 		sess.total = n
 	}
+	if resp := s.admitSessionBytes(n); resp != nil {
+		return resp
+	}
 	sess.received += n
 	if sess.total > 0 && sess.received < sess.total {
 		return &httpsim.Response{
@@ -111,7 +114,7 @@ func (s *Service) gdUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respon
 	md5 := req.Header["X-Content-MD5"] // optional integrity echo
 	o, err := s.Store.PutIdempotent(sess.name, sess.received, md5, req.Header["X-Attempt-Id"])
 	if err != nil {
-		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+		return s.putErr(err)
 	}
 	return jsonResp(httpsim.StatusOK, metaOf(o))
 }

@@ -69,6 +69,9 @@ func (s *Service) odUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respon
 			fmt.Sprintf("expected offset %v, got %v", sess.received, lo))
 	}
 	sess.total = total
+	if resp := s.admitSessionBytes(hi - lo + 1); resp != nil {
+		return resp
+	}
 	sess.received += hi - lo + 1
 	if sess.received < sess.total {
 		return jsonResp(202, map[string]any{
@@ -78,7 +81,7 @@ func (s *Service) odUpload(_ *httpsim.Ctx, req *httpsim.Request) *httpsim.Respon
 	sess.done = true
 	o, err := s.Store.PutIdempotent(sess.name, sess.received, req.Header["X-Content-MD5"], req.Header["X-Attempt-Id"])
 	if err != nil {
-		return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+		return s.putErr(err)
 	}
 	return jsonResp(httpsim.StatusCreated, metaOf(o))
 }

@@ -2,8 +2,10 @@ package cloudsim
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"detournet/internal/httpsim"
 	"detournet/internal/oauthsim"
@@ -102,6 +104,15 @@ type Service struct {
 	// uploads.
 	SessionTTL float64
 
+	// QuotaRetryAfter is the Retry-After pacing hint (virtual seconds)
+	// stamped on 507 insufficient-storage responses; defaultQuotaRetryAfter
+	// when zero. Schedulers floor their backoff with it when parking a
+	// quota-exhausted job.
+	QuotaRetryAfter float64
+	// SessionsReclaimed counts abandoned upload sessions garbage-
+	// collected by ReclaimQuota.
+	SessionsReclaimed int
+
 	// SlowFor is the gray-failure knob: per-source ingestion throttling
 	// that NEVER errors. A request from a mapped remote host is served
 	// normally — 200s all the way — but its payload is ingested at the
@@ -174,6 +185,116 @@ func (s *Service) newSession(name string, total float64) *uploadSession {
 	s.nextSess++
 	s.sessions[sess.id] = sess
 	return sess
+}
+
+// defaultQuotaRetryAfter is the 507 Retry-After hint when the service
+// has no explicit QuotaRetryAfter configured.
+const defaultQuotaRetryAfter = 15.0
+
+// pendingSessionBytes sums the bytes received into upload sessions
+// that have not committed yet. Live sessions hold real storage — the
+// real providers charge in-progress resumable uploads against the
+// tenant's quota — so quota admission counts them.
+func (s *Service) pendingSessionBytes() float64 {
+	var n float64
+	for _, sess := range s.sessions {
+		if !sess.done {
+			n += sess.received
+		}
+	}
+	return n
+}
+
+// PendingBytes reports the uncommitted bytes live upload sessions
+// hold against the quota — the operator's view of drain pressure.
+func (s *Service) PendingBytes() float64 { return s.pendingSessionBytes() }
+
+// admitSessionBytes checks n more session bytes against the quota,
+// answering 507 Insufficient Storage when they cannot fit next to the
+// committed objects and every other live session's pending bytes.
+func (s *Service) admitSessionBytes(n float64) *httpsim.Response {
+	q := s.Store.Quota
+	if q <= 0 || n <= 0 {
+		return nil
+	}
+	if s.Store.Used()+s.pendingSessionBytes()+n > q {
+		return s.insufficientStorage(ErrQuotaExceeded.Error())
+	}
+	return nil
+}
+
+// insufficientStorage builds the 507 response with the Retry-After
+// pacing hint quota-parked schedulers honor.
+func (s *Service) insufficientStorage(msg string) *httpsim.Response {
+	ra := s.QuotaRetryAfter
+	if ra <= 0 {
+		ra = defaultQuotaRetryAfter
+	}
+	resp := errResp(httpsim.StatusInsufficientStorage, msg)
+	resp.Header["Retry-After"] = fmt.Sprintf("%.3f", ra)
+	return resp
+}
+
+// putErr maps a store write failure to the provider's wire answer:
+// quota exhaustion is 507 Insufficient Storage with a Retry-After
+// hint; anything else stays 413 as before.
+func (s *Service) putErr(err error) *httpsim.Response {
+	if errors.Is(err, ErrQuotaExceeded) {
+		return s.insufficientStorage(err.Error())
+	}
+	return errResp(httpsim.StatusPayloadTooLarge, err.Error())
+}
+
+// ReclaimQuota garbage-collects abandoned upload sessions — sessions
+// that never committed and have been idle for at least idleSecs — and
+// returns the pending bytes freed. This is the provider-side half of
+// quota-reclaim: a scheduler that hits 507 asks for a cleanup pass
+// before giving up on the provider. Deterministic: sessions are
+// visited in sorted id order.
+func (s *Service) ReclaimQuota(idleSecs float64) float64 {
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	now := s.eng.Now()
+	var freed float64
+	for _, id := range ids {
+		sess := s.sessions[id]
+		if sess.done || sess.received <= 0 {
+			continue
+		}
+		if float64(now-sess.lastUsed) < idleSecs {
+			continue
+		}
+		freed += sess.received
+		delete(s.sessions, id)
+		s.SessionsReclaimed++
+	}
+	return freed
+}
+
+// InjectAbandonedSession opens a synthetic upload session already
+// holding n pending bytes — the fault injector's quota-drain hook. The
+// session is never committed and never touched again, so it charges
+// the tenant's quota (pendingSessionBytes) and ages toward
+// ReclaimQuota eligibility exactly like a genuinely abandoned
+// resumable upload. Returns the session id for a later DropSession.
+func (s *Service) InjectAbandonedSession(name string, n float64) string {
+	sess := s.newSession(name, n)
+	sess.received = n
+	return sess.id
+}
+
+// DropSession deletes a session by id, reporting whether it still
+// existed — the quota-drain window closing (ReclaimQuota may have
+// collected the session already, which is fine).
+func (s *Service) DropSession(id string) bool {
+	if _, ok := s.sessions[id]; !ok {
+		return false
+	}
+	delete(s.sessions, id)
+	return true
 }
 
 // session looks up an upload session, enforcing SessionTTL: an expired

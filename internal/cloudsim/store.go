@@ -12,11 +12,20 @@
 package cloudsim
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"detournet/internal/simclock"
 )
+
+// ErrQuotaExceeded reports a write the store refused because it would
+// push used bytes past the bucket's quota — the storage-layer origin
+// of every 507 the provider front ends emit. The message substring
+// "quota exceeded" is load-bearing: agent-relayed errors are flattened
+// to strings on the wire and classified by content.
+var ErrQuotaExceeded = errors.New("cloudsim: quota exceeded")
 
 // Object is one stored file.
 type Object struct {
@@ -73,7 +82,7 @@ func (s *ObjectStore) Put(name string, size float64, md5 string) (*Object, error
 		prev = old.Size
 	}
 	if s.Quota > 0 && s.used-prev+size > s.Quota {
-		return nil, fmt.Errorf("cloudsim: quota exceeded")
+		return nil, ErrQuotaExceeded
 	}
 	if old, ok := s.byName[name]; ok {
 		s.used -= old.Size
@@ -91,7 +100,35 @@ func (s *ObjectStore) Put(name string, size float64, md5 string) (*Object, error
 	s.byID[o.ID] = o
 	s.used += size
 	s.commits[name]++
+	s.assertInvariant()
 	return o, nil
+}
+
+// assertInvariant checks the store's accounting after every write:
+// used must equal the sum of stored object sizes and must never
+// exceed the quota. A violation is a simulator bug (for instance, a
+// compose restore path over-reporting reclaimed space), not a
+// recoverable condition, so it panics.
+func (s *ObjectStore) assertInvariant() {
+	s.assertAccounting()
+	if s.Quota > 0 && s.used > s.Quota+1e-6 {
+		panic(fmt.Sprintf("cloudsim: used %.0f exceeds quota %.0f", s.used, s.Quota))
+	}
+}
+
+// assertAccounting is the half of the invariant that holds across
+// every mutation including deletes: tracked used bytes must equal the
+// stored objects. (A delete while the quota sits externally shrunk
+// below used still reduces usage, so the quota half is only asserted
+// after writes, whose admission checks guarantee it.)
+func (s *ObjectStore) assertAccounting() {
+	var sum float64
+	for _, o := range s.byName {
+		sum += o.Size
+	}
+	if math.Abs(sum-s.used) > 1e-6 {
+		panic(fmt.Sprintf("cloudsim: used accounting drift: tracked %.0f, stored %.0f", s.used, sum))
+	}
 }
 
 // PutIdempotent stores an object like Put, gated by an idempotency key:
@@ -113,6 +150,34 @@ func (s *ObjectStore) PutIdempotent(name string, size float64, md5, key string) 
 		s.attempts[key] = o
 	}
 	return o, nil
+}
+
+// Restore re-inserts a previously stored object after a failed
+// multi-step mutation — a compose whose final Put did not fit rolls
+// its freed parts back with this. Unlike Put it preserves the
+// object's identity and does not count a new commit: rollback is not
+// a commit, so a failed compose can neither over-report reclaimed
+// space nor inflate per-name commit counts.
+func (s *ObjectStore) Restore(o *Object) error {
+	if o == nil || o.Name == "" {
+		return fmt.Errorf("cloudsim: restoring nil or unnamed object")
+	}
+	var prev float64
+	if old, ok := s.byName[o.Name]; ok {
+		prev = old.Size
+	}
+	if s.Quota > 0 && s.used-prev+o.Size > s.Quota {
+		return ErrQuotaExceeded
+	}
+	if old, ok := s.byName[o.Name]; ok {
+		s.used -= old.Size
+		delete(s.byID, old.ID)
+	}
+	s.byName[o.Name] = o
+	s.byID[o.ID] = o
+	s.used += o.Size
+	s.assertInvariant()
+	return nil
 }
 
 // Replayed answers an idempotent replay without a Put: it returns the
@@ -165,6 +230,7 @@ func (s *ObjectStore) Delete(name string) bool {
 	s.used -= o.Size
 	delete(s.byName, name)
 	delete(s.byID, o.ID)
+	s.assertAccounting()
 	return true
 }
 

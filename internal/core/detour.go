@@ -174,6 +174,13 @@ func (a *Agent) RegisterProvider(client sdk.SessionClient) {
 	a.clients[client.ProviderName()] = client
 }
 
+// CapacityStats snapshots the staging disk the agent shares with its
+// rsync daemon — the per-agent used/reserved/headroom view the
+// scheduler's spill-aware placement and `detourctl -capacity` read.
+func (a *Agent) CapacityStats() rsyncx.CapacityStats {
+	return a.daemon.Stats()
+}
+
 // Providers lists registered provider names.
 func (a *Agent) Providers() []string {
 	out := make([]string, 0, len(a.clients))
@@ -352,6 +359,9 @@ func (a *Agent) handleRelay(p *simproc.Proc, c *transport.Conn, m relayUpload) {
 		_ = c.Send(p, relayResult{OK: false, Err: "not staged: " + m.Name}, ctrlBytes)
 		return
 	}
+	// An in-flight relay read pins its staged file against eviction.
+	a.daemon.Pin(m.Name)
+	defer a.daemon.Unpin(m.Name)
 	t0 := p.Now()
 	info, err := client.Upload(p, st.Name, st.Size, st.MD5)
 	if err != nil {

@@ -27,6 +27,15 @@ var ErrIntegrity = errors.New("core: provider digest mismatch on resumed upload"
 // job's retry cap).
 var ErrStall = errors.New("core: transfer stalled below adaptive floor")
 
+// ErrQuotaExhausted reports a provider refusing writes because the
+// tenant's storage quota is spent (HTTP 507 / insufficient-quota). It
+// is a property of the provider account, not of any route: failing
+// over to another DTN cannot help, but reclaiming quota (abandoned
+// upload-session cleanup) or spilling to an alternate provider can.
+// Schedulers park the job with the provider's Retry-After hint when
+// neither is possible.
+var ErrQuotaExhausted = errors.New("core: provider storage quota exhausted")
+
 // DefaultResumeChunk is the chunk size resumable transfers checkpoint
 // at when the caller does not specify one.
 const DefaultResumeChunk = 8 << 20
@@ -263,6 +272,11 @@ func (a *Agent) runRelay(p *simproc.Proc, m relayResume, rj *relayJob) {
 		fail("not staged: " + m.Name)
 		return
 	}
+	// Pin the staged file for the relay's lifetime: an in-flight relay
+	// is one of the two live-use cases the eviction policy must never
+	// touch (the other is an active push handler).
+	a.daemon.Pin(m.Name)
+	defer a.daemon.Unpin(m.Name)
 	t0 := p.Now()
 	if at, ok := client.(sdk.AttemptTagger); ok {
 		// Tag, open the session (which captures the key), untag: agent

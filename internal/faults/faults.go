@@ -91,6 +91,24 @@ const (
 	// (Journal=true). Nothing errors: the damage is only visible to
 	// checksum verification (the chunk manifest, the journal CRCs).
 	BitRot
+	// DiskFill occupies FillBytes of a DTN's staging disk for the window
+	// — a co-tenant filling the shared scratch volume. Gray by
+	// construction: no routing event, no error until a push actually
+	// fails admission; only headroom observation (the scheduler's
+	// capacity oracle) can see it coming.
+	DiskFill
+	// QuotaDrain charges DrainBytes of a provider's storage quota for
+	// the window by opening an abandoned upload session holding that
+	// many pending bytes — another client's stalled resumable upload
+	// eating the shared account. The drain is reclaimable: a scheduler
+	// that reacts to 507s with a session-reclaim pass frees it early.
+	QuotaDrain
+	// JournalENOSPC pins the control-plane journal device at its
+	// current size for the window (appends past it answer ENOSPC) — the
+	// volume under the scheduler's write-ahead log filling up. The
+	// actual clamp is performed by the crashsafe harness's CrashControl
+	// hook.
+	JournalENOSPC
 )
 
 func (k Kind) String() string {
@@ -121,6 +139,12 @@ func (k Kind) String() string {
 		return "torn-write"
 	case BitRot:
 		return "bit-rot"
+	case DiskFill:
+		return "disk-fill"
+	case QuotaDrain:
+		return "quota-drain"
+	case JournalENOSPC:
+		return "journal-enospc"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -187,6 +211,13 @@ type Spec struct {
 	// Flips (BitRot) is how many staged chunks (or journal bytes) to
 	// corrupt at window start; 0 means one.
 	Flips int
+
+	// FillBytes (DiskFill) is how many bytes of the DTN's staging disk
+	// the fault occupies during the window.
+	FillBytes float64
+	// DrainBytes (QuotaDrain) is how many pending bytes the abandoned
+	// upload session charges against the provider's quota.
+	DrainBytes float64
 }
 
 // target renders the spec's subject for logs.
@@ -194,8 +225,10 @@ func (s Spec) target() string {
 	switch s.Kind {
 	case LinkDown, LinkDegrade, LinkSilentLoss:
 		return s.From + "<->" + s.To
-	case DTNCrash, DTNDrain, DTNDiskSlow:
+	case DTNCrash, DTNDrain, DTNDiskSlow, DiskFill:
 		return s.DTN
+	case JournalENOSPC:
+		return "journal"
 	case RouteChurn:
 		if s.DomainA != "" {
 			return s.DomainA + "~" + s.DomainB
@@ -219,6 +252,10 @@ type state struct {
 	active   bool
 	ev       *simclock.Event
 	savedCap map[[2]string]float64
+	// savedDisk is the staging capacity DiskFill restores at window end.
+	savedDisk float64
+	// drainID is the abandoned session QuotaDrain drops at window end.
+	drainID string
 }
 
 // stateAt reports whether the fault is active at time t and when it
@@ -277,6 +314,9 @@ type CrashControl struct {
 	TornJournal func(active bool)
 	// FlipJournal flips one byte of the journal device, chosen with rng.
 	FlipJournal func(rng *rand.Rand)
+	// JournalENOSPC clamps (active) or unclamps the journal device's
+	// capacity at its current size, so appends past it answer ENOSPC.
+	JournalENOSPC func(active bool)
 }
 
 // SetCrashControl registers the control-plane hooks. Call before the
@@ -356,6 +396,22 @@ func (inj *Injector) validate(sp Spec) {
 		if sp.CrashPoint == "" {
 			panic(fmt.Sprintf("faults: %s: needs a CrashPoint", sp.Kind))
 		}
+	case DiskFill:
+		if inj.w.Daemons[sp.DTN] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown DTN %q", sp.Kind, sp.DTN))
+		}
+		if sp.FillBytes <= 0 {
+			panic(fmt.Sprintf("faults: %s %s: needs positive FillBytes", sp.Kind, sp.target()))
+		}
+	case QuotaDrain:
+		if inj.w.Services[sp.Provider] == nil {
+			panic(fmt.Sprintf("faults: %s: unknown provider %q", sp.Kind, sp.Provider))
+		}
+		if sp.DrainBytes <= 0 {
+			panic(fmt.Sprintf("faults: %s %s: needs positive DrainBytes", sp.Kind, sp.target()))
+		}
+	case JournalENOSPC:
+		// Window-only: the CrashControl hook is checked at apply time.
 	case TornWrite, BitRot:
 		if !sp.Journal && inj.w.Daemons[sp.DTN] == nil {
 			panic(fmt.Sprintf("faults: %s: unknown DTN %q (set Journal for the control plane)", sp.Kind, sp.DTN))
@@ -517,6 +573,38 @@ func (inj *Injector) apply(sp *state, active bool) {
 		if active {
 			inj.applyBitRot(sp)
 		}
+	case DiskFill:
+		// Gray storage pressure: a co-tenant occupies FillBytes of the
+		// staging volume, modeled as a capacity shrink. No bus event —
+		// only headroom observation sees it before pushes start bouncing.
+		d := inj.w.Daemons[sp.DTN]
+		if active {
+			sp.savedDisk = d.Capacity
+			if d.Capacity > 0 {
+				nc := d.Capacity - sp.FillBytes
+				if nc < 1 {
+					nc = 1
+				}
+				d.Capacity = nc
+			}
+		} else {
+			d.Capacity = sp.savedDisk
+		}
+	case QuotaDrain:
+		svc := inj.w.Services[sp.Provider]
+		if active {
+			sp.drainID = svc.InjectAbandonedSession("faults:quota-drain", sp.DrainBytes)
+		} else {
+			// The session may already be gone — a scheduler's reclaim pass
+			// collecting it early is the mitigation working as intended.
+			svc.DropSession(sp.drainID)
+			sp.drainID = ""
+		}
+	case JournalENOSPC:
+		if inj.control == nil || inj.control.JournalENOSPC == nil {
+			panic(fmt.Sprintf("faults: %s %s: no CrashControl registered", sp.Kind, sp.target()))
+		}
+		inj.control.JournalENOSPC(active)
 	case DTNDrain:
 		if active {
 			inj.w.Agents[sp.DTN].Drain()
@@ -731,6 +819,29 @@ func CrashsafeSchedule() []Spec {
 		{Kind: TornWrite, DTN: scenario.UAlberta, Start: 10, Duration: 3600},
 		{Kind: DTNCrash, DTN: scenario.UAlberta, Start: 120, Duration: 30},
 		{Kind: BitRot, DTN: scenario.UAlberta, Start: 300, Duration: 5, Period: 240, Repeat: 2, Flips: 2},
+	}
+}
+
+// PressureSchedule is the storage-pressure scenario the pressure
+// example and `detourd -pressure` replay against a world with finite
+// staging disks and a finite Google Drive quota: a co-tenant fills
+// most of UAlberta's staging volume early (the favorite detour's hop-1
+// disk), then UMich's too while UAlberta is still full (so for a while
+// every detour is pressured at once), an abandoned client drains a
+// slice of the shared Google Drive quota for most of the run, and the
+// control-plane journal volume fills mid-run. Nothing errors until
+// bytes actually fail to fit: the windows are long because storage
+// pressure is a slow fault — it lasts until something evicts, spills,
+// or reclaims.
+func PressureSchedule() []Spec {
+	return []Spec{
+		{Kind: DiskFill, DTN: scenario.UAlberta, FillBytes: 450e6,
+			Start: 60, Duration: 1800},
+		{Kind: DiskFill, DTN: scenario.UMich, FillBytes: 450e6,
+			Start: 900, Duration: 1200},
+		{Kind: QuotaDrain, Provider: scenario.GoogleDrive, DrainBytes: 600e6,
+			Start: 120, Duration: 2400},
+		{Kind: JournalENOSPC, Start: 240, Duration: 1560},
 	}
 }
 

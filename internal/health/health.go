@@ -331,6 +331,22 @@ func (t *Tracker) transition(now float64, e *entity, from, to string) {
 	})
 }
 
+// NoteWarning records a non-transfer health event — a subsystem
+// degrading without failing (the control journal falling back to
+// in-memory mode on a full device, for instance). It lands in the same
+// deterministic transitions log the state machine writes, so reports
+// and replays surface it alongside probation flips.
+func (t *Tracker) NoteWarning(class, name, msg string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.opt.Now()
+	t.transitions = append(t.transitions,
+		fmt.Sprintf("t=%.3f warn %s %s %s", now, class, name, msg))
+	t.opt.Trace.Emit("health.warning", map[string]any{
+		tracelog.AttrEntity: name, "class": class, "msg": msg,
+	})
+}
+
 // Weight returns the selection-weight multiplier for an entity: 1 when
 // healthy (or unknown), ProbationWeight on probation.
 func (t *Tracker) Weight(class, name string) float64 {

@@ -34,6 +34,10 @@ const (
 	StatusTooManyRequests     = 429
 	StatusInternalServerError = 500
 	StatusServiceUnavailable  = 503
+	// StatusInsufficientStorage (WebDAV, RFC 4918) is what the provider
+	// emulations answer when the tenant's storage quota is spent — the
+	// quota-exhaustion signal schedulers park or spill on.
+	StatusInsufficientStorage = 507
 )
 
 // baseHeaderBytes approximates request/status line + mandatory headers.

@@ -14,10 +14,18 @@ package journal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 )
+
+// ErrNoSpace reports an append the device refused because the log has
+// reached its configured capacity. Callers that can shrink the log
+// (compaction) should do so and retry; callers that cannot must degrade
+// rather than tear the frame — a bounded device never persists a
+// partial frame on ENOSPC, so the on-device prefix stays valid.
+var ErrNoSpace = errors.New("journal: no space left on device")
 
 // Frame layout: magic(1) type(1) len(4 LE) crc32c(4 LE) payload(len).
 const (
@@ -158,6 +166,14 @@ type MemDevice struct {
 	tornFrac float64
 	// Appends counts Append calls (for crash-point scheduling).
 	Appends int
+	// Capacity bounds the log size in bytes; zero means unbounded. An
+	// Append that would exceed it persists nothing and returns
+	// ErrNoSpace (whole-frame rejection, never a torn frame). Swap is
+	// allowed whenever the new content itself fits, which is what lets
+	// a compaction shrink an already-full log.
+	Capacity int
+	savedCap int
+	clamped  bool
 }
 
 // NewMemDevice returns an empty in-memory device.
@@ -172,6 +188,9 @@ func (m *MemDevice) Size() int { return len(m.buf) }
 // Append implements Device, honoring a pending torn-write injection.
 func (m *MemDevice) Append(b []byte) (int, error) {
 	m.Appends++
+	if m.Capacity > 0 && len(m.buf)+len(b) > m.Capacity {
+		return 0, ErrNoSpace
+	}
 	n := len(b)
 	if m.tornFrac > 0 && m.tornFrac < 1 {
 		n = int(float64(len(b)) * m.tornFrac)
@@ -187,8 +206,13 @@ func (m *MemDevice) Append(b []byte) (int, error) {
 	return n, nil
 }
 
-// Swap implements Device.
+// Swap implements Device. A swap whose new content itself exceeds the
+// capacity is refused; a swap that shrinks (or fits) always succeeds,
+// even on a full device — compaction must be able to reclaim space.
 func (m *MemDevice) Swap(b []byte) error {
+	if m.Capacity > 0 && len(b) > m.Capacity {
+		return ErrNoSpace
+	}
 	m.buf = append(m.buf[:0:0], b...)
 	return nil
 }
@@ -210,6 +234,29 @@ func (m *MemDevice) FlipByte(off int) {
 	}
 }
 
+// ClampCapacity arms an ENOSPC condition: the capacity is pinned at
+// the current log size, so every further append fails with ErrNoSpace
+// until the log shrinks (compaction) or UnclampCapacity restores the
+// configured bound. Idempotent.
+func (m *MemDevice) ClampCapacity() {
+	if m.clamped {
+		return
+	}
+	m.savedCap, m.clamped = m.Capacity, true
+	m.Capacity = len(m.buf)
+	if m.Capacity == 0 {
+		m.Capacity = 1 // an empty log still refuses appends while clamped
+	}
+}
+
+// UnclampCapacity restores the capacity ClampCapacity saved.
+func (m *MemDevice) UnclampCapacity() {
+	if !m.clamped {
+		return
+	}
+	m.Capacity, m.clamped = m.savedCap, false
+}
+
 // --- FileDevice ---
 
 // FileDevice persists the log in a file; Swap writes a temp file in the
@@ -221,6 +268,13 @@ type FileDevice struct {
 	path     string
 	buf      []byte
 	tornFrac float64
+	// Capacity bounds the log size in bytes; zero means unbounded.
+	// Semantics match MemDevice: Append past the bound persists
+	// nothing and returns ErrNoSpace; Swap succeeds whenever the new
+	// content fits.
+	Capacity int
+	savedCap int
+	clamped  bool
 }
 
 // OpenFileDevice opens (or creates) the journal file at path and loads
@@ -244,6 +298,9 @@ func (f *FileDevice) Size() int { return len(f.buf) }
 
 // Append implements Device, honoring a pending torn-write injection.
 func (f *FileDevice) Append(b []byte) (int, error) {
+	if f.Capacity > 0 && len(f.buf)+len(b) > f.Capacity {
+		return 0, ErrNoSpace
+	}
 	if f.tornFrac > 0 && f.tornFrac < 1 {
 		n := int(float64(len(b)) * f.tornFrac)
 		if n >= len(b) {
@@ -267,8 +324,12 @@ func (f *FileDevice) Append(b []byte) (int, error) {
 	return n, err
 }
 
-// Swap implements Device via temp-file + rename.
+// Swap implements Device via temp-file + rename. Like MemDevice, a
+// swap is refused only when the new content itself exceeds Capacity.
 func (f *FileDevice) Swap(b []byte) error {
+	if f.Capacity > 0 && len(b) > f.Capacity {
+		return ErrNoSpace
+	}
 	tmp := f.path + ".tmp"
 	if err := os.WriteFile(tmp, b, 0o644); err != nil {
 		return err
@@ -303,4 +364,24 @@ func (f *FileDevice) FlipByte(off int) {
 	}
 	fh.WriteAt(f.buf[off:off+1], int64(off)) //nolint:errcheck // silent by construction
 	fh.Close()
+}
+
+// ClampCapacity arms an ENOSPC condition (see MemDevice.ClampCapacity).
+func (f *FileDevice) ClampCapacity() {
+	if f.clamped {
+		return
+	}
+	f.savedCap, f.clamped = f.Capacity, true
+	f.Capacity = len(f.buf)
+	if f.Capacity == 0 {
+		f.Capacity = 1
+	}
+}
+
+// UnclampCapacity restores the capacity ClampCapacity saved.
+func (f *FileDevice) UnclampCapacity() {
+	if !f.clamped {
+		return
+	}
+	f.Capacity, f.clamped = f.savedCap, false
 }

@@ -1,0 +1,314 @@
+package rsyncx
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Finite staging disk. A DTN's staging area used to be a bottomless
+// map: every pushed partial and every staged file stayed forever, and
+// no admission decision ever considered how full the disk was. This
+// file models the disk as a bounded resource the way a production
+// transfer node must: writes are admitted against headroom, a push
+// that cannot fit is refused with a typed ErrNoSpace before any bytes
+// cross the wire, and stale state is evicted LRU — with hard safety
+// rules so a live transfer never loses bytes it still needs.
+//
+// Accounting invariant: used = staged + partials + orphaned temp
+// files. A reservation covers the *future* bytes of an admitted push
+// (size minus confirmed offset) and shrinks chunk by chunk as those
+// bytes land in the partial, so used + reserved never exceeds
+// Capacity and two concurrent pushes cannot both be admitted into the
+// same headroom.
+//
+// Eviction safety rules, in order of authority:
+//   - a pinned name is never evicted (pins mark live relay reads and
+//     active push handlers — the "live session token" of the issue);
+//   - a name with a standing reservation is never evicted (a client
+//     holds an accepted go-ahead for it);
+//   - everything else is fair game, stalest first (lowest touch
+//     sequence — the daemon has no wall clock, so a monotonic
+//     sequence stands in for last-watermark age).
+//
+// Evicting an unpinned partial is safe by construction: the client's
+// resume handshake treats the daemon's disk as ground truth, so a
+// later Stat simply reports a lower (or zero) offset and the sender
+// re-sends at most the evicted bytes.
+
+// ErrNoSpace reports a staged write refused because the DTN's staging
+// disk has no headroom left even after safe eviction. The message is
+// chosen so it survives the wire (acks flatten errors to strings):
+// "no space" is the substring remote classifiers key on.
+var ErrNoSpace = errors.New("rsyncx: no space left on staging disk")
+
+// CapacityStats is the operator's view of one DTN staging disk.
+type CapacityStats struct {
+	Capacity     float64 // configured bytes; 0 = unbounded
+	Used         float64 // staged + partial + orphan bytes
+	Reserved     float64 // admitted-but-unwritten push bytes
+	Headroom     float64 // capacity - used - reserved (+Inf when unbounded)
+	Staged       int     // fully staged files
+	StagedBytes  float64
+	Partials     int // in-progress chunked pushes
+	PartialBytes float64
+	Orphans      int // leaked *.tmp files awaiting the restart sweep
+	OrphanBytes  float64
+	Evictions    int     // names evicted to make room
+	EvictedBytes float64 // bytes those evictions reclaimed
+	OrphansSwept int     // *.tmp files reclaimed by restart sweeps
+}
+
+// Used returns the bytes the staging disk currently holds: staged
+// files, confirmed partial bytes, and any orphaned temp files a dead
+// process left behind.
+func (d *Daemon) Used() float64 {
+	var n float64
+	for _, st := range d.staging {
+		n += st.Size
+	}
+	for _, pt := range d.partials {
+		n += pt.received
+	}
+	for _, sz := range d.orphans {
+		n += sz
+	}
+	return n
+}
+
+func (d *Daemon) reservedTotal() float64 {
+	var n float64
+	for _, r := range d.reserved {
+		n += r
+	}
+	return n
+}
+
+// Headroom returns the admittable bytes left on the staging disk —
+// capacity minus used minus standing reservations. Unbounded disks
+// report +Inf.
+func (d *Daemon) Headroom() float64 {
+	if d.Capacity <= 0 {
+		return math.Inf(1)
+	}
+	h := d.Capacity - d.Used() - d.reservedTotal()
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// Stats snapshots the staging disk for operators and schedulers.
+func (d *Daemon) Stats() CapacityStats {
+	cs := CapacityStats{
+		Capacity:     d.Capacity,
+		Reserved:     d.reservedTotal(),
+		Evictions:    d.Evictions,
+		EvictedBytes: d.EvictedBytes,
+		OrphansSwept: d.OrphansSwept,
+	}
+	for _, st := range d.staging {
+		cs.Staged++
+		cs.StagedBytes += st.Size
+	}
+	for _, pt := range d.partials {
+		cs.Partials++
+		cs.PartialBytes += pt.received
+	}
+	for _, sz := range d.orphans {
+		cs.Orphans++
+		cs.OrphanBytes += sz
+	}
+	cs.Used = cs.StagedBytes + cs.PartialBytes + cs.OrphanBytes
+	cs.Headroom = math.Inf(1)
+	if d.Capacity > 0 {
+		cs.Headroom = d.Capacity - cs.Used - cs.Reserved
+		if cs.Headroom < 0 {
+			cs.Headroom = 0
+		}
+	}
+	return cs
+}
+
+// Pin marks name as in live use (an active push handler, an in-flight
+// relay read): a pinned name is never evicted. Pins nest.
+func (d *Daemon) Pin(name string) {
+	if d.pins == nil {
+		d.pins = make(map[string]int)
+	}
+	d.pins[name]++
+}
+
+// Unpin releases one pin on name. Unpinning below zero is tolerated
+// (a holder's deferred release may race a daemon crash that already
+// dropped the pin table).
+func (d *Daemon) Unpin(name string) {
+	if d.pins[name] > 1 {
+		d.pins[name]--
+		return
+	}
+	delete(d.pins, name)
+}
+
+// touch bumps name's LRU sequence — called whenever its on-disk
+// watermark advances, so eviction age mirrors last write activity.
+func (d *Daemon) touch(name string) {
+	d.seq++
+	if d.touched == nil {
+		d.touched = make(map[string]int)
+	}
+	d.touched[name] = d.seq
+}
+
+// admit reserves need bytes of headroom for name, evicting stale
+// state if the disk allows it, and returns ErrNoSpace when the bytes
+// cannot fit. A zero-capacity disk admits everything. The reservation
+// must be walked down with consumeReservation as bytes land and any
+// remainder dropped with unreserve when the push ends.
+func (d *Daemon) admit(name string, need float64) error {
+	if d.Capacity <= 0 || need <= 0 {
+		return nil
+	}
+	if err := d.ensureRoom(need, name); err != nil {
+		return err
+	}
+	if d.reserved == nil {
+		d.reserved = make(map[string]float64)
+	}
+	d.reserved[name] += need
+	return nil
+}
+
+// consumeReservation converts n reserved bytes of name into written
+// bytes (the caller has just advanced the partial by n): the
+// reservation shrinks so used + reserved stays constant.
+func (d *Daemon) consumeReservation(name string, n float64) {
+	d.unreserve(name, n)
+}
+
+// unreserve drops up to n reserved bytes of name, clamping at zero.
+func (d *Daemon) unreserve(name string, n float64) {
+	r, ok := d.reserved[name]
+	if !ok {
+		return
+	}
+	r -= n
+	if r <= 1e-9 {
+		delete(d.reserved, name)
+		return
+	}
+	d.reserved[name] = r
+}
+
+// ensureRoom makes need bytes of headroom available for name,
+// evicting stale unpinned state LRU if necessary. It never evicts
+// name itself, a pinned name, or a name with a standing reservation.
+func (d *Daemon) ensureRoom(need float64, name string) error {
+	if d.Capacity <= 0 {
+		return nil
+	}
+	free := d.Capacity - d.Used() - d.reservedTotal()
+	if need <= free+1e-9 {
+		return nil
+	}
+	if !d.EvictStale {
+		return ErrNoSpace
+	}
+	for _, victim := range d.evictionOrder(name) {
+		if need <= free+1e-9 {
+			break
+		}
+		free += d.evict(victim)
+	}
+	if need <= free+1e-9 {
+		return nil
+	}
+	return ErrNoSpace
+}
+
+// evictionOrder lists the evictable names, stalest first. Orphaned
+// temp files sort ahead of everything (they are garbage by
+// definition); live-pinned and reserved names are excluded entirely.
+func (d *Daemon) evictionOrder(protect string) []string {
+	type cand struct {
+		name string
+		seq  int
+	}
+	var cands []cand
+	for name := range d.orphans {
+		cands = append(cands, cand{name, -1}) // garbage: always stalest
+	}
+	consider := func(name string) {
+		if name == protect || d.pins[name] > 0 {
+			return
+		}
+		if _, held := d.reserved[name]; held {
+			return
+		}
+		cands = append(cands, cand{name, d.touched[name]})
+	}
+	for name := range d.partials {
+		consider(name)
+	}
+	for name := range d.staging {
+		consider(name)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].seq != cands[j].seq {
+			return cands[i].seq < cands[j].seq
+		}
+		return cands[i].name < cands[j].name
+	})
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}
+
+// evict removes one name from the disk and returns the bytes freed.
+func (d *Daemon) evict(name string) float64 {
+	var freed float64
+	if sz, ok := d.orphans[name]; ok {
+		freed += sz
+		delete(d.orphans, name)
+	}
+	if pt, ok := d.partials[name]; ok {
+		freed += pt.received
+		delete(d.partials, name)
+	}
+	if st, ok := d.staging[name]; ok {
+		freed += st.Size
+		delete(d.staging, name)
+	}
+	delete(d.rot, name)
+	delete(d.touched, name)
+	if freed > 0 {
+		d.Evictions++
+		d.EvictedBytes += freed
+	}
+	return freed
+}
+
+// noteOrphan records a leaked temp file (a process death between a
+// chunk's temp write and its atomic promote). Orphans occupy disk
+// until the restart sweep or an eviction pass reclaims them.
+func (d *Daemon) noteOrphan(name string, size float64) {
+	if size <= 0 {
+		return
+	}
+	if d.orphans == nil {
+		d.orphans = make(map[string]float64)
+	}
+	d.orphans[name+".tmp"] += size
+}
+
+// sweepOrphans reclaims every leaked *.tmp file — the restarted
+// daemon's fsck pass over its staging directory.
+func (d *Daemon) sweepOrphans() {
+	if len(d.orphans) == 0 {
+		return
+	}
+	d.OrphansSwept += len(d.orphans)
+	d.orphans = make(map[string]float64)
+}

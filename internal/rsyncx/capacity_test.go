@@ -1,0 +1,298 @@
+package rsyncx
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"detournet/internal/simproc"
+)
+
+// checkDiskInvariants asserts the staging-disk accounting identities
+// that every capacity operation must preserve: the component sums
+// match, and a bounded disk never holds (or promises) more than its
+// capacity.
+func checkDiskInvariants(t *testing.T, d *Daemon) {
+	t.Helper()
+	st := d.Stats()
+	if got := st.StagedBytes + st.PartialBytes + st.OrphanBytes; got != st.Used {
+		t.Fatalf("used %v != staged %v + partial %v + orphan %v",
+			st.Used, st.StagedBytes, st.PartialBytes, st.OrphanBytes)
+	}
+	if d.Capacity > 0 && st.Used+st.Reserved > d.Capacity+1e-6 {
+		t.Fatalf("used %v + reserved %v exceeds capacity %v",
+			st.Used, st.Reserved, d.Capacity)
+	}
+	if st.Headroom < 0 {
+		t.Fatalf("negative headroom %v", st.Headroom)
+	}
+}
+
+// TestCapacityAdmission: a bounded disk with eviction off refuses
+// writes that do not fit, with the typed ErrNoSpace, and admits them
+// once room exists. Unbounded disks admit everything.
+func TestCapacityAdmission(t *testing.T) {
+	rg := newRig(t)
+	rg.d.Capacity = 100e3
+	if err := rg.d.StageChecked(&Staged{Name: "a.bin", Size: 60e3}); err != nil {
+		t.Fatalf("first stage: %v", err)
+	}
+	err := rg.d.StageChecked(&Staged{Name: "b.bin", Size: 60e3})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overfull stage err = %v, want ErrNoSpace", err)
+	}
+	if !strings.Contains(err.Error(), "no space") {
+		t.Fatalf("error %q lacks the wire-keyed %q substring", err, "no space")
+	}
+	if _, ok := rg.d.Staged("b.bin"); ok {
+		t.Fatal("refused file landed anyway")
+	}
+	rg.d.Remove("a.bin")
+	if err := rg.d.StageChecked(&Staged{Name: "b.bin", Size: 60e3}); err != nil {
+		t.Fatalf("stage after remove: %v", err)
+	}
+	checkDiskInvariants(t, rg.d)
+}
+
+// TestCapacityPushRefusedOnWire: a client push that cannot fit is
+// refused before payload bytes cross the wire, and the flattened ack
+// error keeps the "no space" substring remote classifiers key on.
+func TestCapacityPushRefusedOnWire(t *testing.T) {
+	rg := newRig(t)
+	rg.d.Capacity = 50e3
+	rg.run(t, func(p *simproc.Proc, cl *Client) {
+		_, err := cl.PushSizedResumable(p, "big.bin", 80e3, 0, 16e3, "digest")
+		if err == nil || !strings.Contains(err.Error(), "no space") {
+			t.Errorf("push err = %v, want a %q rejection", err, "no space")
+		}
+	})
+	if got := rg.d.Used(); got != 0 {
+		t.Fatalf("refused push left %v bytes on disk", got)
+	}
+	checkDiskInvariants(t, rg.d)
+}
+
+// TestEvictionLRU: with eviction on, the stalest unpinned name goes
+// first (touch order, not insertion order), and the eviction counters
+// account the reclaimed bytes.
+func TestEvictionLRU(t *testing.T) {
+	rg := newRig(t)
+	rg.d.Capacity = 100e3
+	rg.d.EvictStale = true
+	if err := rg.d.StageChecked(&Staged{Name: "old.bin", Size: 40e3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.d.StageChecked(&Staged{Name: "mid.bin", Size: 40e3}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-touch old.bin: mid.bin becomes the stalest.
+	if err := rg.d.StageChecked(&Staged{Name: "old.bin", Size: 40e3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.d.StageChecked(&Staged{Name: "new.bin", Size: 40e3}); err != nil {
+		t.Fatalf("eviction did not make room: %v", err)
+	}
+	if _, ok := rg.d.Staged("mid.bin"); ok {
+		t.Fatal("stalest file survived eviction")
+	}
+	if _, ok := rg.d.Staged("old.bin"); !ok {
+		t.Fatal("freshly touched file was evicted")
+	}
+	st := rg.d.Stats()
+	if st.Evictions != 1 || st.EvictedBytes != 40e3 {
+		t.Fatalf("evictions = %d (%v B), want 1 (40e3 B)", st.Evictions, st.EvictedBytes)
+	}
+	checkDiskInvariants(t, rg.d)
+}
+
+// TestPinnedNeverEvicted: a pinned name survives every eviction pass —
+// the write that cannot fit without touching it is refused instead.
+func TestPinnedNeverEvicted(t *testing.T) {
+	rg := newRig(t)
+	rg.d.Capacity = 100e3
+	rg.d.EvictStale = true
+	if err := rg.d.StageChecked(&Staged{Name: "live.bin", Size: 60e3}); err != nil {
+		t.Fatal(err)
+	}
+	rg.d.Pin("live.bin")
+	err := rg.d.StageChecked(&Staged{Name: "next.bin", Size: 60e3})
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("stage over a pinned file = %v, want ErrNoSpace", err)
+	}
+	if _, ok := rg.d.Staged("live.bin"); !ok {
+		t.Fatal("pinned file evicted")
+	}
+	rg.d.Unpin("live.bin")
+	if err := rg.d.StageChecked(&Staged{Name: "next.bin", Size: 60e3}); err != nil {
+		t.Fatalf("stage after unpin: %v", err)
+	}
+	if _, ok := rg.d.Staged("live.bin"); ok {
+		t.Fatal("unpinned stale file survived a full-disk stage")
+	}
+	checkDiskInvariants(t, rg.d)
+}
+
+// TestOrphanSweepOnRestart: temp bytes a dead process leaked between a
+// chunk write and its atomic promote occupy the disk as orphans until
+// the restarted daemon's sweep reclaims them.
+func TestOrphanSweepOnRestart(t *testing.T) {
+	rg := newRig(t)
+	rg.d.Capacity = 100e3
+	rg.d.inflight["dead.bin"] = 30e3 // a chunk mid-write when the process dies
+	rg.d.Crash()
+	st := rg.d.Stats()
+	if st.Orphans != 1 || st.OrphanBytes != 30e3 {
+		t.Fatalf("after crash: %d orphans (%v B), want 1 (30e3 B)", st.Orphans, st.OrphanBytes)
+	}
+	if rg.d.Used() != 30e3 {
+		t.Fatalf("orphan bytes not counted as used: %v", rg.d.Used())
+	}
+	checkDiskInvariants(t, rg.d)
+	rg.d.Start()
+	st = rg.d.Stats()
+	if st.Orphans != 0 || st.OrphansSwept != 1 {
+		t.Fatalf("after restart: %d orphans, %d swept, want 0 and 1", st.Orphans, st.OrphansSwept)
+	}
+	if rg.d.Used() != 0 {
+		t.Fatalf("sweep left %v bytes", rg.d.Used())
+	}
+	checkDiskInvariants(t, rg.d)
+}
+
+// TestEvictCrashResumeConservation is the staged-bytes conservation
+// property across the full storm: an interrupted push leaves a
+// partial, the partial survives a daemon crash/restart, an eviction
+// pass reclaims it for a bigger write, and the resuming client — whose
+// ground truth is the daemon's Stat, not its own memory — re-sends
+// exactly the evicted bytes. At no point does the disk hold more than
+// its capacity, and an evicted partial never resurrects.
+func TestEvictCrashResumeConservation(t *testing.T) {
+	const mc = float64(ManifestChunk)
+	rg := newRig(t)
+	rg.d.Capacity = 8 * mc
+	rg.d.EvictStale = true
+
+	rg.run(t, func(p *simproc.Proc, cl *Client) {
+		// Land 2 of A's 4 chunks, then stop — an interrupted transfer.
+		aborted := 0
+		cl.Abort = func() bool { aborted++; return aborted > 2 }
+		if _, err := cl.PushSizedResumable(p, "a.bin", 4*mc, 0, mc, "da"); err != ErrAborted {
+			t.Errorf("expected ErrAborted, got %v", err)
+			return
+		}
+		cl.Abort = nil
+		if got := rg.d.PartialOffset("a.bin"); got != 2*mc {
+			t.Errorf("partial = %v, want %v", got, 2*mc)
+			return
+		}
+		checkDiskInvariants(t, rg.d)
+
+		// The daemon dies and restarts: the partial is disk state and
+		// survives; the handler's pins and reservations do not.
+		rg.d.Crash()
+		rg.d.Start()
+		if got := rg.d.PartialOffset("a.bin"); got != 2*mc {
+			t.Errorf("partial after crash/restart = %v, want %v", got, 2*mc)
+			return
+		}
+		checkDiskInvariants(t, rg.d)
+
+		// B needs 7 of the 8 chunks of disk: A's stale partial (2 chunks)
+		// is evicted to make room.
+		if sent, err := cl.PushSizedResumable(p, "b.bin", 7*mc, 0, mc, "db"); err != nil || sent != 7*mc {
+			t.Errorf("push b: sent=%v err=%v", sent, err)
+			return
+		}
+		if _, ok := rg.d.Staged("b.bin"); !ok {
+			t.Error("b.bin not staged")
+			return
+		}
+		if got := rg.d.Stats().Evictions; got == 0 {
+			t.Error("no eviction recorded")
+			return
+		}
+		checkDiskInvariants(t, rg.d)
+
+		// Ground truth: the evicted partial is gone and stays gone.
+		st, err := cl.Stat(p, "a.bin")
+		if err != nil {
+			t.Errorf("stat: %v", err)
+			return
+		}
+		if st.Staged || st.Partial != 0 {
+			t.Errorf("evicted partial resurrected: %+v", st)
+			return
+		}
+
+		// Resume from the daemon's offset, not the client's memory of
+		// 2*mc: the sender re-sends exactly the evicted bytes (all of A),
+		// evicting stale B in turn.
+		sent, err := cl.PushSizedResumable(p, "a.bin", 4*mc, st.Partial, mc, "da")
+		if err != nil || sent != 4*mc {
+			t.Errorf("resume push: sent=%v err=%v (want full %v resend)", sent, err, 4*mc)
+			return
+		}
+		got, ok := rg.d.Staged("a.bin")
+		if !ok || got.Size != 4*mc || got.MD5 != "da" {
+			t.Errorf("a.bin after resume = %+v %v", got, ok)
+			return
+		}
+		checkDiskInvariants(t, rg.d)
+	})
+}
+
+// TestCapacityChurnInvariants drives a seeded random mix of sized
+// pushes, aborted pushes, crash/restart cycles, and direct stages
+// against a small bounded disk, asserting the accounting identities
+// after every operation — the generative half of the conservation
+// property.
+func TestCapacityChurnInvariants(t *testing.T) {
+	const mc = float64(ManifestChunk)
+	rg := newRig(t)
+	rg.d.Capacity = 10 * mc
+	rg.d.EvictStale = true
+	names := []string{"w.bin", "x.bin", "y.bin", "z.bin"}
+	rng := rand.New(rand.NewSource(7))
+
+	rg.run(t, func(p *simproc.Proc, cl *Client) {
+		for i := 0; i < 30; i++ {
+			name := names[rng.Intn(len(names))]
+			size := float64(1+rng.Intn(5)) * mc
+			switch rng.Intn(4) {
+			case 0: // complete push, resuming from the daemon's offset
+				st, err := cl.Stat(p, name)
+				if err != nil {
+					t.Errorf("op %d stat: %v", i, err)
+					return
+				}
+				off := st.Partial
+				if off > size {
+					off = 0
+				}
+				if _, err := cl.PushSizedResumable(p, name, size, off, mc, "d"); err != nil && !strings.Contains(err.Error(), "no space") {
+					t.Errorf("op %d push: %v", i, err)
+					return
+				}
+			case 1: // interrupted push: leaves a partial behind
+				aborted := 0
+				cl.Abort = func() bool { aborted++; return aborted > 1 }
+				if _, err := cl.PushSizedResumable(p, name, size, 0, mc, "d"); err != ErrAborted && err != nil && !strings.Contains(err.Error(), "no space") {
+					t.Errorf("op %d abort push: %v", i, err)
+					cl.Abort = nil
+					return
+				}
+				cl.Abort = nil
+			case 2: // direct stage (the relay agent's write path)
+				if err := rg.d.StageChecked(&Staged{Name: name, Size: size, MD5: "d"}); err != nil && !errors.Is(err, ErrNoSpace) {
+					t.Errorf("op %d stage: %v", i, err)
+					return
+				}
+			case 3: // process death and restart
+				rg.d.Crash()
+				rg.d.Start()
+			}
+			checkDiskInvariants(t, rg.d)
+		}
+	})
+}

@@ -38,7 +38,20 @@ type Daemon struct {
 	// path is two-phase — bytes land in a temp area and promote
 	// atomically — so a crash can never tear a partial.
 	TornWrites bool
-	staging    map[string]*Staged
+	// Capacity bounds the staging disk in bytes; 0 (the default) keeps
+	// the legacy unbounded disk. With a bound set, pushes and stagings
+	// are admitted against headroom and refused with ErrNoSpace.
+	Capacity float64
+	// EvictStale arms LRU eviction of stale unpinned state when an
+	// admission would otherwise fail — the mitigation half of the
+	// storage-pressure model; off, a full disk simply refuses writes.
+	EvictStale bool
+	// Evictions / EvictedBytes / OrphansSwept are the reclamation
+	// counters surfaced through CapacityStats.
+	Evictions    int
+	EvictedBytes float64
+	OrphansSwept int
+	staging      map[string]*Staged
 	// partials holds in-progress chunked pushes keyed by name. Like the
 	// staging area this models the DTN's disk: a daemon crash loses
 	// connections but not partials, which is what makes resume work.
@@ -57,6 +70,16 @@ type Daemon struct {
 	// epoch increments on Crash so connection handlers that survive the
 	// (simulated) process death stop committing state afterwards.
 	epoch int
+
+	// Finite-disk bookkeeping (see capacity.go). reserved holds
+	// admitted-but-unwritten push bytes per name; pins protect names
+	// in live use from eviction; orphans are leaked *.tmp files a
+	// process death left behind; touched/seq is the LRU clock.
+	reserved map[string]float64
+	pins     map[string]int
+	orphans  map[string]float64
+	touched  map[string]int
+	seq      int
 
 	l     *transport.Listener
 	conns map[*transport.Conn]struct{}
@@ -108,9 +131,20 @@ func (d *Daemon) Crash() {
 			idx := int(pt.received / ManifestChunk)
 			pt.received += torn
 			d.markRot(name, idx)
+			continue
 		}
+		// Two-phase path: the chunk's temp bytes never promoted, but
+		// they are still sitting on the disk as an orphaned *.tmp file
+		// until the restarted daemon's sweep (or an eviction) reclaims
+		// them — the atomic-rename leak the restart sweep exists for.
+		d.noteOrphan(name, n)
 	}
 	d.inflight = make(map[string]float64)
+	// Reservations are process memory, not disk: they die with the
+	// process. Handler goroutines that outlive the crash release with
+	// an epoch guard, so this cannot double-free.
+	d.reserved = nil
+	d.pins = nil
 }
 
 // PartialOffset returns the confirmed bytes of an in-progress chunked
@@ -131,12 +165,32 @@ func (d *Daemon) Staged(name string) (*Staged, bool) {
 }
 
 // Stage places a file into the staging area directly — the relay agent
-// uses it to land provider downloads next to rsync-pushed uploads.
+// uses it to land provider downloads next to rsync-pushed uploads. On
+// a bounded disk it is admitted like any other write; a refused Stage
+// panics, so capacity-aware callers should use StageChecked.
 func (d *Daemon) Stage(st *Staged) {
+	if err := d.StageChecked(st); err != nil {
+		panic("rsyncx: " + err.Error())
+	}
+}
+
+// StageChecked is Stage with the disk-full case surfaced as a typed
+// ErrNoSpace instead of a panic.
+func (d *Daemon) StageChecked(st *Staged) error {
 	if st == nil || st.Name == "" {
 		panic("rsyncx: staging nil or unnamed file")
 	}
+	prev := 0.0
+	if base, ok := d.staging[st.Name]; ok {
+		prev = base.Size
+	}
+	if err := d.admit(st.Name, st.Size-prev); err != nil {
+		return err
+	}
+	d.unreserve(st.Name, st.Size-prev)
 	d.staging[st.Name] = st
+	d.touch(st.Name)
+	return nil
 }
 
 // Remove deletes a staged file, reporting whether it existed. The paper
@@ -150,7 +204,10 @@ func (d *Daemon) Remove(name string) bool {
 }
 
 // Start binds the daemon listener and serves until the listener closes.
+// A restarted daemon first sweeps any *.tmp files the dead process
+// orphaned between a temp write and its atomic promote.
 func (d *Daemon) Start() *transport.Listener {
+	d.sweepOrphans()
 	l := d.tn.MustListen(d.host, Port)
 	d.l = l
 	r := d.tn.Runner()
@@ -313,6 +370,23 @@ func (d *Daemon) handlePush(p *simproc.Proc, c *transport.Conn, req pushReq) {
 		_ = c.Send(p, ack{OK: false, Err: "expected delta"}, ctrlBytes)
 		return
 	}
+	// Admission: the push replaces any staged copy of the same name,
+	// so only the growth must fit. The reservation covers the write
+	// and is consumed when the staged entry lands.
+	prev := 0.0
+	if base, ok := d.staging[req.Name]; ok {
+		prev = base.Size
+	}
+	if err := d.admit(req.Name, req.Size-prev); err != nil {
+		_ = c.Send(p, ack{OK: false, Err: err.Error()}, ctrlBytes)
+		return
+	}
+	epoch := d.epoch
+	defer func() {
+		if d.epoch == epoch {
+			d.unreserve(req.Name, req.Size-prev)
+		}
+	}()
 	if d.DiskBps > 0 && req.Size > 0 {
 		p.Sleep(req.Size / d.DiskBps)
 	}
@@ -340,6 +414,7 @@ func (d *Daemon) handlePush(p *simproc.Proc, c *transport.Conn, req pushReq) {
 		st.MD5 = Checksum(data)
 	}
 	d.staging[req.Name] = st
+	d.touch(req.Name)
 	d.Pushes++
 	_ = c.Send(p, ack{OK: true, MD5: st.MD5}, ctrlBytes)
 }
@@ -358,15 +433,35 @@ func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunk
 		_ = c.Send(p, ack{OK: false, Err: fmt.Sprintf("bad resume offset %v, have %v", req.Offset, cur)}, ctrlBytes)
 		return
 	}
+	// Admission: reserve headroom for the bytes still to come before
+	// accepting the stream, so two concurrent pushes cannot both be
+	// admitted into the same free space. The reservation is consumed
+	// chunk by chunk as bytes commit; whatever remains when the
+	// handler exits (connection death, short push) is released.
+	if err := d.admit(req.Name, req.Size-cur); err != nil {
+		_ = c.Send(p, ack{OK: false, Err: err.Error()}, ctrlBytes)
+		return
+	}
 	if pt == nil || pt.size != req.Size {
 		pt = &partial{size: req.Size, md5: req.MD5}
 		d.partials[req.Name] = pt
+		d.touch(req.Name)
 	}
+	epoch := d.epoch
+	// Pin for the handler's lifetime: a partial with an active push
+	// session is never evicted out from under its own stream.
+	d.Pin(req.Name)
+	defer func() {
+		if d.epoch != epoch {
+			return // crash dropped the pin and reservation tables
+		}
+		d.Unpin(req.Name)
+		d.unreserve(req.Name, req.Size) // drop any unconsumed remainder
+	}()
 	// Go-ahead: the offset was accepted, stream away.
 	if err := c.Send(p, ack{OK: true}, ctrlBytes); err != nil {
 		return
 	}
-	epoch := d.epoch
 	for {
 		msg, err := c.Recv(p)
 		if err != nil {
@@ -393,6 +488,8 @@ func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunk
 		}
 		delete(d.inflight, req.Name)
 		pt.received += ch.Bytes
+		d.consumeReservation(req.Name, ch.Bytes)
+		d.touch(req.Name)
 		if !ch.Last {
 			// Per-chunk ack: real backpressure. The client sends the next
 			// chunk only after this one is committed to disk, so a dying
@@ -409,6 +506,7 @@ func (d *Daemon) handleChunkedPush(p *simproc.Proc, c *transport.Conn, req chunk
 		}
 		delete(d.partials, req.Name)
 		d.staging[req.Name] = &Staged{Name: req.Name, Size: req.Size, MD5: req.MD5}
+		d.touch(req.Name)
 		d.Pushes++
 		_ = c.Send(p, ack{OK: true, MD5: req.MD5}, ctrlBytes)
 		return

@@ -455,6 +455,16 @@ type ControlJournal struct {
 	// resubmitted job against the provider — even names whose records
 	// were lost past a corrupted byte.
 	recoveredMode bool
+
+	// Degraded mode: when the device stays full even after an emergency
+	// compaction, the journal stops persisting and keeps folding records
+	// in memory only — the live process keeps its state and keeps
+	// serving, at the cost of recovery fidelity after a crash. Sticky
+	// for the incarnation; onDegraded fires exactly once on entry.
+	degraded       bool
+	droppedAppends int
+	enospcSaves    int
+	onDegraded     func()
 }
 
 // defaultCompactEvery is how many finish records trigger a compaction.
@@ -550,6 +560,29 @@ func (cj *ControlJournal) TornJournal(active bool) {
 		cj.Arm(CrashTornAppend, 1)
 	} else {
 		cj.Disarm(CrashTornAppend)
+	}
+}
+
+// JournalENOSPC is the faults hook for journal disk exhaustion:
+// arming clamps the device's capacity at its current size, so every
+// further append hits ErrNoSpace until compaction shrinks the log (or
+// the journal degrades); disarming restores the configured capacity.
+// Devices without capacity support ignore the hook.
+func (cj *ControlJournal) JournalENOSPC(active bool) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	type clamper interface {
+		ClampCapacity()
+		UnclampCapacity()
+	}
+	c, ok := cj.w.Device().(clamper)
+	if !ok {
+		return
+	}
+	if active {
+		c.ClampCapacity()
+	} else {
+		c.UnclampCapacity()
 	}
 }
 
@@ -655,14 +688,89 @@ func (cj *ControlJournal) appendLocked(typ byte, v any) {
 			return
 		}
 	}
-	if err := cj.w.Append(typ, data); err != nil {
-		panic(fmt.Sprintf("sched: journal append: %v", err))
+	if !cj.degraded {
+		err := cj.w.Append(typ, data)
+		if errors.Is(err, journal.ErrNoSpace) {
+			// Compaction under pressure: the folded state is usually far
+			// smaller than the raw log, so an emergency snapshot swap
+			// frees space without losing anything, and the append retries
+			// against the compacted log.
+			if cerr := cj.compactLocked(); cerr == nil {
+				if err = cj.w.Append(typ, data); err == nil {
+					cj.enospcSaves++
+				}
+			}
+		}
+		switch {
+		case err == nil:
+			cj.appended++
+		case errors.Is(err, journal.ErrNoSpace):
+			// Even the compacted state no longer fits. Losing the control
+			// plane over a full journal device would turn a disk problem
+			// into an outage, so degrade instead of crash: keep folding in
+			// memory, surface a health warning, accept that a crash from
+			// here recovers only up to the last persisted record.
+			cj.enterDegradedLocked()
+		default:
+			panic(fmt.Sprintf("sched: journal append: %v", err))
+		}
 	}
-	cj.appended++
+	if cj.degraded {
+		cj.droppedAppends++
+	}
 	rec := journal.Rec{Type: typ, Data: data}
 	if err := cj.state.apply(rec); err != nil {
 		panic(fmt.Sprintf("sched: journal fold: %v", err))
 	}
+}
+
+// enterDegradedLocked flips the journal into in-memory-only mode and
+// fires the onDegraded warning callback once. Callers hold cj.mu; the
+// callback runs without it (it may take health-tracker locks).
+func (cj *ControlJournal) enterDegradedLocked() {
+	if cj.degraded {
+		return
+	}
+	cj.degraded = true
+	fn := cj.onDegraded
+	if fn != nil {
+		cj.mu.Unlock()
+		fn()
+		cj.mu.Lock()
+	}
+}
+
+// Degraded reports whether the journal has fallen back to in-memory
+// folding because the device stayed full after compaction.
+func (cj *ControlJournal) Degraded() bool {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.degraded
+}
+
+// DroppedAppends returns how many records were folded in memory only
+// (degraded mode), invisible to any future replay.
+func (cj *ControlJournal) DroppedAppends() int {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.droppedAppends
+}
+
+// ENOSPCSaves returns how many appends succeeded only because an
+// emergency compaction freed space first.
+func (cj *ControlJournal) ENOSPCSaves() int {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.enospcSaves
+}
+
+// OnDegraded registers the callback fired exactly once when the
+// journal enters degraded mode (the scheduler surfaces it as a health
+// warning).
+func (cj *ControlJournal) OnDegraded(fn func()) {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	cj.onDegraded = fn
 }
 
 // NoteSubmit journals one admitted job, assigning (or, for a recovered
@@ -843,22 +951,30 @@ func (cj *ControlJournal) NoteFinish(res *Result) {
 		if cj.reachLocked(CrashDuringCompact) {
 			return // died before the snapshot swap: the full log survives
 		}
-		cj.compactLocked()
+		if err := cj.compactLocked(); err != nil {
+			cj.enterDegradedLocked()
+		}
 	}
 }
 
 // compactLocked snapshots the folded state and atomically swaps the
-// device to (snapshot) alone. Callers hold cj.mu.
-func (cj *ControlJournal) compactLocked() {
+// device to (snapshot) alone. Callers hold cj.mu. A device refusing
+// the swap for space is reported (the pressure path degrades on it);
+// any other failure is a simulator bug and panics.
+func (cj *ControlJournal) compactLocked() error {
 	data, err := json.Marshal(cj.state.snapshot())
 	if err != nil {
 		panic(fmt.Sprintf("sched: snapshot marshal: %v", err))
 	}
 	if err := cj.w.Compact([]journal.Rec{{Type: recSnapshot, Data: data}}); err != nil {
+		if errors.Is(err, journal.ErrNoSpace) {
+			return err
+		}
 		panic(fmt.Sprintf("sched: journal compact: %v", err))
 	}
 	cj.sinceCompact = 0
 	cj.compactions++
+	return nil
 }
 
 // Compactions returns how many snapshot swaps have run.

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"testing"
+
+	"detournet/internal/journal"
+)
+
+// TestJournalCompactionAbsorbsENOSPC: on a bounded device, a churning
+// journal (submit+finish pairs fold to almost nothing) rides out
+// ENOSPC via emergency compaction — saves count up, degraded mode
+// never engages, and no append is lost.
+func TestJournalCompactionAbsorbsENOSPC(t *testing.T) {
+	dev := journal.NewMemDevice()
+	dev.Capacity = 4 << 10
+	cj, rec, err := NewControlJournal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 0 {
+		t.Fatalf("fresh journal recovered %d pending jobs", len(rec.Pending))
+	}
+	cj.SetCompactEvery(1 << 30) // only pressure triggers compaction
+	for i := 0; i < 200; i++ {
+		j := Job{Tenant: "t", Client: "c", Provider: "p", Name: "churn.bin", Size: 1e6}
+		cj.NoteSubmit(j)
+		cj.NoteFinish(&Result{Job: j})
+	}
+	if cj.Degraded() {
+		t.Fatal("journal degraded despite compactable churn")
+	}
+	if cj.ENOSPCSaves() == 0 {
+		t.Fatal("no ENOSPC saves recorded: the device bound never bit")
+	}
+	if cj.DroppedAppends() != 0 {
+		t.Fatalf("dropped %d appends while compaction could absorb the pressure", cj.DroppedAppends())
+	}
+	if dev.Size() > dev.Capacity {
+		t.Fatalf("log %d bytes exceeds device capacity %d", dev.Size(), dev.Capacity)
+	}
+}
+
+// TestJournalDegradedMode: when even the compacted state no longer
+// fits (device clamped at near-zero), the journal degrades to
+// in-memory folding instead of crashing the control plane: the
+// OnDegraded warning fires exactly once, dropped appends are counted,
+// and scheduling state stays queryable.
+func TestJournalDegradedMode(t *testing.T) {
+	dev := journal.NewMemDevice()
+	cj, _, err := NewControlJournal(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings := 0
+	cj.OnDegraded(func() { warnings++ })
+	cj.JournalENOSPC(true) // clamp: nothing fits, not even a snapshot
+
+	j := Job{Tenant: "t", Client: "c", Provider: "p", Name: "doomed.bin", Size: 1e6}
+	cj.NoteSubmit(j)
+	if !cj.Degraded() {
+		t.Fatal("journal not degraded after un-compactable ENOSPC")
+	}
+	if warnings != 1 {
+		t.Fatalf("OnDegraded fired %d times, want once", warnings)
+	}
+	first := cj.DroppedAppends()
+	if first == 0 {
+		t.Fatal("degraded journal counted no dropped appends")
+	}
+	cj.NoteSubmit(Job{Tenant: "t", Client: "c", Provider: "p", Name: "more.bin", Size: 1e6})
+	if cj.DroppedAppends() <= first {
+		t.Fatal("later appends not counted as dropped")
+	}
+	if warnings != 1 {
+		t.Fatalf("OnDegraded re-fired (%d times): must warn once", warnings)
+	}
+	// In-memory folding still serves the scheduler.
+	if cj.SeqFor("doomed.bin") < 0 || cj.SeqFor("more.bin") < 0 {
+		t.Fatal("degraded journal lost in-memory scheduling state")
+	}
+	// Degraded mode is sticky: space coming back does not silently
+	// rejoin a log that now has a hole in it.
+	cj.JournalENOSPC(false)
+	cj.NoteSubmit(Job{Tenant: "t", Client: "c", Provider: "p", Name: "late.bin", Size: 1e6})
+	if !cj.Degraded() {
+		t.Fatal("degraded mode cleared itself after unclamp")
+	}
+}

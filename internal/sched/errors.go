@@ -52,6 +52,13 @@ const (
 	// the stalled attempt produced useful progress and blame belongs to
 	// the path, not the job.
 	FailStall
+	// FailQuota is storage exhaustion at the provider account (a 507):
+	// a property of the destination, not of any route, so no failover
+	// helps and no route deserves blame. The scheduler reclaims
+	// abandoned upload sessions, retries after the provider's hint,
+	// spills to an allowed alternate provider, and only then parks the
+	// job with a typed *QuotaError.
+	FailQuota
 )
 
 func (c FailureClass) String() string {
@@ -64,6 +71,8 @@ func (c FailureClass) String() string {
 		return "provider-down"
 	case FailStall:
 		return "stall"
+	case FailQuota:
+		return "quota"
 	default:
 		return "unknown"
 	}
@@ -75,6 +84,8 @@ func Classify(err error) FailureClass {
 	switch {
 	case errors.Is(err, core.ErrStall):
 		return FailStall
+	case errors.Is(err, core.ErrQuotaExhausted):
+		return FailQuota
 	case errors.Is(err, ErrRouteDown):
 		return FailRouteDown
 	case errors.Is(err, ErrProviderDown):
@@ -145,6 +156,28 @@ func (e *BudgetError) Error() string {
 
 func (e *BudgetError) Is(target error) bool { return target == ErrRetryBudget }
 
+// QuotaError is the typed terminal outcome of provider storage
+// exhaustion the scheduler could not mitigate: session reclaim freed
+// nothing usable, the retry after the provider's hint still answered
+// 507, and no allowed alternate provider had room. The job parks with
+// its checkpoint intact; errors.Is matches core.ErrQuotaExhausted, so
+// callers distinguish "the account is full" from any transport
+// failure.
+type QuotaError struct {
+	// Provider is the account that is out of storage.
+	Provider string
+	// RetryAfter is the provider's park hint, in scheduler-clock
+	// seconds — when quota reclamation or deletions might have freed
+	// space.
+	RetryAfter float64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("sched: storage quota exhausted for provider %s (retry after %.1fs)", e.Provider, e.RetryAfter)
+}
+
+func (e *QuotaError) Is(target error) bool { return target == core.ErrQuotaExhausted }
+
 // Transient tags err as a transient failure.
 func Transient(err error) error { return taggedError{tag: ErrTransient, err: err} }
 
@@ -153,6 +186,9 @@ func RouteDown(err error) error { return taggedError{tag: ErrRouteDown, err: err
 
 // ProviderDown tags err as a provider-side outage.
 func ProviderDown(err error) error { return taggedError{tag: ErrProviderDown, err: err} }
+
+// Quota tags err as provider storage exhaustion (classifies FailQuota).
+func Quota(err error) error { return taggedError{tag: core.ErrQuotaExhausted, err: err} }
 
 // taggedError couples a taxonomy sentinel with the underlying cause;
 // errors.Is matches both.

@@ -144,6 +144,11 @@ func (s *Scheduler) multipathRoutes(key CacheKey, j Job, primary core.Route) []c
 		if r.Kind != core.Detour || len(routes) >= maxPaths {
 			return
 		}
+		if s.cfg.Capacity != nil && s.capacityWeight(r) <= capWeightCritical {
+			// A critically full DTN is no lane at all: its staging disk
+			// would nack the stripe's hop-1 bytes on arrival.
+			return
+		}
 		for _, have := range routes {
 			if have == r {
 				return
@@ -154,6 +159,22 @@ func (s *Scheduler) multipathRoutes(key CacheKey, j Job, primary core.Route) []c
 	add(primary)
 	for _, c := range s.cache.Candidates(key) {
 		add(c)
+	}
+	if s.cfg.Capacity != nil && len(routes) > 2 {
+		// Graceful degradation under storage pressure: when any chosen
+		// lane's DTN is inside the discounted headroom band, stripe over
+		// two lanes instead of rejecting (or draining the fleet's last
+		// staging bytes across a wide stripe).
+		pressured := false
+		for _, r := range routes {
+			if s.capacityWeight(r) < 1 {
+				pressured = true
+				break
+			}
+		}
+		if pressured {
+			routes = routes[:2]
+		}
 	}
 	return routes
 }

@@ -41,6 +41,12 @@ type Job struct {
 	Client string
 	// Provider is the destination cloud-storage service.
 	Provider string
+	// AltProviders, when non-empty, are fallback destinations the job
+	// may spill to when Provider's storage quota is exhausted and
+	// reclamation frees nothing — in preference order. A spill keeps
+	// the job's hop-1 staging progress (DTN partials are
+	// provider-agnostic) but starts a fresh provider session.
+	AltProviders []string
 	// Name is the object name; it should be unique per provider.
 	Name string
 	// Size is the file size in bytes.
@@ -204,6 +210,23 @@ type HealthAware interface {
 	SetHealth(*health.Tracker)
 }
 
+// CapacityOracle reports a DTN's free staging bytes. When Config.
+// Capacity is set, route election down-weights detours through DTNs
+// below the headroom floor — spill-aware placement: jobs steer toward
+// DTNs that can actually hold their hop-1 bytes, before the first
+// ErrNoSpace rejection rather than after it.
+type CapacityOracle interface {
+	DTNHeadroom(dtn string) float64
+}
+
+// QuotaReclaimer is an Executor that can ask a provider to
+// garbage-collect abandoned upload sessions, freeing their pending
+// quota bytes. The scheduler calls it once per job on the first 507
+// before considering a provider spill; it returns the bytes freed.
+type QuotaReclaimer interface {
+	ReclaimQuota(provider string) float64
+}
+
 // PathAwarePlanner is a Planner that can also report the node/domain
 // hops each candidate route traverses. A scheduler whose planner
 // implements it stores those paths alongside cache entries, which is
@@ -339,6 +362,16 @@ type Config struct {
 	// under ~4 MB, where detour gains are smallest; -1 = none).
 	BrownoutSmallBucket int
 
+	// Capacity, when set, arms spill-aware placement: detour routes
+	// through DTNs whose staging headroom sits below CapacityFloor are
+	// down-weighted in route election (not excluded — a nearly-full
+	// DTN still serves small jobs), composing multiplicatively with
+	// the health layer's probation weights. nil turns it off.
+	Capacity CapacityOracle
+	// CapacityFloor is the headroom (bytes) below which a DTN is
+	// considered under storage pressure (default 64 MB).
+	CapacityFloor float64
+
 	// Health, when set, arms the gray-failure layer: stall watchdogs on
 	// supporting executors (aborted transfers surface core.ErrStall and
 	// fail over without burning an attempt), outlier ejection feeding the
@@ -440,6 +473,9 @@ func (c Config) withDefaults() Config {
 	if c.DisableHealth {
 		c.Health = nil
 	}
+	if c.CapacityFloor <= 0 {
+		c.CapacityFloor = 64e6
+	}
 	c.Backoff = c.Backoff.withDefaults()
 	if c.Rand == nil {
 		c.Rand = rand.New(rand.NewSource(1))
@@ -501,6 +537,9 @@ type Scheduler struct {
 	routeEvents            int64
 	stalls, stallRerouted  int64
 	canaries, budgetParks  int64
+	quotaFails, quotaParks int64
+	quotaReclaims          int64
+	providerSpills         int64
 	bytesResumed           float64
 	bytesRewritten         float64
 	chunkRepairs           int64
@@ -545,10 +584,18 @@ func New(cfg Config) *Scheduler {
 		if ha, ok := cfg.Executor.(HealthAware); ok {
 			ha.SetHealth(cfg.Health)
 		}
+	}
+	if cfg.Health != nil || cfg.Capacity != nil {
 		// Probation down-weights the bandit's view of a route instead of
 		// hard-excluding it: traffic trickles, canaries decide re-admission.
+		// Capacity pressure composes multiplicatively: a gray DTN that is
+		// also nearly full is doubly unattractive.
 		s.cache.SetWeight(func(r core.Route) float64 {
-			return cfg.Health.Weight(health.ClassRoute, r.String())
+			w := 1.0
+			if cfg.Health != nil {
+				w = cfg.Health.Weight(health.ClassRoute, r.String())
+			}
+			return w * s.capacityWeight(r)
 		})
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -560,8 +607,43 @@ func New(cfg Config) *Scheduler {
 			s.cond.Broadcast()
 			s.mu.Unlock()
 		})
+		if cfg.Health != nil {
+			// A journal forced into in-memory mode is a silent durability
+			// loss; surface it once through the health transitions log
+			// instead of letting it hide until the next crash.
+			cfg.Journal.OnDegraded(func() {
+				cfg.Health.NoteWarning("journal", "control",
+					"device full after compaction; folding records in memory only")
+			})
+		}
 	}
 	return s
+}
+
+// Weight multipliers for DTNs under storage pressure: below the floor
+// the route is nearly benched (a trickle still probes recovery, like
+// probation); inside 2x the floor it is merely discouraged.
+const (
+	capWeightCritical = 0.05
+	capWeightLow      = 0.5
+)
+
+// capacityWeight is the spill-aware placement term of route election:
+// 1 for direct routes, unknown DTNs, and unbounded disks; discounted
+// as a DTN's staging headroom approaches (and crosses) the floor.
+func (s *Scheduler) capacityWeight(r core.Route) float64 {
+	o := s.cfg.Capacity
+	if o == nil || r.Kind != core.Detour {
+		return 1
+	}
+	h := o.DTNHeadroom(r.Via)
+	switch {
+	case h <= s.cfg.CapacityFloor:
+		return capWeightCritical
+	case h <= 2*s.cfg.CapacityFloor:
+		return capWeightLow
+	}
+	return 1
 }
 
 // crashed reports whether the control plane's journal has fired an
@@ -929,6 +1011,10 @@ func (s *Scheduler) runJob(j Job) Result {
 	attempts, detourFails, stallReroutes := priorAttempts, 0, 0
 	jobHedged, jobHedgeWon := false, false
 	jobReroutes, jobParked := 0, 0.0
+	// Quota-mitigation state: reclaim runs at most once per provider per
+	// job; spilledFrom remembers providers already abandoned as full so
+	// the spill chain never revisits one.
+	var reclaimTried, spilledFrom map[string]bool
 	for {
 		attempts++
 		if cj != nil && cj.NoteAttempt(j, attempts, route) {
@@ -1071,6 +1157,70 @@ func (s *Scheduler) runJob(j Job) Result {
 			}
 			// No alternate (or the cap is spent): fall through to the
 			// normal attempt accounting like a transient failure.
+		case FailQuota:
+			// Storage exhaustion at the provider account: no route helps
+			// and none deserves blame — leave breakers and the route cache
+			// alone. Mitigation ladder: (1) reclaim abandoned upload
+			// sessions once and, if bytes came back, retry after the
+			// provider's hint; (2) spill to an allowed alternate provider,
+			// keeping hop-1 staging progress but starting a fresh session;
+			// (3) park with a typed *QuotaError.
+			s.mu.Lock()
+			s.quotaFails++
+			s.mu.Unlock()
+			recovered := false
+			if !reclaimTried[j.Provider] {
+				if reclaimTried == nil {
+					reclaimTried = make(map[string]bool)
+				}
+				reclaimTried[j.Provider] = true
+				if qr, ok := s.cfg.Executor.(QuotaReclaimer); ok {
+					if freed := qr.ReclaimQuota(j.Provider); freed > 0 {
+						s.mu.Lock()
+						s.quotaReclaims++
+						s.mu.Unlock()
+						recovered = true
+					}
+				}
+			}
+			if !recovered {
+				if alt, ok := nextAltProvider(j, spilledFrom); ok {
+					if spilledFrom == nil {
+						spilledFrom = make(map[string]bool)
+					}
+					spilledFrom[j.Provider] = true
+					j.Provider = alt
+					if ck != nil {
+						// The old provider's session bytes are stranded
+						// behind its full quota; the DTN partial is
+						// provider-agnostic and survives the switch.
+						ck.DiscardSession()
+					}
+					key = KeyFor(j.Client, j.Provider, j.Size)
+					route, hit = s.routeFor(key, j)
+					route = s.gateRoute(key, j.Provider, route)
+					// A spill is a new destination, not another try at the
+					// full one: don't burn an attempt slot or sleep.
+					attempts--
+					backoff = false
+					recovered = true
+					s.mu.Lock()
+					s.providerSpills++
+					s.mu.Unlock()
+				}
+			}
+			if !recovered {
+				ra := retryAfterHint(lastErr)
+				if ra <= 0 {
+					ra = defaultQuotaParkAfter
+				}
+				s.mu.Lock()
+				s.quotaParks++
+				s.mu.Unlock()
+				res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked, Err: &QuotaError{Provider: j.Provider, RetryAfter: ra}}
+				s.noteRecovery(ck, &res)
+				return res
+			}
 		case FailRouteDown:
 			s.breakers.failure(breakerKey(j.Provider, route))
 			if next, ok := s.failover(key, j.Provider, route); ok {
@@ -1151,17 +1301,38 @@ const maxStallReroutes = 3
 // stall a worker for minutes.
 const maxRetryAfterFloor = 60
 
-// retryAfterHint extracts the provider's Retry-After pacing hint from a
-// 429 in the error chain (0 when there is none).
+// defaultQuotaParkAfter is the park hint on a *QuotaError whose 507
+// carried no Retry-After header.
+const defaultQuotaParkAfter = 30
+
+// retryAfterHint extracts the provider's Retry-After pacing hint from
+// a 429 (throttle) or 507 (quota) in the error chain — 0 when there is
+// none. Backoff delays are floored by it: retrying into the same
+// throttle or quota window just burns an attempt.
 func retryAfterHint(err error) float64 {
 	var se *httpsim.StatusError
-	if !errors.As(err, &se) || se.Status != httpsim.StatusTooManyRequests || se.RetryAfter <= 0 {
+	if !errors.As(err, &se) || se.RetryAfter <= 0 {
+		return 0
+	}
+	if se.Status != httpsim.StatusTooManyRequests && se.Status != httpsim.StatusInsufficientStorage {
 		return 0
 	}
 	if se.RetryAfter > maxRetryAfterFloor {
 		return maxRetryAfterFloor
 	}
 	return se.RetryAfter
+}
+
+// nextAltProvider returns the first allowed spill target the job has
+// not already abandoned as full (and is not currently on).
+func nextAltProvider(j Job, spilledFrom map[string]bool) (string, bool) {
+	for _, alt := range j.AltProviders {
+		if alt == "" || alt == j.Provider || spilledFrom[alt] {
+			continue
+		}
+		return alt, true
+	}
+	return "", false
 }
 
 // noteHealthSuccess feeds one completed transfer into the gray-failure
@@ -1471,6 +1642,20 @@ type Stats struct {
 	// dry.
 	Stalls, StallReroutes int64
 	Canaries, BudgetParks int64
+	// QuotaFailures counts attempts that died on provider storage
+	// exhaustion (507); QuotaReclaims counts abandoned-session
+	// garbage collections that actually freed bytes; ProviderSpills
+	// counts jobs moved to an alternate provider after reclaim failed;
+	// QuotaParks counts jobs parked with a *QuotaError because every
+	// mitigation ran dry.
+	QuotaFailures, QuotaReclaims int64
+	ProviderSpills, QuotaParks   int64
+	// JournalDegraded reports a control journal that fell back to
+	// in-memory folding on a full device; JournalENOSPCSaves counts
+	// appends rescued by emergency compaction, JournalDropped the
+	// records folded in memory only.
+	JournalDegraded                    bool
+	JournalENOSPCSaves, JournalDropped int64
 	// QueueDelayEWMA is the CoDel-smoothed time-in-queue;
 	// QueueDelayP99 is the 99th percentile over a trailing window of
 	// admitted jobs.
@@ -1521,6 +1706,14 @@ func (st Stats) String() string {
 		line += fmt.Sprintf(" stalls=%d stall-reroutes=%d canaries=%d budget-parked=%d",
 			st.Stalls, st.StallReroutes, st.Canaries, st.BudgetParks)
 	}
+	if st.QuotaFailures+st.QuotaReclaims+st.ProviderSpills+st.QuotaParks > 0 {
+		line += fmt.Sprintf(" quota-fails=%d reclaims=%d spills=%d quota-parked=%d",
+			st.QuotaFailures, st.QuotaReclaims, st.ProviderSpills, st.QuotaParks)
+	}
+	if st.JournalDegraded || st.JournalENOSPCSaves > 0 {
+		line += fmt.Sprintf(" journal-degraded=%v enospc-saves=%d dropped=%d",
+			st.JournalDegraded, st.JournalENOSPCSaves, st.JournalDropped)
+	}
 	return line
 }
 
@@ -1544,6 +1737,8 @@ func (s *Scheduler) Stats() Stats {
 		MultipathDuplicateBytes: s.mpDuplicateBytes,
 		Stalls:                  s.stalls, StallReroutes: s.stallRerouted,
 		Canaries: s.canaries, BudgetParks: s.budgetParks,
+		QuotaFailures: s.quotaFails, QuotaReclaims: s.quotaReclaims,
+		ProviderSpills: s.providerSpills, QuotaParks: s.quotaParks,
 		QueueDelayP99: s.delays.percentile(0.99),
 		Retries:       s.retries, Fallbacks: s.fallbacks,
 		Failovers: s.failovers, BreakerSkips: s.breakerSkip,
@@ -1563,6 +1758,11 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Unlock()
 	if s.codel != nil {
 		st.QueueDelayEWMA = s.codel.smoothed()
+	}
+	if cj := s.cfg.Journal; cj != nil {
+		st.JournalDegraded = cj.Degraded()
+		st.JournalENOSPCSaves = int64(cj.ENOSPCSaves())
+		st.JournalDropped = int64(cj.DroppedAppends())
 	}
 	st.Breakers, st.BreakerTransitions = s.breakers.snapshot()
 	_, _, st.CacheInvalidations = s.cache.Counters()

@@ -642,6 +642,11 @@ func classifyExecErr(err error) error {
 		return RouteDown(err)
 	case errors.As(err, &se):
 		switch {
+		case se.Status == httpsim.StatusInsufficientStorage:
+			// Storage quota exhaustion: a property of the provider
+			// account, not of any route. Must precede the generic >=500
+			// case — a 507 retried on another route fails identically.
+			return Quota(err)
 		case se.Status == httpsim.StatusServiceUnavailable:
 			return ProviderDown(err)
 		case se.Status >= 500 || se.Status == httpsim.StatusTooManyRequests:
@@ -655,8 +660,18 @@ func classifyExecErr(err error) error {
 		strings.Contains(msg, "blackhole"),
 		strings.Contains(msg, "ttl expired"),
 		strings.Contains(msg, "no border router"),
-		strings.Contains(msg, "draining"):
+		strings.Contains(msg, "draining"),
+		strings.Contains(msg, "no space"):
+		// "no space" is a DTN staging disk refusing hop-1 bytes — the
+		// detour path, not the job, is out of room; fail over like any
+		// dead route and let capacity weights steer future elections.
 		return RouteDown(err)
+	case strings.Contains(msg, "status 507"),
+		strings.Contains(msg, "quota exceeded"),
+		strings.Contains(msg, "insufficient storage"):
+		// Relayed provider 507s arrive flattened to strings; must
+		// precede the generic "status 5" case.
+		return Quota(err)
 	case strings.Contains(msg, "status 503"):
 		return ProviderDown(err)
 	case strings.Contains(msg, "connection refused"):
@@ -736,6 +751,46 @@ func (e *SimExecutor) pathHops(src, dst string) ([]PathHop, bool) {
 		hops[i] = PathHop{Node: n.Name, Domain: n.Domain}
 	}
 	return hops, true
+}
+
+// DTNHeadroom implements CapacityOracle against the live simulation:
+// the named DTN daemon's free staging bytes (+Inf for an unbounded
+// disk, 0 for an unknown DTN). Reads are safe under e.mu — daemon
+// state only mutates inside workload drives, which serialize behind
+// the same mutex.
+func (e *SimExecutor) DTNHeadroom(dtn string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.w.Daemons[dtn]
+	if !ok {
+		return 0
+	}
+	return d.Headroom()
+}
+
+// reclaimIdleSecs is how stale an unfinished provider upload session
+// must be before quota reclamation may garbage-collect it. Short
+// enough to matter inside one pressure storm, long enough that no
+// live transfer's session (which touches its session every chunk) is
+// ever at risk.
+const reclaimIdleSecs = 30
+
+// ReclaimQuota implements QuotaReclaimer: ask the provider to
+// garbage-collect abandoned upload sessions, freeing their pending
+// quota bytes. Returns the bytes freed (0 for an unknown provider or
+// nothing to reclaim).
+func (e *SimExecutor) ReclaimQuota(provider string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	svc, ok := e.w.Services[provider]
+	if !ok {
+		return 0
+	}
+	var freed float64
+	e.w.RunWorkload("sched:reclaim:"+provider, func(p *simproc.Proc) {
+		freed = svc.ReclaimQuota(reclaimIdleSecs)
+	})
+	return freed
 }
 
 // VirtualNow returns the simulation clock, i.e. the total virtual

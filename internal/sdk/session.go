@@ -126,6 +126,11 @@ func (s *GDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (FileI
 	case resp.Status == httpsim.StatusOK && last:
 		return decodeMeta(resp.Body)
 	default:
+		// Keep the typed *StatusError (and its Retry-After hint) for
+		// non-2xx answers so callers can branch on 429 vs 507 vs 5xx.
+		if err := resp.Error(); err != nil {
+			return FileInfo{}, fmt.Errorf("sdk: drive chunk at %.0f: %w", s.sent-n, err)
+		}
 		return FileInfo{}, fmt.Errorf("sdk: drive chunk at %.0f: status %d (last=%v)", s.sent-n, resp.Status, last)
 	}
 }
@@ -342,6 +347,11 @@ func (s *OneDriveSession) WriteChunk(p *simproc.Proc, n float64, last bool) (Fil
 	case resp.Status == httpsim.StatusCreated && last:
 		return decodeMeta(resp.Body)
 	default:
+		// Keep the typed *StatusError (and its Retry-After hint) for
+		// non-2xx answers so callers can branch on 429 vs 507 vs 5xx.
+		if err := resp.Error(); err != nil {
+			return FileInfo{}, fmt.Errorf("sdk: onedrive fragment at %.0f: %w", s.sent-n, err)
+		}
 		return FileInfo{}, fmt.Errorf("sdk: onedrive fragment at %.0f: status %d (last=%v)", s.sent-n, resp.Status, last)
 	}
 }
