@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check fleet chaos overload stress churn multipath grayfail crashsafe pressure
+.PHONY: build test vet race bench check fleet chaos overload stress churn multipath grayfail crashsafe pressure telemetry
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,13 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Bench: every Go benchmark (scheduler drain bare vs instrumented,
+# registry hot path, transfer kernels), then the seeded detourbench
+# sweep that writes the machine-readable BENCH_10.json (storm goodput,
+# drain wall time with/without telemetry, dispatch ns/job).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+	$(GO) run ./cmd/detourbench -experiment bench -out BENCH_10.json
 
 fleet:
 	$(GO) run ./examples/fleet
@@ -71,6 +76,15 @@ pressure:
 	$(GO) test -race ./internal/rsyncx/ ./internal/sched/ ./internal/cloudsim/ ./internal/journal/
 	$(GO) run ./examples/pressure
 
+# Telemetry: the observability-plane tests race-clean (registry hot
+# path, histogram merges, sampler wraparound/pause, flight-recorder
+# retention, determinism, no-observer-effect), then the instrumented
+# flash-crowd replay: live dumps, dashboard sparklines, failed-job
+# decision traces, Prometheus dump.
+telemetry:
+	$(GO) test -race ./internal/telemetry/ ./internal/sched/
+	$(GO) run ./examples/telemetry
+
 # Stress: the scheduler suite repeated under the race detector to
 # shake out ordering-dependent bugs in the queue and overload layer.
 stress:
@@ -80,10 +94,12 @@ stress:
 # test suite (including the really-concurrent scheduler) is race-clean,
 # the delta-encoding and journal-decode fuzzers hold up for a short
 # smoke run, the chaos and overload replays complete, and the churn,
-# multipath, grayfail, crashsafe, and pressure replays are
-# byte-identical across two runs of the same seed. The eviction-safety
-# suites get an explicit race pass (cheap, and kept even if the
-# blanket ./... leg above is ever narrowed).
+# multipath, grayfail, crashsafe, pressure, and telemetry replays are
+# byte-identical across two runs of the same seed — for telemetry that
+# covers the whole observability plane: metric dumps, time series,
+# sparklines, and flight-recorder traces. The eviction-safety suites
+# get an explicit race pass (cheap, and kept even if the blanket ./...
+# leg above is ever narrowed).
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(GO) test -race ./internal/rsyncx/ ./internal/sched/
@@ -111,3 +127,7 @@ check:
 	$(GO) run ./examples/pressure >.pr.b.tmp
 	cmp .pr.a.tmp .pr.b.tmp
 	rm -f .pr.a.tmp .pr.b.tmp
+	$(GO) run ./examples/telemetry >.tlm.a.tmp
+	$(GO) run ./examples/telemetry >.tlm.b.tmp
+	cmp .tlm.a.tmp .tlm.b.tmp
+	rm -f .tlm.a.tmp .tlm.b.tmp

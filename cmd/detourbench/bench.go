@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"detournet/internal/core"
+	"detournet/internal/sched"
+	"detournet/internal/telemetry"
+)
+
+// benchResult is the machine-readable artifact `make bench` writes
+// (BENCH_10.json): the reference storm drain with and without the
+// telemetry plane, and the pure-dispatch scheduler microbenchmark that
+// prices the instrumentation per job.
+type benchResult struct {
+	Seed   int64 `json:"seed"`
+	Rounds int   `json:"rounds"`
+
+	Storm struct {
+		Jobs           int     `json:"jobs"`
+		Done           int     `json:"done"`
+		Failed         int     `json:"failed"`
+		VirtualSeconds float64 `json:"virtual_seconds"`
+		GoodputMBps    float64 `json:"goodput_mbps"`
+		TransferP50Sec float64 `json:"transfer_p50_sec"`
+		TransferP99Sec float64 `json:"transfer_p99_sec"`
+		WallMsBare     float64 `json:"drain_wall_ms_bare"`
+		WallMsTelem    float64 `json:"drain_wall_ms_instrumented"`
+		OverheadFrac   float64 `json:"telemetry_overhead_frac"`
+	} `json:"storm"`
+
+	Dispatch struct {
+		Jobs          int     `json:"jobs"`
+		NsPerJobBare  float64 `json:"ns_per_job_bare"`
+		NsPerJobTelem float64 `json:"ns_per_job_instrumented"`
+		TelemNsPerJob float64 `json:"telemetry_ns_per_job"`
+	} `json:"dispatch"`
+}
+
+// medianWall runs fn `rounds` times and returns the median wall time.
+func medianWall(rounds int, fn func()) time.Duration {
+	ds := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		fn()
+		ds = append(ds, time.Since(start))
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	return ds[len(ds)/2]
+}
+
+// dispatchDrain pushes instant jobs through a worker with a fixed
+// planner — the scheduler's pure control-plane cost, nothing else.
+func dispatchDrain(jobs int, instrumented bool) time.Duration {
+	cfg := sched.Config{
+		Workers: 1,
+		Executor: sched.ExecutorFunc(func(j sched.Job, r core.Route) (float64, error) {
+			return 0, nil
+		}),
+		Planner: sched.PlannerFunc(func(client, provider string, size float64) (core.Route, []core.Route, error) {
+			return core.DirectRoute, []core.Route{core.DirectRoute}, nil
+		}),
+		ProviderCap: -1, DTNCap: -1,
+	}
+	if instrumented {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Recorder = telemetry.NewFlightRecorder(nil, 32, 4)
+	}
+	s := sched.New(cfg)
+	s.Start()
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		if err := s.Submit(sched.Job{
+			Tenant: "bench", Client: "c", Provider: "p",
+			Name: fmt.Sprintf("b-%05d", i), Size: 1e6,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	s.Drain()
+	el := time.Since(start)
+	s.Close()
+	return el
+}
+
+// runBenchSweep measures the telemetry sweep and writes BENCH_10.json.
+func runBenchSweep(seed int64, out string) error {
+	const rounds = 5
+	var res benchResult
+	res.Seed = seed
+	res.Rounds = rounds
+
+	// Representative drain: the instrumented flash-crowd replay against
+	// the reconvergence storm, and the identical run with the telemetry
+	// plane detached.
+	o := sched.RunTelemetry(sched.TelemetryOptions{Seed: seed})
+	res.Storm.Jobs = len(o.Results)
+	res.Storm.Done = int(o.Stats.Done)
+	res.Storm.Failed = int(o.Stats.Failed)
+	res.Storm.VirtualSeconds = o.VirtualSeconds
+	res.Storm.GoodputMBps = o.Goodput() / 1e6
+	for _, f := range o.Snapshot.Families {
+		if f.Name == "sched_transfer_seconds" && len(f.Metrics) > 0 && f.Metrics[0].Hist != nil {
+			res.Storm.TransferP50Sec = f.Metrics[0].Hist.Quantile(0.5)
+			res.Storm.TransferP99Sec = f.Metrics[0].Hist.Quantile(0.99)
+		}
+	}
+	bare := medianWall(rounds, func() {
+		sched.RunTelemetry(sched.TelemetryOptions{Seed: seed, NoInstrument: true})
+	})
+	inst := medianWall(rounds, func() {
+		sched.RunTelemetry(sched.TelemetryOptions{Seed: seed})
+	})
+	res.Storm.WallMsBare = float64(bare) / 1e6
+	res.Storm.WallMsTelem = float64(inst) / 1e6
+	res.Storm.OverheadFrac = float64(inst-bare) / float64(bare)
+
+	// Pure dispatch: instant executor, fixed route — prices the
+	// instrumentation in ns per job with no transfer work to hide it.
+	const dispatchJobs = 4000
+	res.Dispatch.Jobs = dispatchJobs
+	dispatchDrain(dispatchJobs, false) // warm-up
+	b := medianWall(rounds, func() { dispatchDrain(dispatchJobs, false) })
+	i := medianWall(rounds, func() { dispatchDrain(dispatchJobs, true) })
+	res.Dispatch.NsPerJobBare = float64(b) / dispatchJobs
+	res.Dispatch.NsPerJobTelem = float64(i) / dispatchJobs
+	res.Dispatch.TelemNsPerJob = float64(i-b) / dispatchJobs
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench sweep: storm %d jobs (%d done, %d failed), goodput %.2f MB/s, telemetry overhead %.2f%% of drain wall\n",
+		res.Storm.Jobs, res.Storm.Done, res.Storm.Failed, res.Storm.GoodputMBps, 100*res.Storm.OverheadFrac)
+	fmt.Printf("dispatch: %.0f ns/job bare, %.0f ns/job instrumented (+%.0f ns/job)\n",
+		res.Dispatch.NsPerJobBare, res.Dispatch.NsPerJobTelem, res.Dispatch.TelemNsPerJob)
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

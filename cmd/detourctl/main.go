@@ -46,6 +46,13 @@
 // (committed, pending session bytes, sessions reclaimed), and the
 // scheduler's quota-mitigation counters. Transfer flags are ignored in
 // this mode.
+//
+// With -dash, the tool instead replays the instrumented flash crowd
+// (see internal/sched.RunTelemetry) and prints the operator's terminal
+// dashboard: headline delivery and churn counters, every sampled time
+// series as a sparkline with min/max/last, and a one-line summary of
+// each failed job's flight-recorder trace. Transfer flags are ignored
+// in this mode.
 package main
 
 import (
@@ -77,8 +84,15 @@ func main() {
 		healthTab = flag.Bool("health", false, "replay the gray-failure schedule with the health stack and print the health table")
 		capTab    = flag.Bool("capacity", false, "replay the storage-exhaustion schedule with the mitigation stack and print the staging/quota tables")
 		jdump     = flag.String("journal", "", "dump this control-journal file (records, torn tail, recovered state) and exit")
+		dash      = flag.Bool("dash", false, "replay the instrumented flash crowd and print the telemetry dashboard")
 	)
 	flag.Parse()
+
+	if *dash {
+		o := sched.RunTelemetry(sched.TelemetryOptions{Seed: *seed})
+		sched.WriteTelemetryDash(os.Stdout, o)
+		return
+	}
 
 	if *jdump != "" {
 		if err := sched.WriteJournalDump(os.Stdout, *jdump); err != nil {

@@ -68,6 +68,15 @@
 // + detours through JobMultipath, plus the churn leg that drives one
 // large striped transfer into the reconvergence storm. Other scheduler
 // flags are ignored in this mode.
+//
+// With -telemetry, the daemon instead replays the instrumented flash
+// crowd (see internal/sched.RunTelemetry) against the reconvergence
+// storm with the full observability plane attached — metrics registry,
+// virtual-clock sampler, per-job flight recorder — printing a compact
+// telemetry line every -dump-every virtual seconds while it drains and
+// the full deterministic report (time series, failed-job decision
+// traces, Prometheus dump) at the end. Other scheduler flags are
+// ignored in this mode.
 package main
 
 import (
@@ -100,8 +109,19 @@ func main() {
 		pressure    = flag.Bool("pressure", false, "replay the storage-exhaustion schedule, no-mitigation ablation vs full stack, and report")
 		mpath       = flag.Bool("multipath", false, "run the striped-vs-single comparison plus the multipath churn leg, and report")
 		crashsafe   = flag.Bool("crashsafe", false, "run the crash-consistency sweep (kill at every crash point, restart, replay) and report")
+		telem       = flag.Bool("telemetry", false, "replay the instrumented flash crowd with the observability plane and report")
+		dumpEvery   = flag.Float64("dump-every", 60, "virtual seconds between periodic telemetry lines in -telemetry mode")
 	)
 	flag.Parse()
+
+	if *telem {
+		o := sched.RunTelemetry(sched.TelemetryOptions{
+			Seed: *seed, DumpEvery: *dumpEvery, DumpTo: os.Stdout,
+		})
+		fmt.Println()
+		sched.WriteTelemetryReport(os.Stdout, o)
+		return
+	}
 
 	if *crashsafe {
 		control, legs := sched.RunCrashsafeSweep(*seed)

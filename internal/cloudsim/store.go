@@ -104,6 +104,19 @@ func (s *ObjectStore) Put(name string, size float64, md5 string) (*Object, error
 	return o, nil
 }
 
+// QuotaHeadroom reports the bytes still admissible under the quota;
+// +Inf when the store is unlimited (zero quota), never negative.
+func (s *ObjectStore) QuotaHeadroom() float64 {
+	if s.Quota <= 0 {
+		return math.Inf(1)
+	}
+	h := s.Quota - s.used
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
 // assertInvariant checks the store's accounting after every write:
 // used must equal the sum of stored object sizes and must never
 // exceed the quota. A violation is a simulator bug (for instance, a

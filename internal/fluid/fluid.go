@@ -57,6 +57,20 @@ func (l *Link) Available() float64 {
 // Load returns the current cross-traffic fraction.
 func (l *Link) Load() float64 { return l.load }
 
+// Utilization returns the fraction of capacity in use right now:
+// cross-traffic load plus the allocated rates of every foreground flow
+// crossing the link. 0 on a zero-capacity link.
+func (l *Link) Utilization() float64 {
+	if l.Capacity <= 0 {
+		return 0
+	}
+	used := l.load * l.Capacity
+	for _, f := range l.flows {
+		used += f.rate
+	}
+	return used / l.Capacity
+}
+
 // NumFlows returns the number of foreground flows on the link.
 func (l *Link) NumFlows() int { return len(l.flows) }
 

@@ -997,3 +997,12 @@ func (cj *ControlJournal) Device() journal.Device {
 	defer cj.mu.Unlock()
 	return cj.w.Device()
 }
+
+// DeviceSize reports the journal device's current size in bytes under
+// the journal lock, so samplers can poll it without racing appends and
+// compaction swaps.
+func (cj *ControlJournal) DeviceSize() int {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	return cj.w.Device().Size()
+}

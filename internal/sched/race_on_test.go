@@ -1,0 +1,7 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; timing-sensitive guards skip themselves under it.
+const raceEnabled = true

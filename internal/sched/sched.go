@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"detournet/internal/health"
 	"detournet/internal/httpsim"
 	"detournet/internal/multipath"
+	"detournet/internal/telemetry"
 )
 
 // Job is one upload request submitted to the control plane.
@@ -121,6 +123,10 @@ type Result struct {
 	Degraded  bool
 	// Err is nil on success.
 	Err error
+
+	// tr is the job's live flight-recorder handle, threaded from runJob
+	// to the terminal recording in finish. Nil when recording is off.
+	tr *telemetry.Trace
 }
 
 // Executor runs one transfer over a chosen route. Implementations must
@@ -410,6 +416,18 @@ type Config struct {
 	// OnResult, when set, receives every terminal Result. It is called
 	// from worker goroutines, outside scheduler locks.
 	OnResult func(Result)
+
+	// Telemetry, when set, is the metrics registry the scheduler reports
+	// into: job outcomes, queue occupancy, retry/reroute/park/spill
+	// counters, queue-delay and transfer-time histograms, and per-route
+	// byte totals. nil disables metric export at a single branch per
+	// observation site.
+	Telemetry *telemetry.Registry
+	// Recorder, when set, keeps a per-job flight-recorder trace of every
+	// control-plane decision (election, attempts, failure classes,
+	// failovers, reroutes, parks) — retained in full when the job fails,
+	// truncated to a count when it succeeds. nil disables recording.
+	Recorder *telemetry.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -549,6 +567,11 @@ type Scheduler struct {
 	lat                    *latencyTracker
 	delays                 *delayRing
 	jitterRng              *rand.Rand
+
+	// met/rec are the telemetry hooks (nil when observability is off);
+	// set once in New, read without locks on hot paths.
+	met *schedMetrics
+	rec *telemetry.FlightRecorder
 }
 
 // New builds a scheduler; call Start before submitting.
@@ -575,6 +598,8 @@ func New(cfg Config) *Scheduler {
 		// streams so their consumption patterns can't perturb each other.
 		jitterRng: rand.New(rand.NewSource(cfg.Rand.Int63())),
 	}
+	s.met = newSchedMetrics(cfg.Telemetry)
+	s.rec = cfg.Recorder
 	if cfg.QueueLimit > 0 {
 		s.brown = newBrownout(cfg.BrownoutEnter, cfg.BrownoutExit)
 	}
@@ -711,6 +736,9 @@ func (s *Scheduler) submit(j Job, wait bool) error {
 	if !allowed {
 		s.rateLimited++
 		s.mu.Unlock()
+		if s.met != nil {
+			s.met.rejected.With("rate-limited").Inc()
+		}
 		return ErrRateLimited
 	}
 	s.pending++
@@ -731,12 +759,22 @@ func (s *Scheduler) submit(j Job, wait bool) error {
 		switch {
 		case errors.Is(err, ErrTenantQuota):
 			s.quotaRej++
+			if s.met != nil {
+				s.met.rejected.With("tenant-quota").Inc()
+			}
 		case errors.Is(err, ErrQueueFull):
 			s.queueFullRej++
+			if s.met != nil {
+				s.met.rejected.With("queue-full").Inc()
+			}
 		}
 	} else {
 		s.submitted++
+		if s.met != nil {
+			s.met.submitted.Inc()
+		}
 	}
+	s.noteDepthLocked()
 	s.mu.Unlock()
 	if err == nil && s.cfg.Journal != nil {
 		// Write-ahead: the job is durable before any worker touches it. A
@@ -843,6 +881,7 @@ func (s *Scheduler) worker() {
 		s.mu.Lock()
 		s.running++
 		s.delays.note(delay)
+		s.noteDepthLocked()
 		s.mu.Unlock()
 		s.noteQueueDepth()
 		res := s.runJob(it.job)
@@ -877,6 +916,11 @@ func (s *Scheduler) finish(res Result) {
 	if s.running > 0 {
 		s.running--
 	}
+	m := s.met
+	if m != nil {
+		m.queueDelay.Observe(res.QueueDelay)
+		m.attempts.Observe(float64(res.Attempts))
+	}
 	switch {
 	case res.Err == nil:
 		s.done++
@@ -892,15 +936,36 @@ func (s *Scheduler) finish(res Result) {
 		rs.Bytes += res.Job.Size
 		rs.Seconds += res.Seconds
 		s.lat.note(res.Route.String(), res.Seconds, res.Job.Size)
+		if m != nil {
+			m.done.Inc()
+			if res.Late {
+				m.late.Inc()
+			}
+			m.transferSec.Observe(res.Seconds)
+			bm, jm := m.routeMetrics(res.Route)
+			bm.Add(res.Job.Size)
+			jm.Inc()
+		}
 	case errors.Is(res.Err, ErrShed):
 		s.shed++
+		if m != nil {
+			m.shed.Inc()
+		}
 	case errors.Is(res.Err, ErrDeadline):
 		s.expired++
+		if m != nil {
+			m.expired.Inc()
+		}
 	default:
 		s.failed++
+		if m != nil {
+			m.failed.Inc()
+		}
 	}
+	s.noteDepthLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.recordTerminal(res)
 	if s.cfg.OnResult != nil {
 		s.cfg.OnResult(res)
 	}
@@ -910,6 +975,16 @@ func (s *Scheduler) finish(res Result) {
 // (breaker-gated), capped execution, class-aware retry with backoff,
 // and failover that carries the job's checkpoint across routes.
 func (s *Scheduler) runJob(j Job) Result {
+	// One flight-recorder handle for the job's whole life: notes against
+	// it touch only the handle, and finish hands it back for retention.
+	// Nil when recording is off.
+	tr := s.rec.Begin(j.Name)
+	res := s.runJobTraced(j, tr)
+	res.tr = tr
+	return res
+}
+
+func (s *Scheduler) runJobTraced(j Job, tr *telemetry.Trace) Result {
 	if s.crashed() {
 		return Result{Job: j, Err: ErrCrashKilled}
 	}
@@ -928,7 +1003,16 @@ func (s *Scheduler) runJob(j Job) Result {
 			s.mu.Lock()
 			s.canaries++
 			s.mu.Unlock()
+			if s.met != nil {
+				s.met.canaries.Inc()
+			}
+			if tr != nil {
+				tr.Note("job.canary", "route", route.String())
+			}
 		}
+	}
+	if tr != nil {
+		tr.Note("job.elect", "route", route.String(), "cache", strconv.FormatBool(hit))
 	}
 
 	if j.Mode == JobMultipath {
@@ -940,6 +1024,7 @@ func (s *Scheduler) runJob(j Job) Result {
 		s.mu.Lock()
 		s.mpDegraded++
 		s.mu.Unlock()
+		tr.Note("job.mp-degrade")
 	}
 
 	// One checkpoint for the job's whole life: every attempt, on any
@@ -1017,6 +1102,9 @@ func (s *Scheduler) runJob(j Job) Result {
 	var reclaimTried, spilledFrom map[string]bool
 	for {
 		attempts++
+		if tr != nil {
+			tr.Note("job.attempt", "n", strconv.Itoa(attempts), "route", route.String())
+		}
 		if cj != nil && cj.NoteAttempt(j, attempts, route) {
 			return Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Err: ErrCrashKilled}
 		}
@@ -1051,6 +1139,19 @@ func (s *Scheduler) runJob(j Job) Result {
 							s.hedgeWins++
 						}
 						s.mu.Unlock()
+						if s.met != nil {
+							s.met.hedges.Inc()
+							if won {
+								s.met.hedgeWins.Inc()
+							}
+						}
+						if tr != nil {
+							if won {
+								tr.Note("job.hedge", "won", "true", "route", winner.String())
+							} else {
+								tr.Note("job.hedge", "won", "false")
+							}
+						}
 					}
 					if won {
 						jobHedgeWon = true
@@ -1078,6 +1179,17 @@ func (s *Scheduler) runJob(j Job) Result {
 							s.parkSeconds += parked
 						}
 						s.mu.Unlock()
+						if s.met != nil {
+							s.met.reroutes.Add(float64(nr))
+							if parked > 0 {
+								s.met.parks.Inc()
+							}
+						}
+						if tr != nil {
+							tr.Note("job.reroute", "n", strconv.Itoa(nr),
+								"parked_s", strconv.FormatFloat(parked, 'g', -1, 64),
+								"route", final.String())
+						}
 					}
 					route = final
 				} else if ck != nil {
@@ -1116,6 +1228,9 @@ func (s *Scheduler) runJob(j Job) Result {
 			s.integrityRetries++
 			s.mu.Unlock()
 		}
+		if tr != nil {
+			tr.Note("job.fail", "class", Classify(err).String(), "err", err.Error())
+		}
 
 		backoff := true
 		switch Classify(err) {
@@ -1138,6 +1253,9 @@ func (s *Scheduler) runJob(j Job) Result {
 			s.mu.Lock()
 			s.stalls++
 			s.mu.Unlock()
+			if s.met != nil {
+				s.met.stalls.Inc()
+			}
 			if h := s.cfg.Health; h != nil {
 				h.NoteStall(health.ClassRoute, route.String())
 				if route.Kind == core.Detour {
@@ -1153,6 +1271,12 @@ func (s *Scheduler) runJob(j Job) Result {
 					s.mu.Lock()
 					s.stallRerouted++
 					s.mu.Unlock()
+					if s.met != nil {
+						s.met.stallReroutes.Inc()
+					}
+					if tr != nil {
+						tr.Note("job.stall-failover", "route", next.String())
+					}
 				}
 			}
 			// No alternate (or the cap is spent): fall through to the
@@ -1168,6 +1292,9 @@ func (s *Scheduler) runJob(j Job) Result {
 			s.mu.Lock()
 			s.quotaFails++
 			s.mu.Unlock()
+			if s.met != nil {
+				s.met.quotaFails.Inc()
+			}
 			recovered := false
 			if !reclaimTried[j.Provider] {
 				if reclaimTried == nil {
@@ -1179,6 +1306,13 @@ func (s *Scheduler) runJob(j Job) Result {
 						s.mu.Lock()
 						s.quotaReclaims++
 						s.mu.Unlock()
+						if s.met != nil {
+							s.met.quotaReclaims.Inc()
+						}
+						if tr != nil {
+							tr.Note("job.quota-reclaim", "provider", j.Provider,
+								"freed", strconv.FormatFloat(freed, 'g', -1, 64))
+						}
 						recovered = true
 					}
 				}
@@ -1189,6 +1323,9 @@ func (s *Scheduler) runJob(j Job) Result {
 						spilledFrom = make(map[string]bool)
 					}
 					spilledFrom[j.Provider] = true
+					if tr != nil {
+						tr.Note("job.spill", "from", j.Provider, "to", alt)
+					}
 					j.Provider = alt
 					if ck != nil {
 						// The old provider's session bytes are stranded
@@ -1207,6 +1344,9 @@ func (s *Scheduler) runJob(j Job) Result {
 					s.mu.Lock()
 					s.providerSpills++
 					s.mu.Unlock()
+					if s.met != nil {
+						s.met.spills.Inc()
+					}
 				}
 			}
 			if !recovered {
@@ -1217,6 +1357,13 @@ func (s *Scheduler) runJob(j Job) Result {
 				s.mu.Lock()
 				s.quotaParks++
 				s.mu.Unlock()
+				if s.met != nil {
+					s.met.quotaParks.Inc()
+				}
+				if tr != nil {
+					tr.Note("job.park", "kind", "quota", "provider", j.Provider,
+						"retry_after", strconv.FormatFloat(ra, 'g', -1, 64))
+				}
 				res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked, Err: &QuotaError{Provider: j.Provider, RetryAfter: ra}}
 				s.noteRecovery(ck, &res)
 				return res
@@ -1227,6 +1374,12 @@ func (s *Scheduler) runJob(j Job) Result {
 				route = next
 				// The new route is presumed healthy: no point sleeping.
 				backoff = false
+				if s.met != nil {
+					s.met.failovers.Inc()
+				}
+				if tr != nil {
+					tr.Note("job.failover", "route", next.String())
+				}
 			}
 		default:
 			// Untyped error: the legacy route-level handling, so executors
@@ -1242,6 +1395,10 @@ func (s *Scheduler) runJob(j Job) Result {
 					s.mu.Lock()
 					s.fallbacks++
 					s.mu.Unlock()
+					if s.met != nil {
+						s.met.fallbacks.Inc()
+					}
+					tr.Note("job.fallback")
 				}
 			}
 		}
@@ -1261,6 +1418,13 @@ func (s *Scheduler) runJob(j Job) Result {
 					s.mu.Lock()
 					s.budgetParks++
 					s.mu.Unlock()
+					if s.met != nil {
+						s.met.budgetParks.Inc()
+					}
+					if tr != nil {
+						tr.Note("job.park", "kind", "budget", "provider", j.Provider,
+							"retry_after", strconv.FormatFloat(after, 'g', -1, 64))
+					}
 					res := Result{Job: j, Route: route, Attempts: attempts, CacheHit: hit, Hedged: jobHedged, HedgeWon: jobHedgeWon, Reroutes: jobReroutes, Parked: jobParked, Err: &BudgetError{Provider: j.Provider, RetryAfter: after}}
 					s.noteRecovery(ck, &res)
 					return res
@@ -1282,11 +1446,20 @@ func (s *Scheduler) runJob(j Job) Result {
 			if ra := retryAfterHint(lastErr); ra > delay {
 				delay = ra
 			}
+			if s.met != nil {
+				s.met.retries.Inc()
+			}
+			if tr != nil {
+				tr.Note("job.backoff", "delay_s", strconv.FormatFloat(delay, 'g', -1, 64))
+			}
 			s.cfg.Sleep(delay)
 		} else {
 			s.mu.Lock()
 			s.retries++
 			s.mu.Unlock()
+			if s.met != nil {
+				s.met.retries.Inc()
+			}
 		}
 	}
 }

@@ -1,0 +1,403 @@
+// Telemetry replay: the observability harness behind `make telemetry`,
+// the examples/telemetry program, detourd's -telemetry mode, and
+// detourctl's -dash dashboard. One RunTelemetry call builds a world with
+// dynamic routing, arms the reconvergence storm, and drives a
+// flash-crowd fleet through a fully instrumented scheduler: a metrics
+// registry collects counters and histograms, a simclock-driven sampler
+// records per-window time series (link utilization, queue depth, DTN
+// staging fill, provider quota headroom, journal size, active flows)
+// into ring buffers, and a flight recorder keeps the complete decision
+// trace of every failed transfer.
+//
+// Determinism is inherited, not asserted: one worker, arrivals fed at
+// virtual-time boundaries, the sampler ticking on the virtual clock as a
+// scenario pauser, and report renderers that iterate only sorted data.
+// Same seed, same binary ⇒ byte-identical reports, Prometheus dumps, and
+// JSON exports — which `make check` verifies.
+package sched
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"detournet/internal/bgppol"
+	"detournet/internal/core"
+	"detournet/internal/faults"
+	"detournet/internal/journal"
+	"detournet/internal/scenario"
+	"detournet/internal/telemetry"
+	"detournet/internal/workload"
+)
+
+// TelemetryOptions configures one instrumented replay.
+type TelemetryOptions struct {
+	// Seed drives the world, the storm, and the flash-crowd trace.
+	Seed int64
+	// Jobs is the fleet size (default 40); Size the bytes per transfer
+	// (default 24 MB).
+	Jobs int
+	Size float64
+	// SampleEvery is the sampler's virtual-second grid (default 15).
+	SampleEvery float64
+	// DumpEvery, when positive with DumpTo set, prints a compact
+	// telemetry line every so many virtual seconds — the periodic dump
+	// behind `detourd -telemetry`.
+	DumpEvery float64
+	DumpTo    io.Writer
+	// NoInstrument runs the identical storm with the whole telemetry
+	// plane detached (no registry, recorder, or sampler) — the overhead
+	// guard's baseline. The outcome's observability fields stay empty.
+	NoInstrument bool
+}
+
+// TelemetryOutcome is one replay's complete, deterministic result set:
+// plain results plus every observability surface, captured as value
+// snapshots so callers can render or diff them without touching live
+// state.
+type TelemetryOutcome struct {
+	Results []Result
+	Stats   Stats
+	// Snapshot is the metrics registry at end of run.
+	Snapshot telemetry.Snapshot
+	// Series are the sampler's ring buffers, sorted by name.
+	Series []telemetry.SeriesSnapshot
+	// Traces are the flight recorder's retained terminal traces (failed
+	// in full, successes truncated to counts), failures first.
+	Traces []telemetry.JobTrace
+	// RecorderFinished / RecorderFailed count jobs through the recorder.
+	RecorderFinished, RecorderFailed int
+	// Transitions is the fault injector's transition log.
+	Transitions []string
+	// VirtualSeconds is the simulated span; SampleEvery and Samples
+	// describe the sampling grid actually used.
+	VirtualSeconds float64
+	SampleEvery    float64
+	Samples        int
+}
+
+// Goodput is delivered bytes per virtual second across the whole run.
+func (o TelemetryOutcome) Goodput() float64 {
+	if o.VirtualSeconds <= 0 {
+		return 0
+	}
+	var bytes float64
+	for _, r := range o.Results {
+		if r.Err == nil {
+			bytes += r.Job.Size
+		}
+	}
+	return bytes / o.VirtualSeconds
+}
+
+// telemetryFeeder wraps the simulation executor so every virtual-time
+// advance completes and then offers the new clock to the arrival feed —
+// the overload example's idiom, extended with the rerouting entry point
+// so the churn stack stays armed.
+type telemetryFeeder struct {
+	exec *SimExecutor
+	feed func(now float64)
+}
+
+func (f *telemetryFeeder) after() {
+	if f.feed != nil {
+		f.feed(f.exec.VirtualNow())
+	}
+}
+
+func (f *telemetryFeeder) Execute(j Job, r core.Route) (float64, error) {
+	sec, err := f.exec.Execute(j, r)
+	f.after()
+	return sec, err
+}
+
+func (f *telemetryFeeder) ExecuteResumable(j Job, r core.Route, ck *core.Checkpoint) (float64, error) {
+	sec, err := f.exec.ExecuteResumable(j, r, ck)
+	f.after()
+	return sec, err
+}
+
+func (f *telemetryFeeder) ExecuteRerouting(j Job, r core.Route, ck *core.Checkpoint, parkBudget float64) (float64, core.Route, int, float64, error) {
+	sec, final, nr, parked, err := f.exec.ExecuteRerouting(j, r, ck, parkBudget)
+	f.after()
+	return sec, final, nr, parked, err
+}
+
+func (f *telemetryFeeder) Plan(client, provider string, size float64) (core.Route, []core.Route, error) {
+	route, cands, err := f.exec.Plan(client, provider, size)
+	f.after()
+	return route, cands, err
+}
+
+func (f *telemetryFeeder) Sleep(sec float64) {
+	f.exec.SleepVirtual(sec)
+	f.after()
+}
+
+// RunTelemetry replays the instrumented flash crowd once. See the
+// package comment.
+func RunTelemetry(o TelemetryOptions) TelemetryOutcome {
+	if o.Jobs <= 0 {
+		o.Jobs = 40
+	}
+	if o.Size <= 0 {
+		o.Size = 24e6
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 15
+	}
+
+	w := scenario.Build(o.Seed, scenario.WithDynamicRouting())
+	inj := faults.NewInjector(w, o.Seed, faults.ChurnSchedule()...)
+	exec := NewSimExecutor(w)
+	defer exec.Close()
+
+	// The observability plane: registry for counters/histograms, sampler
+	// on the virtual clock, flight recorder stamped with virtual time.
+	// Every consumer below is nil-safe, so the NoInstrument baseline
+	// runs the identical code with the plane detached.
+	var (
+		reg  *telemetry.Registry
+		rec  *telemetry.FlightRecorder
+		samp *telemetry.Sampler
+	)
+	if !o.NoInstrument {
+		reg = telemetry.NewRegistry()
+		rec = telemetry.NewFlightRecorder(exec.VirtualNow, 64, 6)
+		samp = telemetry.NewSampler(w.Eng, o.SampleEvery, 1024)
+		// The sampler pauses like cross-traffic: armed only while a
+		// workload drives the engine, so its self-rescheduling tick never
+		// wedges the event-queue drain between transfers.
+		w.AddPauser(samp)
+	}
+
+	cj, _, err := NewControlJournal(journal.NewMemDevice())
+	if err != nil {
+		panic(err)
+	}
+
+	// A finite provider quota (ample — double the fleet) makes the
+	// headroom series meaningful without ever rejecting a byte.
+	store := w.Services[scenario.GoogleDrive].Store
+	store.Quota = 2 * float64(o.Jobs) * o.Size
+
+	var results []Result
+	fd := &telemetryFeeder{exec: exec}
+	cfg := Config{
+		Workers:  1, // sequential ⇒ deterministic
+		Executor: fd, Planner: fd,
+		// A deliberately thin survival stack: rerouting with a short park
+		// budget and only one retry, so the storm's blackhole windows
+		// produce real failures — the traces the flight recorder exists
+		// to keep.
+		MaxAttempts: 2,
+		Reroute:     true,
+		ParkBudget:  20,
+		Journal:     cj,
+		Telemetry:   reg,
+		Recorder:    rec,
+		Now:         exec.VirtualNow,
+		Sleep:       fd.Sleep,
+		OnResult:    func(r Result) { results = append(results, r) },
+	}
+	s := New(cfg)
+	w.RouteBus.Subscribe(func(ev bgppol.Event) {
+		s.RouteEvent(RouteEvent{
+			Withdraw: ev.Kind == bgppol.EventWithdraw,
+			DomainA:  ev.DomainA, DomainB: ev.DomainB,
+			FromNode: ev.FromNode, ToNode: ev.ToNode,
+			At: ev.At, ConvergedBy: ev.ConvergedBy,
+		})
+	})
+	s.Start()
+
+	// Sampler sources, one probe per series. Link picks: the paper's
+	// rate-limited PacificWave hand-off, the fast private peering, and
+	// the CANARIE detour's first hop.
+	type linkProbe struct {
+		name  string
+		probe func() float64
+	}
+	var linkProbes []linkProbe
+	for _, lk := range [][2]string{
+		{"vncv1", "pacificwave"},
+		{"vncv1", "google-peer"},
+		{"vncv1", "edmn1"},
+	} {
+		e, ok := w.Graph.Edge(lk[0], lk[1])
+		if !ok {
+			continue
+		}
+		l := e.Link
+		lp := linkProbe{name: "link." + lk[0] + ">" + lk[1] + ".util", probe: l.Utilization}
+		linkProbes = append(linkProbes, lp)
+		samp.Track(lp.name, lp.probe)
+	}
+	fl := w.Graph.Fluid()
+	samp.Track("net.flows", func() float64 { return float64(fl.ActiveFlows()) })
+	samp.Track("sched.queued", func() float64 { q, _ := s.Depths(); return float64(q) })
+	samp.Track("sched.running", func() float64 { _, r := s.Depths(); return float64(r) })
+	for _, dtn := range scenario.DTNs {
+		d := w.Daemons[dtn]
+		samp.Track("dtn."+dtn+".staged_mb", func() float64 { return d.Stats().Used / 1e6 })
+	}
+	svc := w.Services[scenario.GoogleDrive]
+	samp.Track("provider.gdrive.stored_mb", func() float64 { return store.Used() / 1e6 })
+	samp.Track("provider.gdrive.headroom_mb", func() float64 { return store.QuotaHeadroom() / 1e6 })
+	samp.Track("provider.gdrive.pending_mb", func() float64 { return svc.PendingBytes() / 1e6 })
+	samp.Track("journal.kb", func() float64 { return float64(cj.DeviceSize()) / 1024 })
+
+	if o.DumpEvery > 0 && o.DumpTo != nil {
+		next := o.DumpEvery
+		samp.OnSample(func(t float64) {
+			if t+1e-9 < next {
+				return
+			}
+			next = (math.Floor(t/o.DumpEvery) + 1) * o.DumpEvery
+			q, run := s.Depths()
+			fmt.Fprintf(o.DumpTo, "[t=%6.0f] queued=%2d running=%d flows=%2.0f", t, q, run,
+				float64(fl.ActiveFlows()))
+			for _, lp := range linkProbes {
+				fmt.Fprintf(o.DumpTo, " %s=%.2f", lp.name[len("link."):], lp.probe())
+			}
+			fmt.Fprintf(o.DumpTo, " journal=%.1fKB\n", float64(cj.DeviceSize())/1024)
+		})
+	}
+
+	// The flash crowd: a calm lead-in, a burst that lands inside the
+	// storm's churn windows, and a calm tail.
+	crowd, err := workload.NewFlashCrowd(
+		workload.Phase{RatePerSec: 0.05, Seconds: 40},
+		workload.Phase{RatePerSec: 0.5, Seconds: 120},
+		workload.Phase{RatePerSec: 0.05},
+	)
+	if err != nil {
+		panic(err)
+	}
+	trace, err := workload.GenerateFleet(workload.FleetSpec{
+		Jobs:      o.Jobs,
+		Clients:   []string{scenario.UBC, scenario.UAlberta},
+		Providers: []string{scenario.GoogleDrive},
+		Tenants:   []string{"telemetry"},
+		Sizes:     workload.Fixed{Bytes: o.Size},
+		Arrivals:  crowd,
+		Prefix:    "tlm", PriorityLevels: 1,
+	}, rand.New(rand.NewSource(o.Seed)))
+	if err != nil {
+		panic(err)
+	}
+
+	i := 0
+	feed := func(now float64) {
+		for i < len(trace) && trace[i].At <= now {
+			fj := trace[i]
+			i++
+			err := s.Submit(Job{
+				Tenant: fj.Tenant, Client: fj.Client, Provider: fj.Provider,
+				Name: fj.Name, Size: fj.Size, Priority: fj.Priority,
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+	}
+	fd.feed = feed
+	feed(exec.VirtualNow())
+	for {
+		s.Drain()
+		if i >= len(trace) {
+			break
+		}
+		if next, now := trace[i].At, exec.VirtualNow(); next > now {
+			exec.SleepVirtual(next - now)
+		}
+		feed(exec.VirtualNow())
+	}
+	s.Drain()
+
+	st := s.Stats()
+	s.Close()
+	out := TelemetryOutcome{
+		Results: results, Stats: st,
+		Snapshot:       reg.Snapshot(),
+		Series:         samp.Snapshot(),
+		Traces:         rec.Retained(),
+		Transitions:    inj.Transitions(),
+		VirtualSeconds: exec.VirtualNow(),
+		SampleEvery:    o.SampleEvery,
+		Samples:        samp.Samples(),
+	}
+	out.RecorderFinished, out.RecorderFailed = rec.Counts()
+	return out
+}
+
+// sparkWidth is the dashboard sparkline width in columns.
+const sparkWidth = 48
+
+// writeSeries renders one time-series line: name, min/max/last, spark.
+func writeSeries(out io.Writer, ss telemetry.SeriesSnapshot) {
+	fmt.Fprintf(out, "  %-32s %9.2f .. %-9.2f last %9.2f  |%s|\n",
+		ss.Name, ss.Min(), ss.Max(), ss.Last(), telemetry.Spark(ss.Values, sparkWidth))
+}
+
+// WriteTelemetryReport renders the deterministic full report the
+// telemetry example and detourd's -telemetry mode print: run stats, the
+// sampled time series with sparklines, the failed jobs' flight-recorder
+// traces decision by decision, and the Prometheus dump.
+func WriteTelemetryReport(out io.Writer, o TelemetryOutcome) {
+	fmt.Fprintf(out, "Telemetry: %d transfers through a reconvergence storm (%d fault transitions, %.0f virtual s, goodput %.2f MB/s)\n",
+		len(o.Results), len(o.Transitions), o.VirtualSeconds, o.Goodput()/1e6)
+	fmt.Fprintf(out, "stats: %s\n", o.Stats)
+
+	fmt.Fprintf(out, "time series (every %g virtual s, %d samples):\n", o.SampleEvery, o.Samples)
+	for _, ss := range o.Series {
+		writeSeries(out, ss)
+	}
+
+	fmt.Fprintf(out, "flight recorder: %d jobs finished, %d failed traces retained in full\n",
+		o.RecorderFinished, o.RecorderFailed)
+	for _, tr := range o.Traces {
+		if !tr.Failed {
+			continue
+		}
+		fmt.Fprintf(out, "  %s — %d events (%d dropped):\n", tr.Job, tr.Seen, tr.Dropped)
+		for _, ev := range tr.Events {
+			fmt.Fprintf(out, "    %s\n", ev.String())
+		}
+	}
+
+	fmt.Fprintln(out, "metrics (prometheus):")
+	if err := o.Snapshot.WritePrometheus(out); err != nil {
+		panic(err)
+	}
+}
+
+// WriteTelemetryDash renders the compact terminal dashboard behind
+// `detourctl -dash`: headline counters, every sampled series as a
+// sparkline, and one line per retained failed trace.
+func WriteTelemetryDash(out io.Writer, o TelemetryOutcome) {
+	st := o.Stats
+	fmt.Fprintf(out, "== detour telemetry dashboard (%.0f virtual s, %d samples every %gs) ==\n",
+		o.VirtualSeconds, o.Samples, o.SampleEvery)
+	fmt.Fprintf(out, " jobs: %d done / %d failed / %d expired / %d shed | goodput %.2f MB/s\n",
+		st.Done, st.Failed, st.Expired, st.Shed, o.Goodput()/1e6)
+	fmt.Fprintf(out, " churn: %d reroutes, %d parks (%.0fs), %d retries, %d failovers, %d fallbacks\n",
+		st.Reroutes, st.Parks, st.ParkSeconds, st.Retries, st.Failovers, st.Fallbacks)
+	fmt.Fprintln(out, " series:")
+	for _, ss := range o.Series {
+		writeSeries(out, ss)
+	}
+	fmt.Fprintf(out, " flight recorder: %d finished, %d failed retained\n",
+		o.RecorderFinished, o.RecorderFailed)
+	for _, tr := range o.Traces {
+		if !tr.Failed {
+			continue
+		}
+		last := "-"
+		if len(tr.Events) > 0 {
+			last = tr.Events[len(tr.Events)-1].String()
+		}
+		fmt.Fprintf(out, "  failed %-14s %2d events, last: %s\n", tr.Job, tr.Seen, last)
+	}
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"detournet/internal/tracelog"
+)
+
+// FlightRecorder keeps a bounded per-job decision trace: every routing
+// election, retry, reroute, park, and failure classification a job goes
+// through. When a job finishes the recorder applies the retention
+// policy: failed (or parked-out) jobs keep their full trace — up to the
+// per-job cap, with a drop counter — while successful jobs are
+// truncated to a bare completion marker. The retained set is itself
+// bounded FIFO, so a long soak cannot grow memory without bound.
+//
+// Recording is hot-path work (every job pays for it whether or not it
+// fails), so the design keeps the success path allocation-light: a live
+// Trace is one allocation with inline storage for the first few events,
+// events are compact key/value pairs (no attribute maps), and the only
+// recorder-wide lock is taken at Finish. The tracelog.Event view is
+// materialized once, at retention time, and only for traces that are
+// actually kept.
+//
+// A nil *FlightRecorder (and the nil *Trace it hands out) is safe
+// everywhere; instrumented code never guards.
+type FlightRecorder struct {
+	now      func() float64
+	perJob   int
+	retained int
+
+	live atomic.Int64 // handles begun and not yet finished
+
+	mu     sync.Mutex
+	kept   []JobTrace // terminal traces, FIFO-bounded at retained
+	fin    int        // total finished
+	failed int        // finished failed (trace retained in full)
+}
+
+// maxNotePairs is the inline attribute capacity of one recorded event.
+// Pairs past it are dropped; every instrumentation site stays under it.
+const maxNotePairs = 3
+
+// inlineEvents is how many events a Trace holds without a second
+// allocation; only jobs with longer decision histories (retry storms)
+// spill to the heap.
+const inlineEvents = 4
+
+// recEvent is the compact live representation of one decision event:
+// key/value pairs inline, so the success fast path never allocates an
+// attribute map.
+type recEvent struct {
+	at   float64
+	kind string
+	n    int
+	kv   [2 * maxNotePairs]string
+}
+
+func (e *recEvent) event() tracelog.Event {
+	var attrs map[string]any
+	if e.n > 0 {
+		attrs = make(map[string]any, e.n)
+		for i := 0; i < e.n; i++ {
+			attrs[e.kv[2*i]] = e.kv[2*i+1]
+		}
+	}
+	return tracelog.Event{At: e.at, Kind: e.kind, Attrs: attrs}
+}
+
+// Trace is the live recording handle for one job, obtained once per job
+// via Begin. Notes take only the trace's own lock (uncontended unless a
+// hedge straggler races the main attempt), never the recorder's.
+type Trace struct {
+	rec *FlightRecorder
+	job string
+
+	mu      sync.Mutex
+	buf     []recEvent
+	inline  [inlineEvents]recEvent
+	seen    int
+	dropped int
+	done    bool
+}
+
+// JobTrace is the retained decision history of one finished job.
+type JobTrace struct {
+	Job     string
+	Events  []tracelog.Event
+	Dropped int  // events evicted by the per-job cap
+	Seen    int  // total events noted, including dropped/truncated
+	Failed  bool // retention reason; false = truncated success
+}
+
+// NewFlightRecorder builds a recorder stamping events with now(),
+// keeping at most perJob events per live trace and the last retained
+// failed traces. Zero values pick defaults (64 events, 8 traces); a nil
+// now stamps every event at 0.
+func NewFlightRecorder(now func() float64, perJob, retained int) *FlightRecorder {
+	if perJob <= 0 {
+		perJob = 64
+	}
+	if retained <= 0 {
+		retained = 8
+	}
+	if now == nil {
+		now = func() float64 { return 0 }
+	}
+	return &FlightRecorder{
+		now:      now,
+		perJob:   perJob,
+		retained: retained,
+	}
+}
+
+// Begin opens a live trace for job. The handle is not registered
+// anywhere — the caller threads it through the job's lifetime and hands
+// it back to Finish — so beginning costs one allocation and no lock.
+func (r *FlightRecorder) Begin(job string) *Trace {
+	if r == nil {
+		return nil
+	}
+	t := &Trace{rec: r, job: job}
+	t.buf = t.inline[:0]
+	r.live.Add(1)
+	return t
+}
+
+// Note appends a decision event to the trace. kv alternates keys and
+// values (already formatted; tracelog renders them verbatim). At most
+// maxNotePairs pairs are kept. Oldest events are evicted FIFO once the
+// per-job cap is hit; notes after Finish are dropped.
+func (t *Trace) Note(kind string, kv ...string) {
+	if t == nil {
+		return
+	}
+	at := t.rec.now()
+	n := len(kv) / 2
+	if n > maxNotePairs {
+		n = maxNotePairs
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.seen++
+	if len(t.buf) >= t.rec.perJob {
+		copy(t.buf, t.buf[1:])
+		t.buf = t.buf[:len(t.buf)-1]
+		t.dropped++
+	}
+	var e recEvent
+	e.at = at
+	e.kind = kind
+	e.n = n
+	copy(e.kv[:], kv[:2*n])
+	t.buf = append(t.buf, e)
+	t.mu.Unlock()
+}
+
+// Finish applies the retention policy to a job's trace. Failed jobs
+// keep everything recorded so far — materialized as tracelog events
+// here, the one place that pays for attribute maps; successful jobs are
+// truncated to their event count. tr may be nil (a job that never
+// recorded anything, or recording off mid-stream): an empty terminal
+// trace is kept so counts stay honest. Finishing the same handle twice
+// counts once.
+func (r *FlightRecorder) Finish(tr *Trace, job string, failed bool) {
+	if r == nil {
+		return
+	}
+	kept := JobTrace{Job: job, Failed: failed}
+	if tr != nil {
+		tr.mu.Lock()
+		if tr.done {
+			tr.mu.Unlock()
+			return
+		}
+		tr.done = true
+		kept.Seen = tr.seen
+		if failed {
+			kept.Dropped = tr.dropped
+			kept.Events = make([]tracelog.Event, len(tr.buf))
+			for i := range tr.buf {
+				kept.Events[i] = tr.buf[i].event()
+			}
+		}
+		tr.buf = nil
+		tr.mu.Unlock()
+		r.live.Add(-1)
+	}
+	r.mu.Lock()
+	r.fin++
+	if failed {
+		r.failed++
+	}
+	r.kept = append(r.kept, kept)
+	if len(r.kept) > r.retained {
+		// Evict the oldest truncated-success marker first; only
+		// displace a failed trace when everything retained is failed.
+		evict := 0
+		for i := range r.kept {
+			if !r.kept[i].Failed {
+				evict = i
+				break
+			}
+		}
+		copy(r.kept[evict:], r.kept[evict+1:])
+		r.kept = r.kept[:len(r.kept)-1]
+	}
+	r.mu.Unlock()
+}
+
+// Retained returns copies of the kept terminal traces, failed traces
+// first, each group ordered by job name, so reports are deterministic.
+func (r *FlightRecorder) Retained() []JobTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobTrace, 0, len(r.kept))
+	for _, tr := range r.kept {
+		cp := tr
+		cp.Events = append([]tracelog.Event(nil), tr.Events...)
+		out = append(out, cp)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Failed != out[j].Failed {
+			return out[i].Failed
+		}
+		return out[i].Job < out[j].Job
+	})
+	return out
+}
+
+// Live returns the number of in-flight traces.
+func (r *FlightRecorder) Live() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.live.Load())
+}
+
+// Counts reports (finished, failed-and-retained-in-full).
+func (r *FlightRecorder) Counts() (finished, failed int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fin, r.failed
+}

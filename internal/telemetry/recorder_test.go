@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderRetentionOnFailure(t *testing.T) {
+	now := 0.0
+	r := NewFlightRecorder(func() float64 { return now }, 8, 4)
+	tr := r.Begin("job-a")
+	now = 1
+	tr.Note("job.elect", "route", "detour")
+	now = 2
+	tr.Note("job.reroute", "parked", "1")
+	now = 3
+	tr.Note("job.park", "kind", "budget")
+	r.Finish(tr, "job-a", true)
+
+	kept := r.Retained()
+	if len(kept) != 1 || !kept[0].Failed {
+		t.Fatalf("retained = %+v, want one failed trace", kept)
+	}
+	got := kept[0]
+	if got.Seen != 3 || len(got.Events) != 3 || got.Dropped != 0 {
+		t.Fatalf("trace = %+v", got)
+	}
+	kinds := []string{"job.elect", "job.reroute", "job.park"}
+	for i, ev := range got.Events {
+		if ev.Kind != kinds[i] || ev.At != float64(i+1) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if !strings.Contains(got.Events[0].String(), "route=detour") {
+		t.Fatalf("event render = %q", got.Events[0].String())
+	}
+	if fin, failed := r.Counts(); fin != 1 || failed != 1 {
+		t.Fatalf("counts = %d/%d", fin, failed)
+	}
+	// Notes against a finished handle are dropped; a double Finish
+	// counts once.
+	tr.Note("job.ghost")
+	r.Finish(tr, "job-a", true)
+	if fin, _ := r.Counts(); fin != 1 {
+		t.Fatalf("double finish counted: fin = %d", fin)
+	}
+	if r.Live() != 0 {
+		t.Fatalf("live = %d", r.Live())
+	}
+}
+
+func TestRecorderTruncationOnSuccess(t *testing.T) {
+	r := NewFlightRecorder(nil, 8, 4)
+	tr := r.Begin("ok")
+	tr.Note("job.elect")
+	tr.Note("job.done")
+	r.Finish(tr, "ok", false)
+	kept := r.Retained()
+	if len(kept) != 1 || kept[0].Failed {
+		t.Fatalf("retained = %+v", kept)
+	}
+	if kept[0].Seen != 2 || len(kept[0].Events) != 0 {
+		t.Fatalf("success trace should keep counts but drop events: %+v", kept[0])
+	}
+	if r.Live() != 0 {
+		t.Fatalf("live = %d", r.Live())
+	}
+}
+
+func TestRecorderPerJobCap(t *testing.T) {
+	r := NewFlightRecorder(nil, 3, 4)
+	tr := r.Begin("busy")
+	for i := 0; i < 7; i++ {
+		tr.Note("job.attempt", "n", string(rune('0'+i)))
+	}
+	r.Finish(tr, "busy", true)
+	got := r.Retained()[0]
+	if got.Seen != 7 || got.Dropped != 4 || len(got.Events) != 3 {
+		t.Fatalf("trace = seen %d dropped %d len %d", got.Seen, got.Dropped, len(got.Events))
+	}
+	// FIFO eviction keeps the newest events.
+	if got.Events[0].Attrs["n"] != "4" || got.Events[2].Attrs["n"] != "6" {
+		t.Fatalf("kept events = %+v", got.Events)
+	}
+}
+
+func TestRecorderNotePairCap(t *testing.T) {
+	r := NewFlightRecorder(nil, 8, 4)
+	tr := r.Begin("j")
+	tr.Note("job.big", "a", "1", "b", "2", "c", "3", "d", "4")
+	r.Finish(tr, "j", true)
+	ev := r.Retained()[0].Events[0]
+	if len(ev.Attrs) != maxNotePairs {
+		t.Fatalf("attrs = %v, want %d pairs", ev.Attrs, maxNotePairs)
+	}
+	if ev.Attrs["a"] != "1" || ev.Attrs["c"] != "3" {
+		t.Fatalf("attrs = %v", ev.Attrs)
+	}
+}
+
+// finishOne is the test shorthand for a job that records a single event
+// (or none, with tr == nil semantics via an empty trace).
+func finishOne(r *FlightRecorder, job, kind string, failed bool) {
+	tr := r.Begin(job)
+	if kind != "" {
+		tr.Note(kind)
+	}
+	r.Finish(tr, job, failed)
+}
+
+func TestRecorderFinishWithoutTrace(t *testing.T) {
+	r := NewFlightRecorder(nil, 8, 4)
+	// A job that never recorded anything (shed in queue, recording
+	// attached mid-run) still counts and keeps an empty marker.
+	r.Finish(nil, "shed", true)
+	kept := r.Retained()
+	if len(kept) != 1 || !kept[0].Failed || kept[0].Seen != 0 || len(kept[0].Events) != 0 {
+		t.Fatalf("retained = %+v", kept)
+	}
+	if fin, failed := r.Counts(); fin != 1 || failed != 1 {
+		t.Fatalf("counts = %d/%d", fin, failed)
+	}
+}
+
+func TestRecorderRetainedBoundPrefersFailures(t *testing.T) {
+	r := NewFlightRecorder(nil, 8, 3)
+	finishOne(r, "f1", "job.fail", true)
+	finishOne(r, "s1", "", false)
+	finishOne(r, "f2", "job.fail", true)
+	finishOne(r, "s2", "", false) // bound hit: evicts s1, not a failure
+	kept := r.Retained()
+	if len(kept) != 3 {
+		t.Fatalf("retained = %d, want 3", len(kept))
+	}
+	var jobs []string
+	for _, k := range kept {
+		jobs = append(jobs, k.Job)
+	}
+	want := []string{"f1", "f2", "s2"} // failures first, then by name
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Fatalf("retained jobs = %v, want %v", jobs, want)
+		}
+	}
+	// All-failed window: the oldest failure finally gives way.
+	finishOne(r, "f3", "job.fail", true)
+	finishOne(r, "f4", "job.fail", true)
+	jobs = jobs[:0]
+	for _, k := range r.Retained() {
+		jobs = append(jobs, k.Job)
+	}
+	want = []string{"f2", "f3", "f4"}
+	for i := range want {
+		if jobs[i] != want[i] {
+			t.Fatalf("retained jobs = %v, want %v", jobs, want)
+		}
+	}
+}

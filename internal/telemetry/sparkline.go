@@ -1,0 +1,51 @@
+package telemetry
+
+import "math"
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode sparkline at most width runes wide.
+// Longer series are downsampled by bucket means; the vertical scale is
+// the series' own min..max (a flat series renders mid-height). Empty
+// input yields an empty string.
+func Spark(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	cols := values
+	if len(values) > width {
+		cols = make([]float64, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			cols[i] = sum / float64(hi-lo)
+		}
+	}
+	lo, hi := cols[0], cols[0]
+	for _, v := range cols[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]rune, len(cols))
+	for i, v := range cols {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
